@@ -1,0 +1,329 @@
+package banyan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"banyan/internal/beacon"
+	"banyan/internal/core"
+	"banyan/internal/crypto"
+	"banyan/internal/hotstuff"
+	"banyan/internal/icc"
+	"banyan/internal/mempool"
+	"banyan/internal/node"
+	"banyan/internal/protocol"
+	"banyan/internal/streamlet"
+	"banyan/internal/transport/channel"
+	"banyan/internal/types"
+)
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// N is the number of replicas. Required.
+	N int
+	// F is the number of Byzantine faults tolerated; zero picks the
+	// maximum for N.
+	F int
+	// P is Banyan's fast-path slack (1 <= p <= f); zero picks 1.
+	P int
+	// Protocol selects the engine; empty picks ProtocolBanyan.
+	Protocol Protocol
+	// Delta is the message-delay bound Δ used for rank delays and epoch
+	// lengths; zero picks a LAN-appropriate 10ms.
+	Delta time.Duration
+	// LinkDelay simulates a uniform one-way delay between replicas; zero
+	// means direct in-memory delivery.
+	LinkDelay time.Duration
+	// MaxBlockBytes caps the transaction batch per block (default 1 MiB).
+	MaxBlockBytes int
+	// Scheme selects the signature scheme ("ed25519" default for clusters,
+	// "hmac" for cheap simulation).
+	Scheme string
+	// Seed makes key generation deterministic (a production deployment
+	// would exchange real keys; the cluster bootstraps a demo PKI).
+	Seed uint64
+	// CommitBuffer is the capacity of the Commits channel (default 1024).
+	CommitBuffer int
+}
+
+// Cluster is an n-replica consensus cluster running in one process. It
+// exposes the replica-0 application view: submitted transactions are
+// load-balanced across all replicas' mempools, and finalized blocks are
+// streamed from replica 0 (all replicas finalize identical chains).
+type Cluster struct {
+	cfg     ClusterConfig
+	params  types.Params
+	hub     *channel.Hub
+	nodes   []*node.Node
+	engines []protocol.Engine
+	pools   []*mempool.Pool
+
+	commits   chan Commit
+	rawCommit chan node.CommitEvent
+
+	mu       sync.Mutex
+	nextPool int
+	faults   []error
+	started  bool
+	stopped  bool
+
+	done chan struct{}
+}
+
+// NewCluster assembles a cluster; call Start to run it.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("banyan: cluster needs N > 0")
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolBanyan
+	}
+	if cfg.P == 0 {
+		cfg.P = 1
+	}
+	var params types.Params
+	var err error
+	if cfg.F == 0 {
+		params, err = DefaultParams(cfg.Protocol, cfg.N, cfg.P)
+	} else {
+		params, err = Params(cfg.Protocol, cfg.N, cfg.F, cfg.P)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 10 * time.Millisecond
+		if cfg.LinkDelay > 0 {
+			cfg.Delta = 2*cfg.LinkDelay + 5*time.Millisecond
+		}
+	}
+	if cfg.MaxBlockBytes <= 0 {
+		cfg.MaxBlockBytes = 1 << 20
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "ed25519"
+	}
+	if cfg.CommitBuffer <= 0 {
+		cfg.CommitBuffer = 1024
+	}
+
+	scheme, err := crypto.SchemeByName(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	keyring, signers := crypto.GenerateCluster(scheme, params.N, cfg.Seed)
+	bc, err := beacon.NewRoundRobin(params.N)
+	if err != nil {
+		return nil, err
+	}
+
+	var hubOpts channel.Options
+	if cfg.LinkDelay > 0 {
+		d := cfg.LinkDelay
+		hubOpts.Delay = func(_, _ types.ReplicaID) time.Duration { return d }
+	}
+	hub := channel.NewHub(params.N, hubOpts)
+
+	c := &Cluster{
+		cfg:       cfg,
+		params:    params,
+		hub:       hub,
+		nodes:     make([]*node.Node, params.N),
+		engines:   make([]protocol.Engine, params.N),
+		pools:     make([]*mempool.Pool, params.N),
+		commits:   make(chan Commit, cfg.CommitBuffer),
+		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
+		done:      make(chan struct{}),
+	}
+	for i := 0; i < params.N; i++ {
+		id := types.ReplicaID(i)
+		c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
+		eng, err := buildEngine(cfg.Protocol, params, id, keyring, signers[i], bc, c.pools[i], cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		c.engines[i] = eng
+		var commitCh chan<- node.CommitEvent
+		if i == 0 {
+			commitCh = c.rawCommit
+		}
+		n, err := node.New(node.Config{
+			Engine:    eng,
+			Transport: hub.Transport(id),
+			Commits:   commitCh,
+			OnFault:   func(err error) { c.recordFault(err) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = n
+	}
+	return c, nil
+}
+
+func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
+	keyring *crypto.Keyring, signer *crypto.Signer, bc beacon.Beacon,
+	payloads protocol.PayloadSource, delta time.Duration) (protocol.Engine, error) {
+	switch proto {
+	case ProtocolBanyan, ProtocolBanyanNoFast:
+		return core.New(core.Config{
+			Params:          params,
+			Self:            id,
+			Keyring:         keyring,
+			Signer:          signer,
+			Beacon:          bc,
+			Payloads:        payloads,
+			Delta:           delta,
+			DisableFastPath: proto == ProtocolBanyanNoFast,
+		})
+	case ProtocolICC:
+		return icc.New(icc.Config{
+			Params:   params,
+			Self:     id,
+			Keyring:  keyring,
+			Signer:   signer,
+			Beacon:   bc,
+			Payloads: payloads,
+			Delta:    delta,
+		})
+	case ProtocolHotStuff:
+		return hotstuff.New(hotstuff.Config{
+			Params:      params,
+			Self:        id,
+			Keyring:     keyring,
+			Signer:      signer,
+			Beacon:      bc,
+			Payloads:    payloads,
+			ViewTimeout: 6 * delta,
+		})
+	case ProtocolStreamlet:
+		return streamlet.New(streamlet.Config{
+			Params:        params,
+			Self:          id,
+			Keyring:       keyring,
+			Signer:        signer,
+			Beacon:        bc,
+			Payloads:      payloads,
+			EpochDuration: 2 * delta,
+		})
+	default:
+		return nil, fmt.Errorf("banyan: unknown protocol %q", proto)
+	}
+}
+
+// Start boots every replica.
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return fmt.Errorf("banyan: cluster already started")
+	}
+	c.started = true
+	c.mu.Unlock()
+	go c.pump()
+	for _, n := range c.nodes {
+		if err := n.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pump converts node commit events into the public Commit stream.
+func (c *Cluster) pump() {
+	defer close(c.commits)
+	for {
+		select {
+		case <-c.done:
+			return
+		case ev := <-c.rawCommit:
+			for _, b := range ev.Blocks {
+				commit := Commit{
+					Round:        uint64(b.Round),
+					BlockID:      b.ID().String(),
+					Proposer:     int(b.Proposer),
+					Transactions: mempool.DecodeBatch(b.Payload),
+					PayloadBytes: b.Payload.Size(),
+					Path:         pathOf(ev.Explicit),
+					At:           ev.At,
+				}
+				select {
+				case c.commits <- commit:
+				case <-c.done:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Submit queues a transaction on one replica's mempool (round-robin); it
+// is proposed the next time that replica leads a round. It reports false
+// when the mempool rejected the transaction.
+func (c *Cluster) Submit(tx []byte) bool {
+	c.mu.Lock()
+	i := c.nextPool
+	c.nextPool = (c.nextPool + 1) % len(c.pools)
+	c.mu.Unlock()
+	return c.pools[i].Submit(tx)
+}
+
+// SubmitTo queues a transaction on a specific replica's mempool.
+func (c *Cluster) SubmitTo(replica int, tx []byte) bool {
+	if replica < 0 || replica >= len(c.pools) {
+		return false
+	}
+	return c.pools[replica].Submit(tx)
+}
+
+// Commits streams finalized blocks as observed by replica 0. The channel
+// closes on Stop.
+func (c *Cluster) Commits() <-chan Commit { return c.commits }
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.params.N }
+
+// ParamsUsed returns the validated (n, f, p).
+func (c *Cluster) ParamsUsed() (n, f, p int) {
+	return c.params.N, c.params.F, c.params.P
+}
+
+// Faults returns safety faults reported by any replica (must stay empty).
+func (c *Cluster) Faults() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]error, len(c.faults))
+	copy(out, c.faults)
+	return out
+}
+
+// Metrics returns a replica's protocol counters. Only valid after Stop.
+func (c *Cluster) Metrics(replica int) map[string]int64 {
+	if replica < 0 || replica >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[replica].Metrics()
+}
+
+// Stop shuts the cluster down: replicas first, then the hub.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.hub.Close()
+	close(c.done)
+}
+
+func (c *Cluster) recordFault(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = append(c.faults, err)
+}

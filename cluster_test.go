@@ -1,0 +1,110 @@
+package banyan
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestClusterCommitsTransactions runs a real-time 4-replica Banyan cluster
+// in-process and checks submitted transactions come out finalized, in
+// order, mostly on the fast path.
+func TestClusterCommitsTransactions(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		N:     4,
+		Delta: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	const txCount = 40
+	want := make(map[string]bool, txCount)
+	for i := 0; i < txCount; i++ {
+		tx := fmt.Sprintf("tx-%03d", i)
+		want[tx] = true
+		if !cluster.Submit([]byte(tx)) {
+			t.Fatalf("submit %q rejected", tx)
+		}
+	}
+
+	deadline := time.After(20 * time.Second)
+	got := make(map[string]bool, txCount)
+	fast := 0
+	for len(got) < txCount {
+		select {
+		case c, ok := <-cluster.Commits():
+			if !ok {
+				t.Fatal("commit stream closed early")
+			}
+			if c.Path == PathFast {
+				fast++
+			}
+			for _, tx := range c.Transactions {
+				s := string(tx)
+				if !want[s] {
+					t.Fatalf("committed unexpected transaction %q", s)
+				}
+				if got[s] {
+					t.Fatalf("transaction %q committed twice", s)
+				}
+				got[s] = true
+			}
+		case <-deadline:
+			t.Fatalf("timed out: %d/%d transactions committed", len(got), txCount)
+		}
+	}
+	if fast == 0 {
+		t.Error("no fast-path commits observed")
+	}
+	if faults := cluster.Faults(); len(faults) > 0 {
+		t.Fatalf("faults: %v", faults)
+	}
+}
+
+// TestClusterProtocols checks every protocol makes progress through the
+// public API.
+func TestClusterProtocols(t *testing.T) {
+	for _, proto := range []Protocol{ProtocolBanyan, ProtocolBanyanNoFast, ProtocolICC, ProtocolHotStuff, ProtocolStreamlet} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			cluster, err := NewCluster(ClusterConfig{
+				N:        4,
+				Protocol: proto,
+				Delta:    5 * time.Millisecond,
+				Scheme:   "hmac",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Stop()
+
+			if !cluster.Submit([]byte("hello")) {
+				t.Fatal("submit rejected")
+			}
+			deadline := time.After(20 * time.Second)
+			for {
+				select {
+				case c, ok := <-cluster.Commits():
+					if !ok {
+						t.Fatal("commit stream closed early")
+					}
+					for _, tx := range c.Transactions {
+						if string(tx) == "hello" {
+							return
+						}
+					}
+				case <-deadline:
+					t.Fatal("timed out waiting for the transaction to commit")
+				}
+			}
+		})
+	}
+}

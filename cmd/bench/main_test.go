@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestQuickExperimentsRun executes the cheapest experiments end to end so
+// the bench tool itself stays correct.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not short")
+	}
+	for _, exp := range []string{"table1", "fig1", "ablation-fastpath"} {
+		if err := run([]string{"-exp", exp, "-quick", "-duration", "5s"}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := options{duration: 120 * time.Second, seed: 1}
+	if o.duration != 120*time.Second {
+		t.Fatal("unexpected default")
+	}
+}

@@ -1,0 +1,66 @@
+package banyan_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"banyan"
+)
+
+// ExampleCluster shows the minimal submit-and-finalize loop.
+func ExampleCluster() {
+	cluster, err := banyan.NewCluster(banyan.ClusterConfig{N: 4, Scheme: "hmac"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	cluster.Submit([]byte("pay alice 10"))
+	for commit := range cluster.Commits() {
+		for _, tx := range commit.Transactions {
+			fmt.Printf("finalized: %s\n", tx)
+			return
+		}
+	}
+	// Output: finalized: pay alice 10
+}
+
+// ExampleRunExperiment reproduces one point of the paper's Figure 6b — the
+// n=4 four-datacenter comparison — inside the deterministic simulator.
+func ExampleRunExperiment() {
+	res, err := banyan.RunExperiment(banyan.ExperimentConfig{
+		Protocol:       banyan.ProtocolBanyan,
+		N:              4,
+		F:              1,
+		P:              1,
+		Topology:       "4dc-global",
+		BlockSizeBytes: 1 << 20,
+		Duration:       30 * time.Second,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast-path share: %d%%\n",
+		100*res.FastFinalized/(res.FastFinalized+res.SlowFinalized))
+	fmt.Printf("mean latency under 200ms: %v\n", res.MeanLatency < 200*time.Millisecond)
+	// Output:
+	// fast-path share: 100%
+	// mean latency under 200ms: true
+}
+
+// ExampleParams shows the resilience arithmetic of the protocol: the
+// paper's two n=19 configurations.
+func ExampleParams() {
+	a, _ := banyan.Params(banyan.ProtocolBanyan, 19, 6, 1)
+	b, _ := banyan.Params(banyan.ProtocolBanyan, 19, 4, 4)
+	fmt.Printf("f=%d p=%d: fast quorum %d of %d\n", a.F, a.P, a.FastQuorum(), a.N)
+	fmt.Printf("f=%d p=%d: fast quorum %d of %d\n", b.F, b.P, b.FastQuorum(), b.N)
+	// Output:
+	// f=6 p=1: fast quorum 18 of 19
+	// f=4 p=4: fast quorum 15 of 19
+}

@@ -1,0 +1,51 @@
+// Quickstart: a four-replica Banyan cluster in one process. Submit a few
+// transactions, watch them come out finalized — most after a single round
+// trip (the fast path).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"banyan"
+)
+
+func main() {
+	// Four replicas tolerate one Byzantine fault (f=1) with fast-path
+	// slack p=1: the fast path fires whenever all four are responsive.
+	cluster, err := banyan.NewCluster(banyan.ClusterConfig{N: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	for i := 0; i < 5; i++ {
+		tx := fmt.Sprintf("transfer #%d", i)
+		if !cluster.Submit([]byte(tx)) {
+			log.Fatalf("mempool rejected %q", tx)
+		}
+	}
+
+	remaining := 5
+	timeout := time.After(30 * time.Second)
+	for remaining > 0 {
+		select {
+		case commit := <-cluster.Commits():
+			for _, tx := range commit.Transactions {
+				fmt.Printf("finalized %-14q in round %-4d via the %s path\n",
+					string(tx), commit.Round, commit.Path)
+				remaining--
+			}
+		case <-timeout:
+			log.Fatal("timed out waiting for finalization")
+		}
+	}
+	if faults := cluster.Faults(); len(faults) > 0 {
+		log.Fatalf("safety faults: %v", faults)
+	}
+	fmt.Println("all transactions finalized; no safety faults")
+}

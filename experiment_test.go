@@ -1,0 +1,144 @@
+package banyan
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTopologyByName(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		wantN   int
+		wantErr bool
+	}{
+		{"4dc-global", 4, 4, false},
+		{"4dc-global", 19, 19, false},
+		{"", 0, 19, false},
+		{"4dc-us", 19, 19, false},
+		{"global", 19, 19, false},
+		{"uniform:25ms", 7, 7, false},
+		{"uniform:bogus", 4, 0, true},
+		{"atlantis", 4, 0, true},
+	}
+	for _, tt := range tests {
+		topo, err := TopologyByName(tt.name, tt.n)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("TopologyByName(%q, %d) error = %v", tt.name, tt.n, err)
+			continue
+		}
+		if err == nil && topo.N() != tt.wantN {
+			t.Errorf("TopologyByName(%q, %d).N() = %d, want %d", tt.name, tt.n, topo.N(), tt.wantN)
+		}
+	}
+}
+
+func TestRunExperimentShape(t *testing.T) {
+	base := ExperimentConfig{
+		N: 4, F: 1, P: 1,
+		Topology:       "4dc-global",
+		BlockSizeBytes: 64 << 10,
+		Duration:       20 * time.Second,
+		Seed:           3,
+	}
+	banyanCfg := base
+	banyanCfg.Protocol = ProtocolBanyan
+	iccCfg := base
+	iccCfg.Protocol = ProtocolICC
+
+	bres, err := RunExperiment(banyanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires, err := RunExperiment(iccCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.MeanLatency >= ires.MeanLatency {
+		t.Errorf("Banyan %v not faster than ICC %v", bres.MeanLatency, ires.MeanLatency)
+	}
+	if bres.FastFinalized == 0 || bres.SlowFinalized != 0 {
+		t.Errorf("Banyan path split fast=%d slow=%d", bres.FastFinalized, bres.SlowFinalized)
+	}
+	if ires.FastFinalized != 0 {
+		t.Errorf("ICC reported fast finalizations: %d", ires.FastFinalized)
+	}
+	if bres.BlocksCommitted < 50 || bres.ThroughputBps <= 0 {
+		t.Errorf("suspicious throughput: %d blocks, %.0f B/s", bres.BlocksCommitted, bres.ThroughputBps)
+	}
+	if len(bres.LatencySamples) == 0 || bres.P50 == 0 || bres.DeltaUsed == 0 {
+		t.Error("missing distribution fields")
+	}
+}
+
+func TestRunExperimentDeterministic(t *testing.T) {
+	cfg := ExperimentConfig{
+		Protocol:       ProtocolBanyan,
+		N:              4,
+		Topology:       "uniform:20ms",
+		BlockSizeBytes: 4096,
+		Duration:       10 * time.Second,
+		Seed:           11,
+	}
+	a, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.BlocksCommitted != b.BlocksCommitted {
+		t.Fatalf("experiment not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunExperimentCrash(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Protocol:       ProtocolBanyan,
+		N:              4,
+		F:              1,
+		P:              1,
+		Topology:       "uniform:10ms",
+		BlockSizeBytes: 1024,
+		Duration:       20 * time.Second,
+		Seed:           5,
+		CrashReplicas:  []int{3},
+		Delta:          50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksCommitted < 20 {
+		t.Errorf("only %d blocks with one crash", res.BlocksCommitted)
+	}
+	// With one crash and p=1 the fast quorum n-p = 3 is exactly the healthy
+	// replica count, so the fast path still fires on non-crashed leaders'
+	// rounds.
+	if res.FastFinalized == 0 {
+		t.Error("fast path never fired with n-p healthy replicas")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := Params(ProtocolBanyan, 4, 1, 0); err == nil {
+		t.Error("Banyan with p=0 accepted")
+	}
+	if _, err := Params(ProtocolBanyan, 18, 6, 1); err == nil {
+		t.Error("n below bound accepted")
+	}
+	if _, err := Params(ProtocolICC, 3, 1, 0); err == nil {
+		t.Error("ICC with n < 3f+1 accepted")
+	}
+	if _, err := Params("paxos", 4, 1, 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	p, err := DefaultParams(ProtocolBanyan, 19, 4)
+	if err != nil || p.F != 4 || p.P != 4 {
+		t.Errorf("DefaultParams(banyan, 19, 4) = %+v, %v", p, err)
+	}
+	p, err = DefaultParams(ProtocolHotStuff, 19, 0)
+	if err != nil || p.F != 6 {
+		t.Errorf("DefaultParams(hotstuff, 19) = %+v, %v", p, err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package beacon supplies per-round leader permutations.
+//
+// The ICC/Banyan model assumes shared randomness: each round a random
+// permutation of the replicas assigns every replica a rank, and the rank-0
+// replica leads the round (paper section 4, "Block Proposal"). For its
+// evaluation the paper replaces the random beacon with a round-robin
+// rotation "to increase predictability and transparency" (section 9.1);
+// this package provides both, behind one interface.
+package beacon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"banyan/internal/types"
+)
+
+// Beacon deterministically maps rounds to leader permutations. All honest
+// replicas of a deployment must hold beacons that agree on every round.
+type Beacon interface {
+	// N is the number of replicas the beacon permutes.
+	N() int
+	// RankOf returns replica id's rank in the given round.
+	RankOf(round types.Round, id types.ReplicaID) types.Rank
+	// ReplicaAt returns the replica holding the given rank in the round.
+	ReplicaAt(round types.Round, rank types.Rank) types.ReplicaID
+}
+
+// Leader returns the round's rank-0 replica.
+func Leader(b Beacon, round types.Round) types.ReplicaID {
+	return b.ReplicaAt(round, 0)
+}
+
+// RoundRobin rotates leadership one replica per round: the leader of round
+// k is replica k mod n, and ranks follow in ID order from the leader. This
+// is the rotation used in the paper's evaluation.
+type RoundRobin struct {
+	n int
+}
+
+// NewRoundRobin builds a round-robin beacon over n replicas.
+func NewRoundRobin(n int) (*RoundRobin, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("beacon: n = %d must be positive", n)
+	}
+	return &RoundRobin{n: n}, nil
+}
+
+// N implements Beacon.
+func (r *RoundRobin) N() int { return r.n }
+
+// RankOf implements Beacon: rank = (id - round) mod n.
+func (r *RoundRobin) RankOf(round types.Round, id types.ReplicaID) types.Rank {
+	n := uint64(r.n)
+	shift := uint64(round) % n
+	return types.Rank((uint64(id) + n - shift) % n)
+}
+
+// ReplicaAt implements Beacon: replica = (round + rank) mod n.
+func (r *RoundRobin) ReplicaAt(round types.Round, rank types.Rank) types.ReplicaID {
+	n := uint64(r.n)
+	return types.ReplicaID((uint64(round) + uint64(rank)) % n)
+}
+
+// HashChain derives an independent pseudo-random permutation per round from
+// a shared seed, standing in for a random-beacon protocol (the paper points
+// at threshold-BLS beacons; any agreed-upon randomness source works).
+// Permutations are computed by a seeded Fisher-Yates shuffle and cached.
+type HashChain struct {
+	n     int
+	seed  uint64
+	cache map[types.Round][]types.ReplicaID // rank -> replica
+	ranks map[types.Round][]types.Rank      // replica -> rank
+}
+
+// NewHashChain builds a hash-chain beacon over n replicas from a seed.
+func NewHashChain(n int, seed uint64) (*HashChain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("beacon: n = %d must be positive", n)
+	}
+	return &HashChain{
+		n:     n,
+		seed:  seed,
+		cache: make(map[types.Round][]types.ReplicaID),
+		ranks: make(map[types.Round][]types.Rank),
+	}, nil
+}
+
+// N implements Beacon.
+func (h *HashChain) N() int { return h.n }
+
+// RankOf implements Beacon.
+func (h *HashChain) RankOf(round types.Round, id types.ReplicaID) types.Rank {
+	h.materialize(round)
+	return h.ranks[round][id]
+}
+
+// ReplicaAt implements Beacon.
+func (h *HashChain) ReplicaAt(round types.Round, rank types.Rank) types.ReplicaID {
+	h.materialize(round)
+	return h.cache[round][rank]
+}
+
+func (h *HashChain) materialize(round types.Round) {
+	if _, ok := h.cache[round]; ok {
+		return
+	}
+	perm := make([]types.ReplicaID, h.n)
+	for i := range perm {
+		perm[i] = types.ReplicaID(i)
+	}
+	rng := newRoundRNG(h.seed, round)
+	for i := h.n - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	ranks := make([]types.Rank, h.n)
+	for rank, id := range perm {
+		ranks[id] = types.Rank(rank)
+	}
+	h.cache[round] = perm
+	h.ranks[round] = ranks
+	// Bound the cache: keep a sliding window so long simulations do not
+	// accumulate one permutation per round forever.
+	const window = 4096
+	if len(h.cache) > window {
+		for r := range h.cache {
+			if r+window < round {
+				delete(h.cache, r)
+				delete(h.ranks, r)
+			}
+		}
+	}
+}
+
+// roundRNG is a small deterministic generator seeded by SHA-256 of
+// (seed, round), then advanced as xorshift64*.
+type roundRNG struct {
+	x uint64
+}
+
+func newRoundRNG(seed uint64, round types.Round) *roundRNG {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], seed)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(round))
+	sum := sha256.Sum256(buf[:])
+	x := binary.LittleEndian.Uint64(sum[:8])
+	if x == 0 {
+		x = 1
+	}
+	return &roundRNG{x: x}
+}
+
+func (r *roundRNG) next() uint64 {
+	r.x ^= r.x >> 12
+	r.x ^= r.x << 25
+	r.x ^= r.x >> 27
+	return r.x * 0x2545F4914F6CDD1D
+}
+
+// Compile-time interface checks.
+var (
+	_ Beacon = (*RoundRobin)(nil)
+	_ Beacon = (*HashChain)(nil)
+)

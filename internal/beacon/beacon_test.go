@@ -1,0 +1,147 @@
+package beacon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"banyan/internal/types"
+)
+
+func beacons(t *testing.T, n int) map[string]Beacon {
+	t.Helper()
+	rr, err := NewRoundRobin(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHashChain(n, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Beacon{"round-robin": rr, "hash-chain": hc}
+}
+
+// TestPermutationProperties checks, for both beacons and many rounds, that
+// RankOf and ReplicaAt are inverse bijections over [0, n).
+func TestPermutationProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 19} {
+		for name, b := range beacons(t, n) {
+			for round := types.Round(0); round < 50; round++ {
+				seenRank := make(map[types.Rank]bool, n)
+				for id := types.ReplicaID(0); int(id) < n; id++ {
+					rank := b.RankOf(round, id)
+					if int(rank) >= n {
+						t.Fatalf("%s n=%d: rank %d out of range", name, n, rank)
+					}
+					if seenRank[rank] {
+						t.Fatalf("%s n=%d round=%d: duplicate rank %d", name, n, round, rank)
+					}
+					seenRank[rank] = true
+					if got := b.ReplicaAt(round, rank); got != id {
+						t.Fatalf("%s n=%d round=%d: ReplicaAt(RankOf(%d)) = %d", name, n, round, id, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	rr, err := NewRoundRobin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leader of round k is replica k mod n.
+	for round := types.Round(0); round < 12; round++ {
+		if got := Leader(rr, round); got != types.ReplicaID(round%4) {
+			t.Errorf("round %d leader = %d, want %d", round, got, round%4)
+		}
+	}
+	// Every replica leads exactly once per n consecutive rounds.
+	counts := make(map[types.ReplicaID]int)
+	for round := types.Round(100); round < 104; round++ {
+		counts[Leader(rr, round)]++
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Errorf("replica %d led %d times in one rotation", id, c)
+		}
+	}
+}
+
+func TestHashChainDeterminismAndVariation(t *testing.T) {
+	a, _ := NewHashChain(7, 9)
+	b, _ := NewHashChain(7, 9)
+	c, _ := NewHashChain(7, 10)
+	same, diff := true, false
+	for round := types.Round(0); round < 64; round++ {
+		if Leader(a, round) != Leader(b, round) {
+			same = false
+		}
+		if Leader(a, round) != Leader(c, round) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different permutations")
+	}
+	if !diff {
+		t.Error("different seeds produced identical leader schedules")
+	}
+}
+
+// TestHashChainLeaderFairness: over many rounds every replica leads a
+// roughly proportional share.
+func TestHashChainLeaderFairness(t *testing.T) {
+	const n, rounds = 5, 5000
+	hc, _ := NewHashChain(n, 1)
+	counts := make(map[types.ReplicaID]int, n)
+	for round := types.Round(0); round < rounds; round++ {
+		counts[Leader(hc, round)]++
+	}
+	want := rounds / n
+	for id := types.ReplicaID(0); int(id) < n; id++ {
+		got := counts[id]
+		if got < want*7/10 || got > want*13/10 {
+			t.Errorf("replica %d led %d/%d rounds; expected about %d", id, got, rounds, want)
+		}
+	}
+}
+
+func TestHashChainCacheWindow(t *testing.T) {
+	hc, _ := NewHashChain(4, 2)
+	// Touch far more rounds than the cache window.
+	for round := types.Round(0); round < 10000; round += 10 {
+		hc.RankOf(round, 0)
+	}
+	if len(hc.cache) > 5000 {
+		t.Errorf("cache grew to %d entries; the window should bound it", len(hc.cache))
+	}
+	// Old rounds must still be recomputable and agree with a fresh beacon.
+	fresh, _ := NewHashChain(4, 2)
+	if hc.RankOf(0, 1) != fresh.RankOf(0, 1) {
+		t.Error("re-materialized permutation differs")
+	}
+}
+
+func TestInvalidN(t *testing.T) {
+	if _, err := NewRoundRobin(0); err == nil {
+		t.Error("NewRoundRobin(0) should fail")
+	}
+	if _, err := NewHashChain(-1, 1); err == nil {
+		t.Error("NewHashChain(-1) should fail")
+	}
+}
+
+// TestQuickRoundRobinInverse is the property RankOf/ReplicaAt are inverses
+// for arbitrary rounds.
+func TestQuickRoundRobinInverse(t *testing.T) {
+	rr, _ := NewRoundRobin(19)
+	f := func(round uint64, id uint8) bool {
+		replica := types.ReplicaID(id % 19)
+		r := types.Round(round)
+		return rr.ReplicaAt(r, rr.RankOf(r, replica)) == replica
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

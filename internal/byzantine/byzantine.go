@@ -1,0 +1,255 @@
+// Package byzantine provides adversarial replicas for fault-injection
+// tests: engines that follow the protocol just enough to be dangerous and
+// deviate where it hurts — the behaviours the Banyan paper's model allows
+// a corrupted replica (an "f" replica) to exhibit.
+//
+// The adversaries wrap a real engine for protocol state tracking and
+// rewrite its outgoing actions, so they stay in sync with the cluster
+// while attacking. They are test infrastructure, not part of the protocol
+// surface; integration tests assert that honest replicas preserve safety
+// and liveness against them.
+package byzantine
+
+import (
+	"time"
+
+	"banyan/internal/crypto"
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// EquivocatingLeader runs the wrapped engine faithfully except when it
+// proposes: each proposal is split into two conflicting blocks — the
+// original to one half of the cluster, a forged twin (same parent, other
+// payload) to the other half — with matching equivocated fast votes. This
+// is the "Byzantine leader proposes conflicting blocks" scenario of the
+// paper's Remark 7.3 and Lemma 8.1.
+type EquivocatingLeader struct {
+	inner  protocol.Engine
+	signer *crypto.Signer
+	n      int
+}
+
+var _ protocol.Engine = (*EquivocatingLeader)(nil)
+
+// NewEquivocatingLeader wraps an engine (the adversary's own replica) with
+// its signer; n is the cluster size.
+func NewEquivocatingLeader(inner protocol.Engine, signer *crypto.Signer, n int) *EquivocatingLeader {
+	return &EquivocatingLeader{inner: inner, signer: signer, n: n}
+}
+
+// ID implements protocol.Engine.
+func (e *EquivocatingLeader) ID() types.ReplicaID { return e.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (e *EquivocatingLeader) Protocol() string { return e.inner.Protocol() + "-equivocator" }
+
+// Metrics implements protocol.Engine.
+func (e *EquivocatingLeader) Metrics() map[string]int64 { return e.inner.Metrics() }
+
+// Start implements protocol.Engine.
+func (e *EquivocatingLeader) Start(now time.Time) []protocol.Action {
+	return e.rewrite(e.inner.Start(now))
+}
+
+// HandleMessage implements protocol.Engine.
+func (e *EquivocatingLeader) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	return e.rewrite(e.inner.HandleMessage(from, msg, now))
+}
+
+// HandleTimer implements protocol.Engine.
+func (e *EquivocatingLeader) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return e.rewrite(e.inner.HandleTimer(id, now))
+}
+
+// rewrite splits own-proposal broadcasts into conflicting per-recipient
+// sends and passes everything else through.
+func (e *EquivocatingLeader) rewrite(acts []protocol.Action) []protocol.Action {
+	out := make([]protocol.Action, 0, len(acts))
+	for _, a := range acts {
+		bc, ok := a.(protocol.Broadcast)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		prop, ok := bc.Msg.(*types.Proposal)
+		if !ok || prop.Relayed || prop.Block == nil || prop.Block.Proposer != e.ID() {
+			out = append(out, a)
+			continue
+		}
+		out = append(out, e.split(prop)...)
+	}
+	return out
+}
+
+func (e *EquivocatingLeader) split(prop *types.Proposal) []protocol.Action {
+	b := prop.Block
+	// Forge the twin: identical header except the payload.
+	twinPayload := types.SyntheticPayload(b.Payload.Size()+1, uint64(b.Round)^0xEC0EC0)
+	twin := types.NewBlock(b.Round, b.Proposer, b.Rank, b.Parent, twinPayload)
+	if err := e.signer.SignBlock(twin); err != nil {
+		// Cannot forge (should not happen); fall back to honest behaviour.
+		return []protocol.Action{protocol.Broadcast{Msg: prop}}
+	}
+	twinProp := &types.Proposal{
+		Block:              twin,
+		ParentNotarization: prop.ParentNotarization,
+		ParentUnlock:       prop.ParentUnlock,
+	}
+	if prop.FastVote != nil {
+		fv := e.signer.SignVote(types.VoteFast, twin.Round, twin.ID())
+		twinProp.FastVote = &fv
+	}
+	// Equivocated votes for the twin, so each half believes its block has
+	// the leader's support.
+	twinVotes := &types.VoteMsg{Votes: []types.Vote{
+		e.signer.SignVote(types.VoteNotarize, twin.Round, twin.ID()),
+	}}
+
+	var acts []protocol.Action
+	for i := 0; i < e.n; i++ {
+		id := types.ReplicaID(i)
+		if id == e.ID() {
+			continue
+		}
+		if i%2 == 0 {
+			acts = append(acts, protocol.Send{To: id, Msg: prop})
+		} else {
+			acts = append(acts,
+				protocol.Send{To: id, Msg: twinProp},
+				protocol.Send{To: id, Msg: twinVotes},
+			)
+		}
+	}
+	return acts
+}
+
+// Silent is a crash-like adversary: it participates normally until
+// SilenceAfter, then emits nothing (but keeps consuming messages, unlike a
+// crash — a "mute" fault).
+type Silent struct {
+	inner protocol.Engine
+	// SilenceAfter is the time from which the replica stops emitting.
+	SilenceAfter time.Time
+}
+
+var _ protocol.Engine = (*Silent)(nil)
+
+// NewSilent wraps an engine to go mute at the given time.
+func NewSilent(inner protocol.Engine, after time.Time) *Silent {
+	return &Silent{inner: inner, SilenceAfter: after}
+}
+
+// ID implements protocol.Engine.
+func (s *Silent) ID() types.ReplicaID { return s.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (s *Silent) Protocol() string { return s.inner.Protocol() + "-mute" }
+
+// Metrics implements protocol.Engine.
+func (s *Silent) Metrics() map[string]int64 { return s.inner.Metrics() }
+
+// Start implements protocol.Engine.
+func (s *Silent) Start(now time.Time) []protocol.Action {
+	return s.filter(s.inner.Start(now), now)
+}
+
+// HandleMessage implements protocol.Engine.
+func (s *Silent) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	return s.filter(s.inner.HandleMessage(from, msg, now), now)
+}
+
+// HandleTimer implements protocol.Engine.
+func (s *Silent) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return s.filter(s.inner.HandleTimer(id, now), now)
+}
+
+func (s *Silent) filter(acts []protocol.Action, now time.Time) []protocol.Action {
+	if now.Before(s.SilenceAfter) {
+		return acts
+	}
+	// Keep timers (internal), drop all network output.
+	out := acts[:0]
+	for _, a := range acts {
+		switch a.(type) {
+		case protocol.Broadcast, protocol.Send:
+			// dropped
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// VoteWithholder participates normally but never sends fast or
+// finalization votes — the "unresponsive" replica of the fast-path model:
+// with more than p of these, FP-finalization must never fire while the
+// slow path still commits.
+type VoteWithholder struct {
+	inner protocol.Engine
+}
+
+var _ protocol.Engine = (*VoteWithholder)(nil)
+
+// NewVoteWithholder wraps an engine to suppress its fast and finalization
+// votes.
+func NewVoteWithholder(inner protocol.Engine) *VoteWithholder {
+	return &VoteWithholder{inner: inner}
+}
+
+// ID implements protocol.Engine.
+func (w *VoteWithholder) ID() types.ReplicaID { return w.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (w *VoteWithholder) Protocol() string { return w.inner.Protocol() + "-withholder" }
+
+// Metrics implements protocol.Engine.
+func (w *VoteWithholder) Metrics() map[string]int64 { return w.inner.Metrics() }
+
+// Start implements protocol.Engine.
+func (w *VoteWithholder) Start(now time.Time) []protocol.Action {
+	return w.strip(w.inner.Start(now))
+}
+
+// HandleMessage implements protocol.Engine.
+func (w *VoteWithholder) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	return w.strip(w.inner.HandleMessage(from, msg, now))
+}
+
+// HandleTimer implements protocol.Engine.
+func (w *VoteWithholder) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return w.strip(w.inner.HandleTimer(id, now))
+}
+
+func (w *VoteWithholder) strip(acts []protocol.Action) []protocol.Action {
+	out := make([]protocol.Action, 0, len(acts))
+	for _, a := range acts {
+		bc, ok := a.(protocol.Broadcast)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		vm, ok := bc.Msg.(*types.VoteMsg)
+		if !ok {
+			// Strip fast votes riding on own proposals too.
+			if p, isProp := bc.Msg.(*types.Proposal); isProp && p.FastVote != nil {
+				cp := *p
+				cp.FastVote = nil
+				out = append(out, protocol.Broadcast{Msg: &cp})
+				continue
+			}
+			out = append(out, a)
+			continue
+		}
+		var kept []types.Vote
+		for _, v := range vm.Votes {
+			if v.Kind == types.VoteNotarize {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) > 0 {
+			out = append(out, protocol.Broadcast{Msg: &types.VoteMsg{Votes: kept}})
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package core implements the Banyan consensus engine — the paper's
+// primary contribution (sections 6–8, Algorithms 1 and 2).
+//
+// Banyan extends the Internet Computer Consensus protocol with an
+// integrated fast path: alongside its first notarization vote of a round,
+// every replica broadcasts a *fast vote*; a rank-0 block that collects
+// n−p fast votes is FP-finalized after a single round trip (Addition 4),
+// while the unmodified ICC slow path (notarization, then finalization
+// votes) runs concurrently and finalizes in three steps whenever the fast
+// path does not fire. Safety of the combination rests on the *unlock* rule
+// (Definition 7.6): blocks may only be extended — or voted for — once
+// enough fast votes prove that no conflicting block can have been
+// FP-finalized.
+//
+// The engine is a deterministic state machine per the protocol package
+// contract; all Algorithm 1/2 line references appear next to the code that
+// implements them.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"banyan/internal/beacon"
+	"banyan/internal/crypto"
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// Config assembles everything a Banyan engine instance needs.
+type Config struct {
+	// Params are the fault-model parameters (n, f, p). They must satisfy
+	// n >= max(3f+2p-1, 3f+1), p in [1, f].
+	Params types.Params
+	// Self is this replica's ID.
+	Self types.ReplicaID
+	// Keyring holds every replica's public key.
+	Keyring *crypto.Keyring
+	// Signer signs this replica's blocks and votes.
+	Signer *crypto.Signer
+	// Beacon supplies the per-round leader permutations.
+	Beacon beacon.Beacon
+	// Payloads supplies block payloads when this replica proposes.
+	Payloads protocol.PayloadSource
+	// Delta is the message-delay bound Δ. Proposal and notarization delays
+	// are Δ_prop(r) = Δ_notary(r) = 2Δ·r (paper section 4). Deployments set
+	// it above the delay observed without disruptions (section 9.2).
+	Delta time.Duration
+	// DisableFastPath turns off fast votes and the unlock machinery,
+	// reducing the engine to ICC behaviour with Banyan quorums. Used by the
+	// fast-path ablation benchmarks.
+	DisableFastPath bool
+	// DisableForwarding turns off the tip-forwarding relay of Algorithm 1
+	// line 35 (the Bamboo fix of paper section 9.1). Used by the
+	// forwarding ablation benchmark.
+	DisableForwarding bool
+	// PruneInterval controls how often (in rounds) old state is discarded.
+	// Zero selects the default.
+	PruneInterval types.Round
+	// PruneKeep is how many rounds below the finalized height are retained.
+	// Zero selects the default.
+	PruneKeep types.Round
+}
+
+const (
+	defaultPruneInterval = 64
+	defaultPruneKeep     = 16
+)
+
+func (c *Config) validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Params.P < 1 && !c.DisableFastPath {
+		return fmt.Errorf("core: fast path requires p >= 1, got %d", c.Params.P)
+	}
+	if c.Keyring == nil || c.Signer == nil {
+		return errors.New("core: keyring and signer are required")
+	}
+	if c.Beacon == nil {
+		return errors.New("core: beacon is required")
+	}
+	if c.Beacon.N() != c.Params.N {
+		return fmt.Errorf("core: beacon permutes %d replicas, params say %d", c.Beacon.N(), c.Params.N)
+	}
+	if c.Keyring.N() != c.Params.N {
+		return fmt.Errorf("core: keyring holds %d keys, params say %d", c.Keyring.N(), c.Params.N)
+	}
+	if int(c.Self) >= c.Params.N {
+		return fmt.Errorf("core: self id %d out of range (n=%d)", c.Self, c.Params.N)
+	}
+	if c.Delta <= 0 {
+		return errors.New("core: Delta must be positive")
+	}
+	if c.Payloads == nil {
+		c.Payloads = protocol.EmptyPayloads
+	}
+	if c.PruneInterval == 0 {
+		c.PruneInterval = defaultPruneInterval
+	}
+	if c.PruneKeep == 0 {
+		c.PruneKeep = defaultPruneKeep
+	}
+	return nil
+}

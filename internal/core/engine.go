@@ -1,0 +1,1131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"banyan/internal/blocktree"
+	"banyan/internal/crypto"
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// Engine is the Banyan consensus state machine for one replica. It
+// implements protocol.Engine; see the package comment for the protocol
+// overview and config.go for wiring.
+type Engine struct {
+	cfg  Config
+	tree *blocktree.Tree
+
+	round  types.Round // current round k
+	rounds map[types.Round]*roundState
+
+	// extFinal holds explicit finalization certificates received from
+	// peers, per round, applied by tryFinalize.
+	extFinal map[types.Round]*types.Certificate
+
+	// pendingCommit holds explicitly finalized blocks whose ancestor chain
+	// is not yet complete locally; retried as blocks arrive.
+	pendingCommit map[types.BlockID]protocol.FinalizationMode
+
+	// Catch-up state: latestFinal is the highest-round finalization
+	// certificate seen or formed (it anchors sync responses and proves
+	// this replica behind); syncHigh is the highest round up to which the
+	// tree holds a contiguous chain fetched by sync; catchupDirty marks
+	// that new catch-up material arrived; lastSyncReq, lastSyncFrom and
+	// syncStalls rate-limit and reset a stalled sync.
+	latestFinal  *types.Certificate
+	syncHigh     types.Round
+	catchupDirty bool
+	lastSyncReq  time.Time
+	lastSyncFrom types.Round
+	syncStalls   int
+
+	stopped bool
+	fault   error
+
+	lastPrune types.Round
+
+	met struct {
+		roundsStarted int64
+		proposals     int64
+		relays        int64
+		votesSent     int64
+		advances      int64
+		fastFinal     int64
+		slowFinal     int64
+		indirectFinal int64
+		blocksCommit  int64
+		bytesCommit   int64
+		rejected      int64
+		resends       int64
+	}
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds a Banyan engine from the configuration.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:           cfg,
+		tree:          blocktree.New(),
+		rounds:        make(map[types.Round]*roundState),
+		extFinal:      make(map[types.Round]*types.Certificate),
+		pendingCommit: make(map[types.BlockID]protocol.FinalizationMode),
+	}, nil
+}
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() types.ReplicaID { return e.cfg.Self }
+
+// Protocol implements protocol.Engine.
+func (e *Engine) Protocol() string {
+	if e.cfg.DisableFastPath {
+		return "banyan-nofast"
+	}
+	return "banyan"
+}
+
+// Round returns the engine's current round (for tests and the harness).
+func (e *Engine) Round() types.Round { return e.round }
+
+// Tree exposes the block tree for inspection by tests and the harness.
+func (e *Engine) Tree() *blocktree.Tree { return e.tree }
+
+// Params returns the engine's fault-model parameters.
+func (e *Engine) Params() types.Params { return e.cfg.Params }
+
+// Start implements protocol.Engine: the replica enters round 1.
+func (e *Engine) Start(now time.Time) []protocol.Action {
+	var acts []protocol.Action
+	acts = e.enterRound(1, now, acts)
+	return e.progress(now, acts)
+}
+
+// HandleMessage implements protocol.Engine.
+func (e *Engine) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	if e.stopped || int(from) >= e.cfg.Params.N {
+		return nil
+	}
+	switch m := msg.(type) {
+	case *types.Proposal:
+		e.onProposal(m)
+	case *types.VoteMsg:
+		for _, v := range m.Votes {
+			e.onVote(v)
+		}
+	case *types.CertMsg:
+		e.onCert(m.Cert)
+	case *types.Advance:
+		e.onCert(m.Notarization)
+		e.onUnlock(m.Unlock)
+	case *types.SyncRequest:
+		return e.onSyncRequest(from, m)
+	case *types.SyncResponse:
+		e.onSyncResponse(m)
+	default:
+		e.met.rejected++
+		return nil
+	}
+	return e.progress(now, nil)
+}
+
+// HandleTimer implements protocol.Engine. Most timers carry no state of
+// their own — they re-trigger the evaluation of the time-gated
+// upon-clauses; resend timers additionally rebroadcast round state.
+func (e *Engine) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	if e.stopped {
+		return nil
+	}
+	var acts []protocol.Action
+	if id.Kind == protocol.TimerResend && id.Round == e.round {
+		acts = e.resendRound(now, acts)
+	}
+	return e.progress(now, acts)
+}
+
+// resendRound rebroadcasts this replica's state for a round it has been
+// stuck in: its own votes, the best block it holds (with parent
+// credentials), any notarization certificates, and a sync request for
+// newer finalized rounds. Receivers deduplicate everything, so resends are
+// idempotent. This restores liveness when messages were lost for good
+// (crash-rebooted peers, dropped frames across TCP reconnects) — a case
+// the paper's reliable-link model excludes but deployments meet.
+func (e *Engine) resendRound(now time.Time, acts []protocol.Action) []protocol.Action {
+	rs := e.getRound(e.round)
+	if !rs.started || rs.advanced {
+		return acts
+	}
+	e.met.resends++
+	// Own votes for this round, across all three ledgers.
+	var votes []types.Vote
+	for kind, ledger := range map[types.VoteKind]map[types.BlockID]map[types.ReplicaID][]byte{
+		types.VoteNotarize: rs.notarVotes,
+		types.VoteFast:     rs.fastVotes,
+		types.VoteFinalize: rs.finalVotes,
+	} {
+		for block, byVoter := range ledger {
+			if sig, ok := byVoter[e.cfg.Self]; ok {
+				votes = append(votes, types.Vote{
+					Kind: kind, Round: e.round, Block: block, Voter: e.cfg.Self, Signature: sig,
+				})
+			}
+		}
+	}
+	if len(votes) > 0 {
+		acts = append(acts, protocol.Broadcast{Msg: &types.VoteMsg{Votes: votes}})
+	}
+	// The best (lowest-rank valid, else any) block we hold, as a relay.
+	if b := e.bestKnownBlock(rs); b != nil {
+		acts = append(acts, protocol.Broadcast{Msg: e.relayProposal(b)})
+	}
+	// Any notarizations formed or received for this round.
+	for _, cert := range rs.notarizations {
+		acts = append(acts, protocol.Broadcast{Msg: &types.CertMsg{Cert: cert}})
+	}
+	// Pull finalizations we may have missed.
+	acts = append(acts, protocol.Broadcast{Msg: &types.SyncRequest{
+		From: e.tree.FinalizedRound() + 1,
+		To:   e.tree.FinalizedRound() + types.MaxSyncBlocks,
+	}})
+	// Re-arm with the same interval.
+	acts = append(acts, protocol.SetTimer{
+		ID: protocol.TimerID{Round: e.round, Kind: protocol.TimerResend},
+		At: now.Add(e.resendInterval()),
+	})
+	return acts
+}
+
+func (e *Engine) bestKnownBlock(rs *roundState) *types.Block {
+	var best *types.Block
+	for id := range rs.valid {
+		b := rs.blocks[id]
+		if best == nil || b.Rank < best.Rank {
+			best = b
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, b := range rs.blocks {
+		if best == nil || b.Rank < best.Rank {
+			best = b
+		}
+	}
+	return best
+}
+
+// resendInterval is comfortably beyond the slowest legitimate round: all
+// n rank delays (2Δ each) plus margin.
+func (e *Engine) resendInterval() time.Duration {
+	return 2 * e.cfg.Delta * time.Duration(e.cfg.Params.N+2)
+}
+
+// Metrics implements protocol.Engine.
+func (e *Engine) Metrics() map[string]int64 {
+	return map[string]int64{
+		"rounds":         e.met.roundsStarted,
+		"proposals":      e.met.proposals,
+		"relays":         e.met.relays,
+		"votes_sent":     e.met.votesSent,
+		"advances":       e.met.advances,
+		"final_fast":     e.met.fastFinal,
+		"final_slow":     e.met.slowFinal,
+		"final_indirect": e.met.indirectFinal,
+		"blocks_commit":  e.met.blocksCommit,
+		"bytes_commit":   e.met.bytesCommit,
+		"rejected":       e.met.rejected,
+		"resends":        e.met.resends,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Message ingestion. These mutate state only; all protocol reactions happen
+// in progress() so that every upon-clause is re-evaluated exactly once per
+// event regardless of which message kind triggered it.
+
+func (e *Engine) onProposal(m *types.Proposal) {
+	b := m.Block
+	if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Params.N {
+		e.met.rejected++
+		return
+	}
+	if b.Round+e.cfg.PruneKeep <= e.tree.FinalizedRound() {
+		return // too old to matter
+	}
+	// The rank is committed into the header; it must match the beacon.
+	if b.Rank != e.cfg.Beacon.RankOf(b.Round, b.Proposer) {
+		e.met.rejected++
+		return
+	}
+	rs := e.getRound(b.Round)
+	id := b.ID()
+	_, known := rs.blocks[id]
+	if !known {
+		if err := crypto.VerifyBlock(e.cfg.Keyring, b); err != nil {
+			e.met.rejected++
+			return
+		}
+		rs.blocks[id] = b
+		e.tree.Add(b)
+		if !rs.valid[id] {
+			rs.pending[id] = m
+		}
+	}
+	// Absorb the proposer's fast vote (Addition 2): it counts toward
+	// support sets even before the block is valid.
+	if m.FastVote != nil {
+		e.onVote(*m.FastVote)
+	}
+	// Adopt parent credentials carried by the proposal.
+	if m.ParentNotarization != nil {
+		e.onCert(m.ParentNotarization)
+	}
+	e.onUnlock(m.ParentUnlock)
+}
+
+func (e *Engine) onVote(v types.Vote) {
+	if v.Round < 1 || int(v.Voter) >= e.cfg.Params.N || !v.Kind.Valid() {
+		e.met.rejected++
+		return
+	}
+	if v.Round+e.cfg.PruneKeep <= e.tree.FinalizedRound() {
+		return
+	}
+	rs := e.getRound(v.Round)
+	var ledger map[types.BlockID]map[types.ReplicaID][]byte
+	switch v.Kind {
+	case types.VoteNotarize:
+		ledger = rs.notarVotes
+	case types.VoteFinalize:
+		ledger = rs.finalVotes
+	case types.VoteFast:
+		ledger = rs.fastVotes
+	}
+	if _, dup := ledger[v.Block][v.Voter]; dup {
+		return
+	}
+	if err := crypto.VerifyVote(e.cfg.Keyring, v); err != nil {
+		e.met.rejected++
+		return
+	}
+	addVote(ledger, v.Block, v.Voter, v.Signature)
+}
+
+func (e *Engine) onCert(c *types.Certificate) {
+	if c == nil || c.Round < 1 {
+		return
+	}
+	if c.Round+e.cfg.PruneKeep <= e.tree.FinalizedRound() {
+		return
+	}
+	rs := e.getRound(c.Round)
+	switch c.Kind {
+	case types.CertNotarization:
+		if rs.notarizations[c.Block] != nil {
+			return
+		}
+		if err := crypto.VerifyCert(e.cfg.Keyring, c, e.cfg.Params.NotarizationQuorum()); err != nil {
+			e.met.rejected++
+			return
+		}
+		rs.notarizations[c.Block] = c
+		e.tree.MarkNotarized(c.Block)
+	case types.CertFinalization, types.CertFastFinalization:
+		if rs.finalized || e.extFinal[c.Round] != nil {
+			return
+		}
+		quorum := e.cfg.Params.FinalizationQuorum()
+		if c.Kind == types.CertFastFinalization {
+			quorum = e.cfg.Params.FastQuorum()
+		}
+		if err := crypto.VerifyCert(e.cfg.Keyring, c, quorum); err != nil {
+			e.met.rejected++
+			return
+		}
+		// A fast finalization is only meaningful for a rank-0 block; if the
+		// block is known, enforce that here (otherwise it is enforced before
+		// commit, when the block arrives).
+		if c.Kind == types.CertFastFinalization {
+			if b, ok := rs.blocks[c.Block]; ok && b.Rank != 0 {
+				e.met.rejected++
+				return
+			}
+		}
+		if c.Round <= e.round+1 {
+			e.extFinal[c.Round] = c
+		}
+		e.noteFinalCert(c)
+	default:
+		e.met.rejected++
+	}
+}
+
+func (e *Engine) onUnlock(u *types.UnlockProof) {
+	if u == nil || u.Round < 1 || e.cfg.DisableFastPath {
+		return
+	}
+	if u.Round+e.cfg.PruneKeep <= e.tree.FinalizedRound() {
+		return
+	}
+	rs := e.getRound(u.Round)
+	if u.All && rs.allUnlocked {
+		return
+	}
+	if !u.All && rs.isUnlocked(u.Block) {
+		return
+	}
+	if err := crypto.VerifyUnlockProof(e.cfg.Keyring, u, e.cfg.Params.UnlockThreshold()); err != nil {
+		e.met.rejected++
+		return
+	}
+	if u.All {
+		rs.allUnlocked = true
+	} else {
+		rs.unlocked[u.Block] = true
+	}
+	// Absorb the proof's verified fast votes: they contribute to this
+	// replica's own support sets and future proofs.
+	for _, en := range u.Entries {
+		id := en.Header.ID()
+		for i, voter := range en.Voters {
+			addVote(rs.fastVotes, id, voter, en.Sigs[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The progress loop: evaluates every upon-clause of Algorithms 1 and 2 to a
+// fixpoint, accumulating actions.
+
+func (e *Engine) progress(now time.Time, acts []protocol.Action) []protocol.Action {
+	for {
+		changed := false
+		e.recomputeUnlocks()
+		if e.revalidate() {
+			changed = true
+		}
+		if c, a := e.tryNotarize(acts); c {
+			changed, acts = true, a
+		}
+		if c, a := e.tryPropose(now, acts); c {
+			changed, acts = true, a
+		}
+		if c, a := e.tryVote(now, acts); c {
+			changed, acts = true, a
+		}
+		if c, a := e.tryFinalize(acts); c {
+			changed, acts = true, a
+		}
+		if c, a := e.tryAdvance(now, acts); c {
+			changed, acts = true, a
+		}
+		if c, a := e.tryJump(now, acts); c {
+			changed, acts = true, a
+		}
+		if e.stopped {
+			if e.fault != nil {
+				acts = append(acts, protocol.SafetyFault{Err: e.fault})
+				e.fault = nil
+			}
+			return acts
+		}
+		if !changed {
+			break
+		}
+	}
+	acts = e.scheduleNotarTimers(now, acts)
+	acts = e.maybeSync(now, acts)
+	e.maybePrune()
+	return acts
+}
+
+// noteFinalCert remembers the highest-round finalization certificate for
+// the catch-up subprotocol and flags catch-up work when the certificate
+// proves the cluster is ahead of this replica.
+func (e *Engine) noteFinalCert(c *types.Certificate) {
+	if e.latestFinal == nil || c.Round > e.latestFinal.Round {
+		e.latestFinal = c
+		if c.Round > e.round+1 {
+			e.catchupDirty = true
+		}
+	}
+}
+
+// tryJump fast-forwards a replica whose finalized prefix has caught up
+// with (or passed) its current round — the exit from catch-up: the
+// finalized block of round k is notarized and unlocked by definition, so
+// entering round k+1 through it is exactly Restriction 2's condition. The
+// skipped rounds need no votes from this replica; the rest of the cluster
+// finalized them long ago.
+func (e *Engine) tryJump(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
+	fin := e.tree.FinalizedRound()
+	if fin < e.round {
+		return false, acts
+	}
+	finID, ok := e.tree.FinalizedAt(fin)
+	if !ok {
+		return false, acts
+	}
+	rs := e.getRound(fin)
+	rs.advanced = true
+	rs.advanceBlock = finID
+	rs.advanceNotar = nil
+	rs.advanceProof = nil
+	acts = e.enterRound(fin+1, now, acts)
+	return true, acts
+}
+
+// maybeSync drives the catch-up subprotocol: when a finalization
+// certificate proves the cluster is ahead, try to commit through it and —
+// while blocks are still missing — request the next contiguous chain
+// segment from peers, rate-limited to one request per 2Δ.
+func (e *Engine) maybeSync(now time.Time, acts []protocol.Action) []protocol.Action {
+	if !e.catchupDirty || e.latestFinal == nil {
+		return acts
+	}
+	e.catchupDirty = false
+	fin := e.tree.FinalizedRound()
+	if e.latestFinal.Round <= fin {
+		return acts
+	}
+	// Try to commit through the certificate with what we have.
+	var done bool
+	acts, done = e.commitChain(e.latestFinal.Block, protocol.FinalizeIndirect, acts)
+	if done {
+		// Caught up: fast-forward the current round immediately.
+		if c, a := e.tryJump(now, acts); c {
+			acts = a
+		}
+		return acts
+	}
+	// Still missing blocks: ask for the next segment.
+	if !e.lastSyncReq.IsZero() && now.Sub(e.lastSyncReq) < 2*e.cfg.Delta {
+		e.catchupDirty = true // revisit after the rate-limit window
+		return acts
+	}
+	from := fin + 1
+	if e.syncHigh >= from {
+		from = e.syncHigh + 1
+	}
+	if from == e.lastSyncFrom {
+		// No progress since the last request (lost response, or a poisoned
+		// syncHigh from a bogus segment): retry, and after repeated stalls
+		// restart the fetch from the finalized prefix.
+		e.syncStalls++
+		if e.syncStalls > 3 {
+			e.syncHigh = fin
+			e.syncStalls = 0
+			from = fin + 1
+		}
+	} else {
+		e.syncStalls = 0
+	}
+	e.lastSyncReq = now
+	e.lastSyncFrom = from
+	return append(acts, protocol.Broadcast{Msg: &types.SyncRequest{
+		From: from,
+		To:   e.latestFinal.Round,
+	}})
+}
+
+// onSyncRequest serves a catch-up request from this replica's finalized
+// chain; blocks are capped per response and the requester iterates.
+func (e *Engine) onSyncRequest(from types.ReplicaID, m *types.SyncRequest) []protocol.Action {
+	start := m.From
+	if start < 1 {
+		start = 1
+	}
+	fin := e.tree.FinalizedRound()
+	end := m.To
+	if end > fin {
+		end = fin
+	}
+	if max := start + types.MaxSyncBlocks - 1; end > max {
+		end = max
+	}
+	if end < start {
+		return nil
+	}
+	resp := &types.SyncResponse{Finalization: e.latestFinal}
+	for r := start; r <= end; r++ {
+		id, ok := e.tree.FinalizedAt(r)
+		if !ok {
+			break
+		}
+		b, ok := e.tree.Block(id)
+		if !ok {
+			break
+		}
+		resp.Blocks = append(resp.Blocks, b)
+	}
+	if len(resp.Blocks) == 0 {
+		return nil
+	}
+	return []protocol.Action{protocol.Send{To: from, Msg: resp}}
+}
+
+// onSyncResponse ingests a catch-up segment: signed blocks whose parents
+// connect to the local tree (contiguity keeps the sync high-water mark
+// honest), then the certificate through the normal finalization path. The
+// subsequent progress pass commits whatever now connects.
+func (e *Engine) onSyncResponse(m *types.SyncResponse) {
+	if len(m.Blocks) > types.MaxSyncBlocks {
+		e.met.rejected++
+		return
+	}
+	for _, b := range m.Blocks {
+		if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Params.N {
+			e.met.rejected++
+			continue
+		}
+		if b.Rank != e.cfg.Beacon.RankOf(b.Round, b.Proposer) {
+			e.met.rejected++
+			continue
+		}
+		if !e.tree.Contains(b.Parent) {
+			break // segment no longer connects; drop the rest
+		}
+		if !e.tree.Contains(b.ID()) {
+			if err := crypto.VerifyBlock(e.cfg.Keyring, b); err != nil {
+				e.met.rejected++
+				continue
+			}
+			e.tree.Add(b)
+		}
+		if b.Round > e.syncHigh {
+			e.syncHigh = b.Round
+		}
+	}
+	e.catchupDirty = true
+	if m.Finalization != nil {
+		e.onCert(m.Finalization)
+	}
+}
+
+// getRound returns (creating lazily) the state for a round.
+func (e *Engine) getRound(r types.Round) *roundState {
+	rs, ok := e.rounds[r]
+	if !ok {
+		rs = newRoundState()
+		e.rounds[r] = rs
+	}
+	return rs
+}
+
+// enterRound makes r the current round at time now (Restriction 2 /
+// Algorithm 2 line 54) and schedules this replica's proposal delay.
+func (e *Engine) enterRound(r types.Round, now time.Time, acts []protocol.Action) []protocol.Action {
+	e.round = r
+	rs := e.getRound(r)
+	rs.started = true
+	rs.t0 = now
+	e.met.roundsStarted++
+	rank := e.cfg.Beacon.RankOf(r, e.cfg.Self)
+	if rank > 0 {
+		// Δ_prop(r_u) = 2Δ·r_u (Algorithm 1 line 23). The leader's delay is
+		// zero; tryPropose handles it immediately.
+		acts = append(acts, protocol.SetTimer{
+			ID: protocol.TimerID{Round: r, Kind: protocol.TimerPropose, Rank: rank},
+			At: now.Add(e.propDelay(rank)),
+		})
+	}
+	// Liveness hardening: if this round is still open after every rank's
+	// delay has expired, suspect message loss and start resending.
+	acts = append(acts, protocol.SetTimer{
+		ID: protocol.TimerID{Round: r, Kind: protocol.TimerResend},
+		At: now.Add(e.resendInterval()),
+	})
+	return acts
+}
+
+func (e *Engine) propDelay(rank types.Rank) time.Duration {
+	return 2 * e.cfg.Delta * time.Duration(rank)
+}
+
+// recomputeUnlocks refreshes the Definition 7.6 state of all live rounds.
+func (e *Engine) recomputeUnlocks() {
+	if e.cfg.DisableFastPath {
+		return
+	}
+	thr := e.cfg.Params.UnlockThreshold()
+	for r := e.tree.FinalizedRound(); r <= e.round; r++ {
+		if rs, ok := e.rounds[r]; ok {
+			rs.recomputeUnlock(thr)
+		}
+	}
+}
+
+// revalidate retries pending proposals whose parent credentials may have
+// arrived (Algorithm 2 line 62).
+func (e *Engine) revalidate() bool {
+	changed := false
+	for r := e.tree.FinalizedRound(); r <= e.round+1; r++ {
+		rs, ok := e.rounds[r]
+		if !ok {
+			continue
+		}
+		for id, p := range rs.pending {
+			if !e.validBlock(rs, p.Block) {
+				continue
+			}
+			rs.valid[id] = true
+			delete(rs.pending, id)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// validBlock implements valid(b) (Algorithm 2 line 62): b extends a
+// notarized and unlocked round-(k-1) block, and a rank-0 block carries its
+// proposer's fast vote. Signature and rank were verified at ingestion.
+func (e *Engine) validBlock(rs *roundState, b *types.Block) bool {
+	if b.Rank == 0 && !e.cfg.DisableFastPath {
+		if _, ok := rs.fastVotes[b.ID()][b.Proposer]; !ok {
+			return false
+		}
+	}
+	return e.parentOK(b)
+}
+
+func (e *Engine) parentOK(b *types.Block) bool {
+	if b.Round == 1 {
+		return b.Parent == e.tree.Genesis().ID()
+	}
+	if e.tree.IsFinalized(b.Parent) {
+		return true // finalized: notarized and unlocked by definition
+	}
+	prev, ok := e.rounds[b.Round-1]
+	if !ok {
+		return false
+	}
+	notarized := prev.notarizations[b.Parent] != nil || e.tree.IsNotarized(b.Parent)
+	if !notarized {
+		return false
+	}
+	if e.cfg.DisableFastPath {
+		return true
+	}
+	return prev.isUnlocked(b.Parent)
+}
+
+// tryPropose implements Algorithm 1 line 23: propose once the proposal
+// delay for this replica's rank has elapsed.
+func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
+	rs := e.getRound(e.round)
+	if !rs.started || rs.proposed || rs.advanced {
+		return false, acts
+	}
+	rank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self)
+	if now.Before(rs.t0.Add(e.propDelay(rank))) {
+		return false, acts
+	}
+	parentID, parentNotar, parentProof := e.parentCreds(e.round)
+	payload := e.cfg.Payloads.NextPayload(e.round)
+	b := types.NewBlock(e.round, e.cfg.Self, rank, parentID, payload)
+	if err := e.cfg.Signer.SignBlock(b); err != nil {
+		// Impossible by construction (proposer == signer); treat as fatal.
+		e.stop(fmt.Errorf("core: signing own block: %w", err))
+		return true, acts
+	}
+	id := b.ID()
+	rs.blocks[id] = b
+	rs.valid[id] = true
+	e.tree.Add(b)
+	rs.proposed = true
+	e.met.proposals++
+
+	msg := &types.Proposal{
+		Block:              b,
+		ParentNotarization: parentNotar,
+		ParentUnlock:       parentProof,
+	}
+	if rank == 0 && !e.cfg.DisableFastPath {
+		// Addition 2: the leader's proposal carries its own fast vote.
+		fv := e.cfg.Signer.SignVote(types.VoteFast, e.round, id)
+		msg.FastVote = &fv
+		rs.fastVoteSent = true
+		addVote(rs.fastVotes, id, e.cfg.Self, fv.Signature)
+	}
+	return true, append(acts, protocol.Broadcast{Msg: msg})
+}
+
+// parentCreds returns the parent this replica extends in round r, plus the
+// credentials to ship with the proposal (Addition 2).
+func (e *Engine) parentCreds(r types.Round) (types.BlockID, *types.Certificate, *types.UnlockProof) {
+	if r == 1 {
+		return e.tree.Genesis().ID(), nil, nil
+	}
+	prev := e.getRound(r - 1)
+	return prev.advanceBlock, prev.advanceNotar, prev.advanceProof
+}
+
+// tryVote implements Algorithm 1 line 33: once the notarization delay of
+// the lowest-ranked valid block has elapsed, vote for every such block not
+// yet in N, bundle a fast vote with the first (Addition 3), and relay
+// blocks proposed by others (line 35).
+func (e *Engine) tryVote(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
+	rs := e.getRound(e.round)
+	if !rs.started || rs.advanced {
+		return false, acts
+	}
+	// Lowest rank among valid blocks: the "∄ valid block of lower rank"
+	// condition restricts voting to that rank.
+	minRank, found := types.Rank(0), false
+	for id := range rs.valid {
+		b := rs.blocks[id]
+		if !found || b.Rank < minRank {
+			minRank, found = b.Rank, true
+		}
+	}
+	if !found || now.Before(rs.t0.Add(e.propDelay(minRank))) {
+		return false, acts
+	}
+	changed := false
+	myRank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self)
+	for id := range rs.valid {
+		b := rs.blocks[id]
+		if b.Rank != minRank || rs.notarVoted[id] {
+			continue
+		}
+		rs.notarVoted[id] = true
+		changed = true
+		if b.Rank != myRank && !e.cfg.DisableForwarding {
+			// Line 35: relay the block with its parent's credentials so
+			// replicas that missed the original broadcast catch up.
+			acts = append(acts, protocol.Broadcast{Msg: e.relayProposal(b)})
+			e.met.relays++
+		}
+		nv := e.cfg.Signer.SignVote(types.VoteNotarize, e.round, id)
+		votes := []types.Vote{nv}
+		addVote(rs.notarVotes, id, e.cfg.Self, nv.Signature)
+		if !rs.fastVoteSent && !e.cfg.DisableFastPath {
+			// Addition 3 / line 39: first notarization vote of the round
+			// carries the fast vote.
+			fv := e.cfg.Signer.SignVote(types.VoteFast, e.round, id)
+			votes = append(votes, fv)
+			rs.fastVoteSent = true
+			addVote(rs.fastVotes, id, e.cfg.Self, fv.Signature)
+		}
+		e.met.votesSent++
+		acts = append(acts, protocol.Broadcast{Msg: &types.VoteMsg{Votes: votes}})
+	}
+	return changed, acts
+}
+
+// relayProposal rebuilds a Proposal message for a block this replica is
+// about to vote for, with the best parent credentials it holds.
+func (e *Engine) relayProposal(b *types.Block) *types.Proposal {
+	p := &types.Proposal{Block: b, Relayed: true}
+	if b.Round > 1 && !e.tree.IsFinalized(b.Parent) {
+		prev := e.getRound(b.Round - 1)
+		p.ParentNotarization = prev.notarizations[b.Parent]
+		if !e.cfg.DisableFastPath {
+			if prev.advanceBlock == b.Parent && prev.advanceProof != nil {
+				p.ParentUnlock = prev.advanceProof
+			} else {
+				p.ParentUnlock = prev.buildUnlockProof(b.Round-1, b.Parent, e.cfg.Params.UnlockThreshold())
+			}
+		}
+	}
+	return p
+}
+
+// tryNotarize implements Algorithm 2 line 45: combine a quorum of
+// notarization votes into a notarization certificate.
+func (e *Engine) tryNotarize(acts []protocol.Action) (bool, []protocol.Action) {
+	changed := false
+	quorum := e.cfg.Params.NotarizationQuorum()
+	for r := e.tree.FinalizedRound(); r <= e.round; r++ {
+		rs, ok := e.rounds[r]
+		if !ok {
+			continue
+		}
+		for id, votes := range rs.notarVotes {
+			if len(votes) < quorum || rs.notarizations[id] != nil {
+				continue
+			}
+			cert, err := types.NewCertificate(types.CertNotarization, r, id,
+				votesFor(types.VoteNotarize, r, id, votes))
+			if err != nil {
+				continue
+			}
+			rs.notarizations[id] = cert
+			e.tree.MarkNotarized(id)
+			changed = true
+		}
+	}
+	return changed, acts
+}
+
+// tryFinalize implements Algorithm 2 line 56: explicit finalization by
+// finalization-vote quorum (SP), by n-p fast votes for a valid rank-0
+// block (FP, Addition 4), or by a certificate received from a peer.
+func (e *Engine) tryFinalize(acts []protocol.Action) (bool, []protocol.Action) {
+	changed := false
+	for r := e.tree.FinalizedRound() + 1; r <= e.round; r++ {
+		rs, ok := e.rounds[r]
+		if !ok {
+			continue
+		}
+		if rs.finalized {
+			continue
+		}
+		// Received certificate for a round at or below our own.
+		if cert := e.extFinal[r]; cert != nil {
+			changed = true
+			acts = e.finalizeExplicit(rs, cert, protocol.FinalizeIndirect, acts)
+			continue
+		}
+		// FP-finalization: n-p fast votes for a valid rank-0 block.
+		if !e.cfg.DisableFastPath {
+			if id, votes, ok := rs.fastQuorumBlock(e.cfg.Params.FastQuorum()); ok && rs.valid[id] {
+				cert, err := types.NewCertificate(types.CertFastFinalization, r, id,
+					votesFor(types.VoteFast, r, id, votes))
+				if err == nil {
+					changed = true
+					acts = e.finalizeExplicit(rs, cert, protocol.FinalizeFast, acts)
+					continue
+				}
+			}
+		}
+		// SP-finalization: quorum of finalization votes.
+		for id, votes := range rs.finalVotes {
+			if len(votes) < e.cfg.Params.FinalizationQuorum() {
+				continue
+			}
+			cert, err := types.NewCertificate(types.CertFinalization, r, id,
+				votesFor(types.VoteFinalize, r, id, votes))
+			if err != nil {
+				continue
+			}
+			changed = true
+			acts = e.finalizeExplicit(rs, cert, protocol.FinalizeSlow, acts)
+			break
+		}
+	}
+	// Retry commits blocked on missing ancestors.
+	for id, mode := range e.pendingCommit {
+		var done bool
+		acts, done = e.commitChain(id, mode, acts)
+		if done {
+			delete(e.pendingCommit, id)
+			changed = true
+		}
+	}
+	return changed, acts
+}
+
+// fastQuorumBlock finds a received rank-0 block holding at least quorum
+// fast votes.
+func (rs *roundState) fastQuorumBlock(quorum int) (types.BlockID, map[types.ReplicaID][]byte, bool) {
+	for id, votes := range rs.fastVotes {
+		if len(votes) < quorum {
+			continue
+		}
+		if b, ok := rs.blocks[id]; ok && b.Rank == 0 {
+			return id, votes, true
+		}
+	}
+	return types.BlockID{}, nil, false
+}
+
+// finalizeExplicit records an explicit finalization, broadcasts the
+// certificate if this replica formed it (line 58), and commits the chain.
+func (e *Engine) finalizeExplicit(rs *roundState, cert *types.Certificate,
+	mode protocol.FinalizationMode, acts []protocol.Action) []protocol.Action {
+	rs.finalized = true
+	rs.finalizedBlock = cert.Block
+	e.noteFinalCert(cert)
+	switch mode {
+	case protocol.FinalizeFast:
+		e.met.fastFinal++
+		acts = append(acts, protocol.Broadcast{Msg: &types.CertMsg{Cert: cert}})
+	case protocol.FinalizeSlow:
+		e.met.slowFinal++
+		acts = append(acts, protocol.Broadcast{Msg: &types.CertMsg{Cert: cert}})
+	default:
+		e.met.indirectFinal++
+	}
+	acts, done := e.commitChain(cert.Block, mode, acts)
+	if !done {
+		e.pendingCommit[cert.Block] = mode
+	}
+	return acts
+}
+
+// commitChain applies a finalization to the block tree, emitting a Commit
+// for the newly finalized chain. done is false while ancestors are missing.
+func (e *Engine) commitChain(id types.BlockID, mode protocol.FinalizationMode,
+	acts []protocol.Action) ([]protocol.Action, bool) {
+	chain, err := e.tree.Finalize(id)
+	switch {
+	case err == nil:
+		if len(chain) > 0 {
+			for _, b := range chain {
+				e.met.blocksCommit++
+				e.met.bytesCommit += int64(b.Payload.Size())
+			}
+			acts = append(acts, protocol.Commit{Blocks: chain, Explicit: mode})
+		}
+		return acts, true
+	case isMissingAncestor(err):
+		return acts, false
+	default:
+		e.stop(err)
+		return acts, true
+	}
+}
+
+func isMissingAncestor(err error) bool {
+	return errors.Is(err, blocktree.ErrMissingAncestor)
+}
+
+// tryAdvance implements Algorithm 2 line 48 (Restriction 2, Additions 1):
+// once a notarized and unlocked block exists and the fast vote is out,
+// broadcast the notarization and unlock proof, send a finalization vote if
+// N ⊆ {b} (line 51), and enter the next round.
+func (e *Engine) tryAdvance(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
+	rs := e.getRound(e.round)
+	if !rs.started || rs.advanced {
+		return false, acts
+	}
+	if !rs.fastVoteSent && !e.cfg.DisableFastPath {
+		return false, acts
+	}
+	id, ok := e.advanceCandidate(rs)
+	if !ok {
+		return false, acts
+	}
+	round := e.round
+	notar := rs.notarizations[id]
+	var proof *types.UnlockProof
+	if !e.cfg.DisableFastPath {
+		proof = rs.buildUnlockProof(round, id, e.cfg.Params.UnlockThreshold())
+	}
+	rs.advanced = true
+	rs.advanceBlock = id
+	rs.advanceNotar = notar
+	rs.advanceProof = proof
+	e.met.advances++
+	acts = append(acts, protocol.Broadcast{Msg: &types.Advance{Notarization: notar, Unlock: proof}})
+
+	// Line 51: finalization vote if this replica notarization-voted for no
+	// other block.
+	if !rs.finalVoted && nSubsetOf(rs.notarVoted, id) {
+		fv := e.cfg.Signer.SignVote(types.VoteFinalize, round, id)
+		rs.finalVoted = true
+		addVote(rs.finalVotes, id, e.cfg.Self, fv.Signature)
+		e.met.votesSent++
+		acts = append(acts, protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{fv}}})
+	}
+	acts = e.enterRound(round+1, now, acts)
+	return true, acts
+}
+
+// advanceCandidate picks a notarized and unlocked block to leave the round
+// through: the finalized block if any, otherwise the lowest-rank notarized
+// and unlocked block (ties to smaller ID for determinism).
+func (e *Engine) advanceCandidate(rs *roundState) (types.BlockID, bool) {
+	if rs.finalized {
+		if rs.notarizations[rs.finalizedBlock] != nil {
+			return rs.finalizedBlock, true
+		}
+	}
+	var (
+		best  types.BlockID
+		bestR types.Rank
+		found bool
+	)
+	for id := range rs.notarizations {
+		if !e.cfg.DisableFastPath && !rs.isUnlocked(id) {
+			continue
+		}
+		b, ok := rs.blocks[id]
+		if !ok {
+			// Certificate for a block we have not received: it is notarized
+			// but we cannot know its rank; it is still a legitimate way out
+			// of the round if unlocked.
+			if !found {
+				best, bestR, found = id, types.Rank(^uint16(0)), true
+			}
+			continue
+		}
+		if !found || b.Rank < bestR || (b.Rank == bestR && lessBlockID(id, best)) {
+			best, bestR, found = id, b.Rank, true
+		}
+	}
+	return best, found
+}
+
+// nSubsetOf reports N ⊆ {b}.
+func nSubsetOf(n map[types.BlockID]bool, b types.BlockID) bool {
+	for id := range n {
+		if id != b {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleNotarTimers requests wake-ups at the notarization delays of
+// received blocks whose delay has not yet elapsed (Algorithm 1 line 33's
+// clock condition).
+func (e *Engine) scheduleNotarTimers(now time.Time, acts []protocol.Action) []protocol.Action {
+	rs := e.getRound(e.round)
+	if !rs.started || rs.advanced {
+		return acts
+	}
+	for id := range rs.blocks {
+		b := rs.blocks[id]
+		if rs.notarTimerSet[b.Rank] {
+			continue
+		}
+		rs.notarTimerSet[b.Rank] = true
+		at := rs.t0.Add(e.propDelay(b.Rank))
+		if !now.Before(at) {
+			continue // already elapsed; tryVote ran in this progress pass
+		}
+		acts = append(acts, protocol.SetTimer{
+			ID: protocol.TimerID{Round: e.round, Kind: protocol.TimerNotarize, Rank: b.Rank},
+			At: at,
+		})
+	}
+	return acts
+}
+
+func (e *Engine) stop(err error) {
+	if !e.stopped {
+		e.stopped = true
+		e.fault = err
+	}
+}
+
+// maybePrune drops state for rounds far below the finalized height.
+func (e *Engine) maybePrune() {
+	fin := e.tree.FinalizedRound()
+	if fin < e.lastPrune+e.cfg.PruneInterval {
+		return
+	}
+	e.lastPrune = fin
+	if fin <= e.cfg.PruneKeep {
+		return
+	}
+	floor := fin - e.cfg.PruneKeep
+	for r := range e.rounds {
+		if r < floor {
+			delete(e.rounds, r)
+		}
+	}
+	for r := range e.extFinal {
+		if r < floor {
+			delete(e.extFinal, r)
+		}
+	}
+	e.tree.Prune(floor)
+}

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/beacon"
+	"banyan/internal/crypto"
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// rig drives a single Banyan engine directly, with signers for every
+// replica so tests can fabricate any peer message.
+type rig struct {
+	t       *testing.T
+	params  types.Params
+	keyring *crypto.Keyring
+	signers []*crypto.Signer
+	beacon  beacon.Beacon
+	eng     *Engine
+	now     time.Time
+	acts    []protocol.Action
+}
+
+const rigDelta = 10 * time.Millisecond
+
+func newRig(t *testing.T, params types.Params, self types.ReplicaID, opts ...func(*Config)) *rig {
+	t.Helper()
+	keyring, signers := crypto.GenerateCluster(crypto.HMAC(), params.N, 7)
+	bc, err := beacon.NewRoundRobin(params.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Params:  params,
+		Self:    self,
+		Keyring: keyring,
+		Signer:  signers[self],
+		Beacon:  bc,
+		Delta:   rigDelta,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		t:       t,
+		params:  params,
+		keyring: keyring,
+		signers: signers,
+		beacon:  bc,
+		eng:     eng,
+		now:     time.Unix(0, 0),
+	}
+	r.acts = eng.Start(r.now)
+	return r
+}
+
+func (r *rig) deliver(from types.ReplicaID, msg types.Message) {
+	r.t.Helper()
+	r.acts = append(r.acts, r.eng.HandleMessage(from, msg, r.now)...)
+}
+
+func (r *rig) tick(d time.Duration) {
+	r.t.Helper()
+	r.now = r.now.Add(d)
+	r.acts = append(r.acts, r.eng.HandleTimer(protocol.TimerID{}, r.now)...)
+}
+
+// leaderBlock builds and signs a rank-0 block for the round.
+func (r *rig) leaderBlock(round types.Round, parent types.BlockID, tag byte) *types.Block {
+	r.t.Helper()
+	leader := beacon.Leader(r.beacon, round)
+	b := types.NewBlock(round, leader, 0, parent, types.BytesPayload([]byte{tag}))
+	if err := r.signers[leader].SignBlock(b); err != nil {
+		r.t.Fatal(err)
+	}
+	return b
+}
+
+// rankedBlock builds a signed block of the given rank for the round.
+func (r *rig) rankedBlock(round types.Round, rank types.Rank, parent types.BlockID, tag byte) *types.Block {
+	r.t.Helper()
+	proposer := r.beacon.ReplicaAt(round, rank)
+	b := types.NewBlock(round, proposer, rank, parent, types.BytesPayload([]byte{tag}))
+	if err := r.signers[proposer].SignBlock(b); err != nil {
+		r.t.Fatal(err)
+	}
+	return b
+}
+
+// proposalFor wraps a rank-0 block in a Proposal with the proposer's fast
+// vote attached, as Addition 2 requires.
+func (r *rig) proposalFor(b *types.Block) *types.Proposal {
+	r.t.Helper()
+	p := &types.Proposal{Block: b}
+	if b.Rank == 0 {
+		fv := r.signers[b.Proposer].SignVote(types.VoteFast, b.Round, b.ID())
+		p.FastVote = &fv
+	}
+	return p
+}
+
+func (r *rig) fastVote(voter types.ReplicaID, b *types.Block) types.Vote {
+	return r.signers[voter].SignVote(types.VoteFast, b.Round, b.ID())
+}
+
+func (r *rig) notarVote(voter types.ReplicaID, b *types.Block) types.Vote {
+	return r.signers[voter].SignVote(types.VoteNotarize, b.Round, b.ID())
+}
+
+func (r *rig) finalVote(voter types.ReplicaID, b *types.Block) types.Vote {
+	return r.signers[voter].SignVote(types.VoteFinalize, b.Round, b.ID())
+}
+
+// commits extracts Commit actions accumulated so far.
+func (r *rig) commits() []protocol.Commit {
+	var out []protocol.Commit
+	for _, a := range r.acts {
+		if c, ok := a.(protocol.Commit); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// broadcasts extracts broadcast messages of a concrete type.
+func broadcasts[T types.Message](r *rig) []T {
+	var out []T
+	for _, a := range r.acts {
+		if b, ok := a.(protocol.Broadcast); ok {
+			if m, ok := b.Msg.(T); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func (r *rig) clearActs() { r.acts = nil }
+
+var p411 = types.Params{N: 4, F: 1, P: 1}
+
+// TestLeaderProposesImmediately: the round-1 leader proposes at Start with
+// its fast vote attached.
+func TestLeaderProposesImmediately(t *testing.T) {
+	leader := beacon.Leader(mustBeacon(t, 4), 1)
+	r := newRig(t, p411, leader)
+	props := broadcasts[*types.Proposal](r)
+	if len(props) != 1 {
+		t.Fatalf("leader broadcast %d proposals, want 1", len(props))
+	}
+	if props[0].FastVote == nil {
+		t.Fatal("rank-0 proposal must carry the proposer's fast vote (Addition 2)")
+	}
+	if props[0].Block.Rank != 0 || props[0].Block.Round != 1 {
+		t.Fatalf("unexpected block %v", props[0].Block)
+	}
+}
+
+func mustBeacon(t *testing.T, n int) beacon.Beacon {
+	t.Helper()
+	b, err := beacon.NewRoundRobin(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestNonLeaderWaitsProposalDelay: a rank-r replica proposes only after
+// 2Δ·r (Algorithm 1 line 23).
+func TestNonLeaderWaitsProposalDelay(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	var rank1 types.ReplicaID = bc.ReplicaAt(1, 1)
+	r := newRig(t, p411, rank1)
+	if len(broadcasts[*types.Proposal](r)) != 0 {
+		t.Fatal("rank-1 replica proposed before its delay")
+	}
+	r.tick(2*rigDelta - time.Millisecond)
+	if len(broadcasts[*types.Proposal](r)) != 0 {
+		t.Fatal("rank-1 replica proposed before 2Δ")
+	}
+	r.tick(2 * time.Millisecond)
+	props := broadcasts[*types.Proposal](r)
+	if len(props) != 1 {
+		t.Fatalf("rank-1 replica broadcast %d proposals after 2Δ, want 1", len(props))
+	}
+	if props[0].Block.Rank != 1 {
+		t.Fatalf("block rank = %d, want 1", props[0].Block.Rank)
+	}
+	if props[0].FastVote != nil {
+		t.Fatal("non-rank-0 proposal must not carry a proposer fast vote")
+	}
+}
+
+// TestFirstVoteBundlesFastVote: the first notarization vote of a round
+// carries a fast vote (Addition 3); later votes do not.
+func TestFirstVoteBundlesFastVote(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 2) // neither leader nor rank-1
+	r := newRig(t, p411, observer)
+	b := r.leaderBlock(1, types.Genesis().ID(), 1)
+	r.deliver(b.Proposer, r.proposalFor(b))
+
+	votes := broadcasts[*types.VoteMsg](r)
+	if len(votes) != 1 {
+		t.Fatalf("got %d vote messages, want 1", len(votes))
+	}
+	kinds := map[types.VoteKind]int{}
+	for _, v := range votes[0].Votes {
+		kinds[v.Kind]++
+		if v.Block != b.ID() {
+			t.Fatal("vote for wrong block")
+		}
+	}
+	if kinds[types.VoteNotarize] != 1 || kinds[types.VoteFast] != 1 {
+		t.Fatalf("first vote must bundle notarize+fast, got %v", kinds)
+	}
+
+	// An equivocating second rank-0 block gets a notarization vote only.
+	r.clearActs()
+	b2 := r.leaderBlock(1, types.Genesis().ID(), 2)
+	r.deliver(b2.Proposer, r.proposalFor(b2))
+	votes = broadcasts[*types.VoteMsg](r)
+	if len(votes) != 1 {
+		t.Fatalf("second block: got %d vote messages, want 1", len(votes))
+	}
+	for _, v := range votes[0].Votes {
+		if v.Kind == types.VoteFast {
+			t.Fatal("fast vote cast twice in one round")
+		}
+	}
+}
+
+// TestVoteRespectsRankOrdering: with a valid rank-0 block present, a
+// higher-rank block gets no vote; and a rank-1 block is voted only after
+// its notarization delay when no rank-0 block exists.
+func TestVoteRespectsRankOrdering(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	rank1 := r.rankedBlock(1, 1, types.Genesis().ID(), 1)
+	r.deliver(rank1.Proposer, &types.Proposal{Block: rank1})
+	if len(broadcasts[*types.VoteMsg](r)) != 0 {
+		t.Fatal("voted for a rank-1 block before its notarization delay")
+	}
+	// After Δ_notary(1) = 2Δ, the rank-1 block is voted.
+	r.tick(2 * rigDelta)
+	if len(broadcasts[*types.VoteMsg](r)) != 1 {
+		t.Fatal("rank-1 block not voted after its delay")
+	}
+	// A late rank-0 block still gets a vote (no lower-rank block exists
+	// below rank 0).
+	r.clearActs()
+	b0 := r.leaderBlock(1, types.Genesis().ID(), 2)
+	r.deliver(b0.Proposer, r.proposalFor(b0))
+	if len(broadcasts[*types.VoteMsg](r)) != 1 {
+		t.Fatal("late rank-0 block not voted")
+	}
+}
+
+// TestFPFinalization drives a full fast-path round at the leader: with
+// n-p = 3 fast votes the block FP-finalizes and commits after a single
+// round trip, with the fast finalization broadcast (Addition 4).
+func TestFPFinalization(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	leader := beacon.Leader(bc, 1)
+	r := newRig(t, p411, leader)
+	props := broadcasts[*types.Proposal](r)
+	b := props[0].Block
+
+	// Two peers return fast votes (plus the leader's own = 3 = n-p).
+	peer1, peer2 := bc.ReplicaAt(1, 1), bc.ReplicaAt(1, 2)
+	r.clearActs()
+	r.deliver(peer1, &types.VoteMsg{Votes: []types.Vote{r.fastVote(peer1, b), r.notarVote(peer1, b)}})
+	if len(r.commits()) != 0 {
+		t.Fatal("committed with only 2 fast votes")
+	}
+	r.deliver(peer2, &types.VoteMsg{Votes: []types.Vote{r.fastVote(peer2, b), r.notarVote(peer2, b)}})
+
+	commits := r.commits()
+	if len(commits) != 1 {
+		t.Fatalf("got %d commits, want 1", len(commits))
+	}
+	if commits[0].Explicit != protocol.FinalizeFast {
+		t.Fatalf("finalization mode = %v, want fast", commits[0].Explicit)
+	}
+	if len(commits[0].Blocks) != 1 || !commits[0].Blocks[0].Equal(b) {
+		t.Fatalf("committed wrong chain %v", commits[0].Blocks)
+	}
+	// The fast finalization certificate is broadcast.
+	var fastCerts int
+	for _, c := range broadcasts[*types.CertMsg](r) {
+		if c.Cert.Kind == types.CertFastFinalization && c.Cert.Block == b.ID() {
+			fastCerts++
+		}
+	}
+	if fastCerts != 1 {
+		t.Fatalf("fast finalization broadcast %d times, want 1", fastCerts)
+	}
+	// The engine advanced to round 2 and broadcast the Advance message
+	// with notarization + unlock proof (Addition 1).
+	if r.eng.Round() != 2 {
+		t.Fatalf("round = %d, want 2", r.eng.Round())
+	}
+	advs := broadcasts[*types.Advance](r)
+	if len(advs) != 1 || advs[0].Notarization == nil || advs[0].Unlock == nil {
+		t.Fatalf("bad advance broadcast %+v", advs)
+	}
+	if err := crypto.VerifyUnlockProof(r.keyring, advs[0].Unlock, r.params.UnlockThreshold()); err != nil {
+		t.Fatalf("advance unlock proof does not verify: %v", err)
+	}
+	if m := r.eng.Metrics(); m["final_fast"] != 1 || m["final_slow"] != 0 {
+		t.Fatalf("metrics %v", m)
+	}
+}
+
+// TestSPFinalization: without enough fast votes, finalization votes carry
+// the round (the ICC slow path embedded in Banyan).
+func TestSPFinalization(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	leader := beacon.Leader(bc, 1)
+	r := newRig(t, p411, leader)
+	b := broadcasts[*types.Proposal](r)[0].Block
+	peer1, peer2 := bc.ReplicaAt(1, 1), bc.ReplicaAt(1, 2)
+
+	// The peers' fast votes went to a rank-1 block c (they saw it first),
+	// so b can never collect n-p = 3 fast votes: the fast path is dark.
+	// b still notarizes (3 notar votes incl. the leader's own), and
+	// Condition 1 unlocks it: supp(b) = {leader} plus
+	// supp(nonLeaderBlocks) = {peer1, peer2} exceeds f+p = 2.
+	c := r.rankedBlock(1, 1, types.Genesis().ID(), 7)
+	r.clearActs()
+	r.deliver(c.Proposer, &types.Proposal{Block: c})
+	r.deliver(peer1, &types.VoteMsg{Votes: []types.Vote{r.notarVote(peer1, b), r.fastVote(peer1, c)}})
+	if r.eng.Round() != 1 {
+		t.Fatalf("advanced too early: round %d", r.eng.Round())
+	}
+	r.deliver(peer2, &types.VoteMsg{Votes: []types.Vote{r.notarVote(peer2, b), r.fastVote(peer2, c)}})
+	if r.eng.Round() != 2 {
+		t.Fatalf("round = %d after notarization + unlock, want 2", r.eng.Round())
+	}
+	if m := r.eng.Metrics(); m["final_fast"] != 0 {
+		t.Fatalf("fast path fired unexpectedly: %v", m)
+	}
+	// The leader's own finalization vote was broadcast (N = {b}).
+	var finals int
+	for _, vm := range broadcasts[*types.VoteMsg](r) {
+		for _, v := range vm.Votes {
+			if v.Kind == types.VoteFinalize && v.Block == b.ID() {
+				finals++
+			}
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("finalization votes broadcast = %d, want 1", finals)
+	}
+	// Two peer finalization votes complete SP-finalization.
+	r.clearActs()
+	r.deliver(peer1, &types.VoteMsg{Votes: []types.Vote{r.finalVote(peer1, b)}})
+	r.deliver(peer2, &types.VoteMsg{Votes: []types.Vote{r.finalVote(peer2, b)}})
+	commits := r.commits()
+	if len(commits) != 1 || commits[0].Explicit != protocol.FinalizeSlow {
+		t.Fatalf("commits %v", commits)
+	}
+}
+
+// TestFigure4UnlockConditions reproduces Figure 4 (n=4, f=1, p=1,
+// threshold f+p=2) against the engine's internal unlock state.
+func TestFigure4UnlockConditions(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	// The observer is the round-1 rank-3 replica so it proposes nothing.
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+
+	// Round k (=1): the rank-0 block receives fast votes from replicas
+	// 0,1,2 -> Condition 1 unlocks it.
+	b := r.leaderBlock(1, types.Genesis().ID(), 1)
+	r.deliver(b.Proposer, r.proposalFor(b)) // includes the leader's fast vote
+	rs := r.eng.getRound(1)
+	if rs.isUnlocked(b.ID()) {
+		t.Fatal("two fast votes (leader + observer's own) must not unlock (threshold 2)")
+	}
+	// Note the observer's own fast vote (cast on delivery, Addition 3)
+	// plus the leader's (from the proposal) make two votes: still locked.
+	v1 := bc.ReplicaAt(1, 1)
+	r.deliver(v1, &types.VoteMsg{Votes: []types.Vote{r.fastVote(v1, b)}})
+	if !rs.isUnlocked(b.ID()) {
+		t.Fatal("three fast votes (leader + own + peer) must unlock the rank-0 block (Condition 1)")
+	}
+	if rs.allUnlocked {
+		t.Fatal("Condition 2 must not have fired for round k")
+	}
+}
+
+// TestCondition2UnlocksAll drives the engine into Figure 4's round (k+1)
+// situation: support spread over an equivocating leader's blocks and a
+// rank-1 block unlocks every block of the round.
+func TestCondition2UnlocksAll(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	genesis := types.Genesis().ID()
+
+	// Equivocating leader: two rank-0 blocks, one fast vote each; one
+	// rank-1 block with two fast votes. Strict Condition 2: excluding
+	// either rank-0 block leaves 3 distinct voters > 2.
+	a := r.leaderBlock(1, genesis, 1)
+	bb := r.leaderBlock(1, genesis, 2)
+	c := r.rankedBlock(1, 1, genesis, 3)
+	leader := a.Proposer
+	rank1 := c.Proposer
+	other := bc.ReplicaAt(1, 2)
+
+	r.deliver(leader, r.proposalFor(a))  // leader's fast vote on a
+	r.deliver(leader, r.proposalFor(bb)) // leader's fast vote on bb (equivocated fast votes)
+	r.deliver(rank1, &types.Proposal{Block: c})
+	r.deliver(rank1, &types.VoteMsg{Votes: []types.Vote{r.fastVote(rank1, c)}})
+
+	rs := r.eng.getRound(1)
+	if rs.allUnlocked {
+		t.Fatal("premature condition 2")
+	}
+	r.deliver(other, &types.VoteMsg{Votes: []types.Vote{r.fastVote(other, c)}})
+	if !rs.allUnlocked {
+		t.Fatalf("condition 2 should unlock all blocks (votes: a=1 b=1 c=2 spread over 3 voters)")
+	}
+	if !rs.isUnlocked(a.ID()) || !rs.isUnlocked(bb.ID()) || !rs.isUnlocked(c.ID()) {
+		t.Fatal("allUnlocked must cover every block")
+	}
+}
+
+// TestValidityRequiresParentCredentials: a round-2 block is pending until
+// its parent is known notarized and unlocked.
+func TestValidityRequiresParentCredentials(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+
+	// Build round 1 completely from peer messages.
+	b1 := r.leaderBlock(1, types.Genesis().ID(), 1)
+	var notarVotes, fastVotes []types.Vote
+	for _, peer := range []types.ReplicaID{0, 1, 2} {
+		notarVotes = append(notarVotes, r.notarVote(peer, b1))
+		fastVotes = append(fastVotes, r.fastVote(peer, b1))
+	}
+	notar, err := types.NewCertificate(types.CertNotarization, 1, b1.ID(), notarVotes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock := &types.UnlockProof{
+		Round: 1, Block: b1.ID(),
+		Entries: []types.UnlockEntry{{
+			Header: b1.Header(),
+			Voters: []types.ReplicaID{0, 1, 2},
+			Sigs:   [][]byte{fastVotes[0].Signature, fastVotes[1].Signature, fastVotes[2].Signature},
+		}},
+	}
+
+	// Round-2 block arrives BEFORE the observer knows anything about b1:
+	// it must stay pending (not valid).
+	b2 := r.leaderBlock(2, b1.ID(), 2)
+	r.deliver(b2.Proposer, &types.Proposal{Block: b2})
+	rs2 := r.eng.getRound(2)
+	if rs2.valid[b2.ID()] {
+		t.Fatal("block with unknown parent credentials validated")
+	}
+
+	// Delivering the parent's credentials validates the pending block.
+	r.deliver(b2.Proposer, &types.Proposal{
+		Block:              b2,
+		ParentNotarization: notar,
+		ParentUnlock:       unlock,
+		FastVote:           r.proposalFor(b2).FastVote,
+		Relayed:            true,
+	})
+	if !rs2.valid[b2.ID()] {
+		t.Fatal("block not validated after parent credentials arrived")
+	}
+}
+
+// TestRejectsBadMessages: wrong rank claims, bad signatures and foreign
+// votes are rejected and counted.
+func TestRejectsBadMessages(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+
+	// Wrong rank claim.
+	leader := beacon.Leader(bc, 1)
+	bad := types.NewBlock(1, leader, 2 /* lies about rank */, types.Genesis().ID(), types.Payload{})
+	if err := r.signers[leader].SignBlock(bad); err != nil {
+		t.Fatal(err)
+	}
+	r.deliver(leader, &types.Proposal{Block: bad})
+
+	// Bad block signature.
+	forged := r.leaderBlock(1, types.Genesis().ID(), 9)
+	forged.Signature = []byte("nope")
+	r.deliver(leader, &types.Proposal{Block: forged})
+
+	// Vote signed by the wrong key.
+	good := r.leaderBlock(1, types.Genesis().ID(), 1)
+	v := r.fastVote(1, good)
+	v.Voter = 2
+	r.deliver(2, &types.VoteMsg{Votes: []types.Vote{v}})
+
+	if got := r.eng.Metrics()["rejected"]; got != 3 {
+		t.Fatalf("rejected = %d, want 3", got)
+	}
+}
+
+// TestIndirectFinalizationViaCertificate: receiving a finalization
+// certificate finalizes without local votes.
+func TestIndirectFinalizationViaCertificate(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	b := r.leaderBlock(1, types.Genesis().ID(), 1)
+	r.deliver(b.Proposer, r.proposalFor(b))
+
+	var votes []types.Vote
+	for _, peer := range []types.ReplicaID{0, 1, 2} {
+		votes = append(votes, r.finalVote(peer, b))
+	}
+	cert, err := types.NewCertificate(types.CertFinalization, 1, b.ID(), votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.clearActs()
+	r.deliver(0, &types.CertMsg{Cert: cert})
+	commits := r.commits()
+	if len(commits) != 1 || commits[0].Explicit != protocol.FinalizeIndirect {
+		t.Fatalf("commits = %v", commits)
+	}
+	// Indirect finalizations are not re-broadcast.
+	if n := len(broadcasts[*types.CertMsg](r)); n != 0 {
+		t.Fatalf("re-broadcast %d certificates", n)
+	}
+}
+
+// TestDisableFastPath: the ablated engine sends no fast votes and
+// finalizes via the slow path only.
+func TestDisableFastPath(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	leader := beacon.Leader(bc, 1)
+	r := newRig(t, p411, leader, func(c *Config) { c.DisableFastPath = true })
+	props := broadcasts[*types.Proposal](r)
+	if len(props) != 1 || props[0].FastVote != nil {
+		t.Fatalf("nofast proposal %v", props)
+	}
+	b := props[0].Block
+	peer1, peer2 := bc.ReplicaAt(1, 1), bc.ReplicaAt(1, 2)
+	r.deliver(peer1, &types.VoteMsg{Votes: []types.Vote{r.notarVote(peer1, b)}})
+	r.deliver(peer2, &types.VoteMsg{Votes: []types.Vote{r.notarVote(peer2, b)}})
+	if r.eng.Round() != 2 {
+		t.Fatalf("round = %d, want 2 (nofast advances on notarization)", r.eng.Round())
+	}
+	r.deliver(peer1, &types.VoteMsg{Votes: []types.Vote{r.finalVote(peer1, b)}})
+	r.deliver(peer2, &types.VoteMsg{Votes: []types.Vote{r.finalVote(peer2, b)}})
+	commits := r.commits()
+	if len(commits) != 1 || commits[0].Explicit != protocol.FinalizeSlow {
+		t.Fatalf("commits %v", commits)
+	}
+	if m := r.eng.Metrics(); m["final_fast"] != 0 {
+		t.Fatalf("fast path used despite being disabled: %v", m)
+	}
+}
+
+// TestNoFinalizationVoteAfterDoubleNotarVote: a replica that notarization-
+// voted two blocks must not send a finalization vote (line 51's N ⊆ {b}).
+func TestNoFinalizationVoteAfterDoubleNotarVote(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	genesis := types.Genesis().ID()
+	a := r.leaderBlock(1, genesis, 1)
+	bb := r.leaderBlock(1, genesis, 2) // equivocation at rank 0
+
+	r.deliver(a.Proposer, r.proposalFor(a))
+	r.deliver(bb.Proposer, r.proposalFor(bb))
+	// The observer voted for both. Now give block a enough support to
+	// notarize and unlock (peers at ranks 1 and 2; the observer holds
+	// rank 3 and the leader rank 0).
+	for _, rank := range []types.Rank{1, 2} {
+		peer := bc.ReplicaAt(1, rank)
+		r.deliver(peer, &types.VoteMsg{Votes: []types.Vote{r.notarVote(peer, a), r.fastVote(peer, a)}})
+	}
+	if r.eng.Round() != 2 {
+		t.Fatalf("round = %d, want 2", r.eng.Round())
+	}
+	for _, vm := range broadcasts[*types.VoteMsg](r) {
+		for _, v := range vm.Votes {
+			if v.Kind == types.VoteFinalize {
+				t.Fatal("finalization vote sent despite N ⊄ {b}")
+			}
+		}
+	}
+}
+
+// TestRelayOnVote: voting for another replica's block relays the block
+// (Algorithm 1 line 35).
+func TestRelayOnVote(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	b := r.leaderBlock(1, types.Genesis().ID(), 1)
+	r.deliver(b.Proposer, r.proposalFor(b))
+	var relayed int
+	for _, p := range broadcasts[*types.Proposal](r) {
+		if p.Relayed && p.Block.ID() == b.ID() {
+			relayed++
+		}
+	}
+	if relayed != 1 {
+		t.Fatalf("block relayed %d times, want 1", relayed)
+	}
+}
+
+// TestStaleMessagesIgnored: messages for long-finalized rounds do not
+// disturb the engine or allocate state.
+func TestStaleMessagesIgnored(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	leader := beacon.Leader(bc, 1)
+	r := newRig(t, p411, leader, func(c *Config) { c.PruneKeep = 2; c.PruneInterval = 1 })
+	// Drive 40 fast rounds: whichever replica leads, fabricate its block
+	// (when it is a peer) and the peers' votes; the engine's own votes
+	// complete the quorums.
+	parent := types.Genesis().ID()
+	for round := types.Round(1); round <= 40; round++ {
+		roundLeader := beacon.Leader(r.beacon, round)
+		var b *types.Block
+		if roundLeader == r.eng.ID() {
+			rs := r.eng.getRound(round)
+			for id := range rs.blocks {
+				b = rs.blocks[id]
+			}
+			if b == nil {
+				t.Fatalf("round %d: engine leads but proposed nothing", round)
+			}
+		} else {
+			b = r.leaderBlock(round, parent, byte(round))
+			r.deliver(roundLeader, r.proposalFor(b))
+		}
+		for peer := types.ReplicaID(0); int(peer) < r.params.N; peer++ {
+			if peer == r.eng.ID() || peer == roundLeader {
+				continue
+			}
+			r.deliver(peer, &types.VoteMsg{Votes: []types.Vote{
+				r.fastVote(peer, b), r.notarVote(peer, b),
+			}})
+		}
+		parent = b.ID()
+	}
+	if r.eng.Tree().FinalizedRound() < 30 {
+		t.Fatalf("only finalized %d rounds", r.eng.Tree().FinalizedRound())
+	}
+	// Old-round messages are dropped without effect.
+	old := r.leaderBlock(1, types.Genesis().ID(), 99)
+	before := len(r.eng.rounds)
+	r.deliver(old.Proposer, r.proposalFor(old))
+	if len(r.eng.rounds) > before {
+		t.Fatal("stale message allocated round state")
+	}
+	// Pruning kept the rounds map bounded.
+	if len(r.eng.rounds) > 16 {
+		t.Fatalf("rounds map grew to %d entries", len(r.eng.rounds))
+	}
+}

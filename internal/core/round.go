@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"banyan/internal/types"
+)
+
+// roundState is the engine's per-round book-keeping. States are created
+// lazily (messages for rounds ahead of the replica are buffered in them)
+// and "started" when the replica actually enters the round.
+type roundState struct {
+	started bool
+	// t0 is the local time the replica entered the round (Algorithm 1
+	// line 20); proposal and notarization delays are measured from it.
+	t0 time.Time
+
+	proposed     bool // Algorithm 1 line 19
+	fastVoteSent bool // Algorithm 1 line 18
+	advanced     bool // the replica has moved past this round (line 54)
+	finalVoted   bool // a finalization vote was broadcast (line 52)
+
+	// blocks holds every round-k block received (Definition 7.1 blocks(k)),
+	// keyed by ID. valid marks those that passed valid() (Algorithm 2
+	// line 62); pending holds proposals whose parent credentials are not
+	// yet established, awaiting revalidation.
+	blocks  map[types.BlockID]*types.Block
+	valid   map[types.BlockID]bool
+	pending map[types.BlockID]*types.Proposal
+
+	// notarVoted is N: blocks this replica notarization-voted for
+	// (Algorithm 1 line 21).
+	notarVoted map[types.BlockID]bool
+
+	// Vote ledgers: signature by voter, per block.
+	fastVotes  map[types.BlockID]map[types.ReplicaID][]byte
+	notarVotes map[types.BlockID]map[types.ReplicaID][]byte
+	finalVotes map[types.BlockID]map[types.ReplicaID][]byte
+
+	// notarizations holds formed or received notarization certificates.
+	notarizations map[types.BlockID]*types.Certificate
+
+	// Unlock state (Definition 7.6). unlocked marks per-block Condition-1
+	// unlocks; allUnlocked is the sticky Condition-2 state covering every
+	// current and future block of the round.
+	unlocked    map[types.BlockID]bool
+	allUnlocked bool
+
+	// finalized records an explicit finalization seen for this round.
+	finalized      bool
+	finalizedBlock types.BlockID
+
+	// advanceBlock is the notarized-and-unlocked block this replica left
+	// the round through; it becomes the parent of the replica's round-(k+1)
+	// proposal. advanceNotar/advanceProof are its credentials, reused in
+	// proposals (Addition 2) and the Advance broadcast (Addition 1).
+	advanceBlock types.BlockID
+	advanceNotar *types.Certificate
+	advanceProof *types.UnlockProof
+
+	// notarTimerSet tracks ranks for which a notarization-delay timer has
+	// been requested, to avoid duplicate SetTimer actions.
+	notarTimerSet map[types.Rank]bool
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		blocks:        make(map[types.BlockID]*types.Block),
+		valid:         make(map[types.BlockID]bool),
+		pending:       make(map[types.BlockID]*types.Proposal),
+		notarVoted:    make(map[types.BlockID]bool),
+		fastVotes:     make(map[types.BlockID]map[types.ReplicaID][]byte),
+		notarVotes:    make(map[types.BlockID]map[types.ReplicaID][]byte),
+		finalVotes:    make(map[types.BlockID]map[types.ReplicaID][]byte),
+		notarizations: make(map[types.BlockID]*types.Certificate),
+		unlocked:      make(map[types.BlockID]bool),
+		notarTimerSet: make(map[types.Rank]bool),
+	}
+}
+
+// addVote records a vote signature in the given ledger; it reports whether
+// the vote was new.
+func addVote(ledger map[types.BlockID]map[types.ReplicaID][]byte,
+	block types.BlockID, voter types.ReplicaID, sig []byte) bool {
+	m, ok := ledger[block]
+	if !ok {
+		m = make(map[types.ReplicaID][]byte)
+		ledger[block] = m
+	}
+	if _, dup := m[voter]; dup {
+		return false
+	}
+	m[voter] = sig
+	return true
+}
+
+// votesFor converts a ledger entry back into Vote values for certificate
+// assembly.
+func votesFor(kind types.VoteKind, round types.Round, block types.BlockID,
+	m map[types.ReplicaID][]byte) []types.Vote {
+	votes := make([]types.Vote, 0, len(m))
+	for voter, sig := range m {
+		votes = append(votes, types.Vote{
+			Kind: kind, Round: round, Block: block, Voter: voter, Signature: sig,
+		})
+	}
+	return votes
+}
+
+// isUnlocked reports whether the block is unlocked in this round under
+// Definition 7.6, where finalized blocks are unlocked by definition.
+func (rs *roundState) isUnlocked(id types.BlockID) bool {
+	if rs.allUnlocked || rs.unlocked[id] {
+		return true
+	}
+	return rs.finalized && rs.finalizedBlock == id
+}

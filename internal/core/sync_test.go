@@ -1,0 +1,269 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/beacon"
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// buildFinalizedChain drives the rig's engine through `rounds` fast
+// rounds, returning the blocks in order. The engine under test is the
+// observer whose chain state we then use to serve or request syncs.
+func buildFinalizedChain(t *testing.T, r *rig, rounds types.Round) []*types.Block {
+	t.Helper()
+	var chain []*types.Block
+	parent := types.Genesis().ID()
+	for round := types.Round(1); round <= rounds; round++ {
+		roundLeader := beacon.Leader(r.beacon, round)
+		var b *types.Block
+		if roundLeader == r.eng.ID() {
+			rs := r.eng.getRound(round)
+			for id := range rs.blocks {
+				b = rs.blocks[id]
+			}
+			if b == nil {
+				t.Fatalf("round %d: engine leads but proposed nothing", round)
+			}
+		} else {
+			b = r.leaderBlock(round, parent, byte(round))
+			r.deliver(roundLeader, r.proposalFor(b))
+		}
+		for peer := types.ReplicaID(0); int(peer) < r.params.N; peer++ {
+			if peer == r.eng.ID() || peer == roundLeader {
+				continue
+			}
+			r.deliver(peer, &types.VoteMsg{Votes: []types.Vote{
+				r.fastVote(peer, b), r.notarVote(peer, b),
+			}})
+		}
+		chain = append(chain, b)
+		parent = b.ID()
+	}
+	return chain
+}
+
+// TestSyncRequestServesFinalizedChain: a replica with a finalized prefix
+// answers SyncRequests with the chain segment and its latest finalization
+// certificate.
+func TestSyncRequestServesFinalizedChain(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	leader := beacon.Leader(bc, 1)
+	r := newRig(t, p411, leader)
+	chain := buildFinalizedChain(t, r, 10)
+	if r.eng.Tree().FinalizedRound() < 9 {
+		t.Fatalf("setup: finalized only %d rounds", r.eng.Tree().FinalizedRound())
+	}
+
+	r.clearActs()
+	r.deliver(2, &types.SyncRequest{From: 3, To: 7})
+	var resp *types.SyncResponse
+	for _, a := range r.acts {
+		if s, ok := a.(protocol.Send); ok {
+			if m, ok := s.Msg.(*types.SyncResponse); ok {
+				if s.To != 2 {
+					t.Fatalf("response sent to %d, want 2", s.To)
+				}
+				resp = m
+			}
+		}
+	}
+	if resp == nil {
+		t.Fatal("no sync response")
+	}
+	if len(resp.Blocks) != 5 {
+		t.Fatalf("response has %d blocks, want 5 (rounds 3..7)", len(resp.Blocks))
+	}
+	for i, b := range resp.Blocks {
+		if !b.Equal(chain[i+2]) {
+			t.Fatalf("response block %d is not the finalized round-%d block", i, i+3)
+		}
+	}
+	if resp.Finalization == nil || resp.Finalization.Round < 7 {
+		t.Fatalf("response certificate %v does not cover the segment", resp.Finalization)
+	}
+
+	// A request beyond the finalized prefix yields nothing.
+	r.clearActs()
+	r.deliver(2, &types.SyncRequest{From: 100, To: 120})
+	for _, a := range r.acts {
+		if _, ok := a.(protocol.Send); ok {
+			t.Fatal("responded to a request beyond the finalized prefix")
+		}
+	}
+}
+
+// TestLaggingReplicaCatchesUpViaSync: a fresh engine receiving only a
+// far-ahead finalization certificate requests a sync, ingests the
+// response, commits the chain and jumps its round forward.
+func TestLaggingReplicaCatchesUpViaSync(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	leader := beacon.Leader(bc, 1)
+	full := newRig(t, p411, leader)
+	buildFinalizedChain(t, full, 10)
+	fullEng := full.eng
+
+	// The lagging replica: a different rig sharing the same cluster keys.
+	lag := newRig(t, p411, bc.ReplicaAt(1, 3))
+	if lag.eng.Round() != 1 {
+		t.Fatal("setup: lagging replica should start at round 1")
+	}
+
+	// Deliver the full replica's latest finalization certificate.
+	if fullEng.latestFinal == nil {
+		t.Fatal("setup: full replica has no finalization certificate")
+	}
+	lag.clearActs()
+	lag.deliver(leader, &types.CertMsg{Cert: fullEng.latestFinal})
+	var req *types.SyncRequest
+	for _, a := range lag.acts {
+		if b, ok := a.(protocol.Broadcast); ok {
+			if m, ok := b.Msg.(*types.SyncRequest); ok {
+				req = m
+			}
+		}
+	}
+	if req == nil {
+		t.Fatal("lagging replica did not request a sync")
+	}
+	if req.From != 1 {
+		t.Fatalf("sync request From = %d, want 1", req.From)
+	}
+
+	// Serve it from the full replica and feed the response back.
+	respActs := fullEng.HandleMessage(lag.eng.ID(), req, full.now)
+	var resp *types.SyncResponse
+	for _, a := range respActs {
+		if s, ok := a.(protocol.Send); ok {
+			if m, ok := s.Msg.(*types.SyncResponse); ok {
+				resp = m
+			}
+		}
+	}
+	if resp == nil {
+		t.Fatal("full replica did not serve the sync")
+	}
+	lag.deliver(leader, resp)
+
+	if fin := lag.eng.Tree().FinalizedRound(); fin < 9 {
+		t.Fatalf("lagging replica finalized only %d rounds after sync", fin)
+	}
+	if lag.eng.Round() <= 9 {
+		t.Fatalf("lagging replica did not jump rounds: at %d", lag.eng.Round())
+	}
+	commits := lag.commits()
+	total := 0
+	for _, c := range commits {
+		total += len(c.Blocks)
+	}
+	if total < 9 {
+		t.Fatalf("lagging replica committed %d blocks via sync", total)
+	}
+}
+
+// TestSyncResponseRejectsDisconnectedSegment: blocks that do not connect
+// to the local tree are dropped and do not advance the high-water mark.
+func TestSyncResponseRejectsDisconnectedSegment(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	r := newRig(t, p411, bc.ReplicaAt(1, 3))
+	// A block whose parent is unknown garbage.
+	orphan := types.NewBlock(5, beacon.Leader(bc, 5), 0, types.BlockID{9, 9}, types.Payload{})
+	if err := r.signers[orphan.Proposer].SignBlock(orphan); err != nil {
+		t.Fatal(err)
+	}
+	r.deliver(1, &types.SyncResponse{Blocks: []*types.Block{orphan}})
+	if r.eng.syncHigh != 0 {
+		t.Fatalf("syncHigh advanced to %d on a disconnected segment", r.eng.syncHigh)
+	}
+	if r.eng.Tree().Contains(orphan.ID()) {
+		t.Fatal("disconnected block stored")
+	}
+}
+
+// TestResendAfterStall: a replica stuck in a round rebroadcasts its votes
+// and best block after the resend interval, repeatedly.
+func TestResendAfterStall(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	b := r.leaderBlock(1, types.Genesis().ID(), 1)
+	r.deliver(b.Proposer, r.proposalFor(b))
+	// No further traffic: after the resend interval the engine must
+	// rebroadcast its fast+notarize votes and relay the block.
+	r.clearActs()
+	interval := r.eng.resendInterval()
+	r.now = r.now.Add(interval + time.Millisecond)
+	r.acts = append(r.acts, r.eng.HandleTimer(
+		protocol.TimerID{Round: 1, Kind: protocol.TimerResend}, r.now)...)
+
+	votes := 0
+	for _, vm := range broadcasts[*types.VoteMsg](r) {
+		votes += len(vm.Votes)
+	}
+	if votes < 2 {
+		t.Fatalf("resend broadcast %d votes, want >= 2 (fast + notarize)", votes)
+	}
+	relays := 0
+	for _, p := range broadcasts[*types.Proposal](r) {
+		if p.Relayed && p.Block.ID() == b.ID() {
+			relays++
+		}
+	}
+	if relays < 1 {
+		t.Fatal("resend did not relay the best known block")
+	}
+	if len(broadcasts[*types.SyncRequest](r)) != 1 {
+		t.Fatal("resend did not probe for missed finalizations")
+	}
+	// The timer re-arms itself.
+	rearmed := false
+	for _, a := range r.acts {
+		if st, ok := a.(protocol.SetTimer); ok && st.ID.Kind == protocol.TimerResend {
+			rearmed = true
+		}
+	}
+	if !rearmed {
+		t.Fatal("resend timer not re-armed")
+	}
+	if r.eng.Metrics()["resends"] != 1 {
+		t.Fatalf("resends metric = %d", r.eng.Metrics()["resends"])
+	}
+
+	// A stale resend fire (old round) does nothing.
+	r.clearActs()
+	r.acts = r.eng.HandleTimer(protocol.TimerID{Round: 0, Kind: protocol.TimerResend}, r.now)
+	if len(broadcasts[*types.VoteMsg](r)) != 0 {
+		t.Fatal("stale resend timer rebroadcast votes")
+	}
+}
+
+// TestFastFinalCertForUnknownBlockDefersRankCheck: a fast-finalization
+// certificate for a block we have not received is accepted provisionally;
+// the commit happens once the block arrives (and its rank is checked
+// against the certificate's premise by validity at that point).
+func TestFastFinalCertForUnknownBlock(t *testing.T) {
+	bc := mustBeacon(t, 4)
+	observer := bc.ReplicaAt(1, 3)
+	r := newRig(t, p411, observer)
+	b := r.leaderBlock(1, types.Genesis().ID(), 1)
+	var votes []types.Vote
+	for _, peer := range []types.ReplicaID{0, 1, 2} {
+		votes = append(votes, r.fastVote(peer, b))
+	}
+	cert, err := types.NewCertificate(types.CertFastFinalization, 1, b.ID(), votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.deliver(0, &types.CertMsg{Cert: cert})
+	if len(r.commits()) != 0 {
+		t.Fatal("committed without the block")
+	}
+	// The block arrives: the certificate applies.
+	r.deliver(b.Proposer, r.proposalFor(b))
+	commits := r.commits()
+	if len(commits) != 1 || !commits[0].Blocks[0].Equal(b) {
+		t.Fatalf("commits after block arrival: %v", commits)
+	}
+}

@@ -1,0 +1,373 @@
+// Package harness runs the paper's experiments: it assembles a cluster of
+// engines of a chosen protocol, places them on a simulated WAN topology,
+// drives a timed workload, injects crash faults, and collects exactly the
+// quantities the evaluation section plots — average proposal finalization
+// time measured at the proposer, committed bytes per second at a
+// non-faulty replica, latency variance, block intervals, and the fast/slow
+// path split (paper section 9.2).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"banyan/internal/beacon"
+	"banyan/internal/core"
+	"banyan/internal/crypto"
+	"banyan/internal/hotstuff"
+	"banyan/internal/icc"
+	"banyan/internal/mempool"
+	"banyan/internal/metrics"
+	"banyan/internal/protocol"
+	"banyan/internal/simnet"
+	"banyan/internal/streamlet"
+	"banyan/internal/types"
+	"banyan/internal/wan"
+)
+
+// Protocol selects the consensus engine under test.
+type Protocol string
+
+// The four protocols of the paper's evaluation, plus the fast-path-ablated
+// Banyan variant.
+const (
+	Banyan       Protocol = "banyan"
+	BanyanNoFast Protocol = "banyan-nofast"
+	ICC          Protocol = "icc"
+	HotStuff     Protocol = "hotstuff"
+	Streamlet    Protocol = "streamlet"
+)
+
+// Protocols lists the paper's four evaluated protocols in report order.
+func Protocols() []Protocol { return []Protocol{Banyan, ICC, HotStuff, Streamlet} }
+
+// Config describes one experiment run.
+type Config struct {
+	Protocol Protocol
+	// Params carries n, f and (for Banyan) p.
+	Params types.Params
+	// Topology places the replicas; required.
+	Topology *wan.Topology
+	// BlockSize is the synthetic payload size in bytes (the paper's load
+	// knob, section 9.2).
+	BlockSize int
+	// Duration is the experiment's virtual running time (paper: 120 s).
+	Duration time.Duration
+	// Warmup excludes the initial ramp from all statistics.
+	Warmup time.Duration
+	// Delta is the Δ bound used for proposal/notarization delays. Zero
+	// auto-derives it from the topology and block size, mirroring how the
+	// paper tunes delays above the undisrupted message delay.
+	Delta time.Duration
+	// ViewTimeout is HotStuff's pacemaker timeout; zero auto-derives.
+	ViewTimeout time.Duration
+	// BandwidthBps is each replica's uplink; zero selects 625 MB/s (the
+	// 5 Gbit/s burst bandwidth of the paper's t3.large instances).
+	BandwidthBps float64
+	// ProcRateBps / ProcFixed model receiver-side message processing
+	// (deserialization, hashing, signature verification) on the testbed's
+	// 2-vCPU hosts; see simnet.Options. Zero selects defaults; negative
+	// ProcRateBps disables the model.
+	ProcRateBps float64
+	ProcFixed   time.Duration
+	// JitterFrac adds pseudo-random per-message jitter.
+	JitterFrac float64
+	// Seed drives all randomness; identical configs with identical seeds
+	// produce identical results.
+	Seed uint64
+	// Crash lists replicas crashed at given times (Figure 6d).
+	Crash []CrashSpec
+	// NoForwarding disables tip forwarding in the Banyan/ICC engines (the
+	// forwarding ablation; see DESIGN.md section 6).
+	NoForwarding bool
+	// Scheme selects the signature scheme ("hmac" default, "ed25519").
+	Scheme string
+}
+
+// CrashSpec crashes a replica at a point in virtual time.
+type CrashSpec struct {
+	Replica types.ReplicaID
+	At      time.Duration
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Config Config
+
+	// Latency is the proposal finalization time distribution, measured at
+	// each block's proposer, over the post-warmup window.
+	Latency metrics.Summary
+	// LatencySamples retains the raw series for variance plots (Fig. 6c).
+	LatencySamples []time.Duration
+
+	// ThroughputBps is committed payload bytes per second at the observer
+	// (lowest-ID non-crashed replica) over the post-warmup window.
+	ThroughputBps float64
+	// BlocksCommitted is the observer's committed block count post-warmup.
+	BlocksCommitted int64
+	// BlockInterval is the observer's mean time between committed blocks.
+	BlockInterval time.Duration
+
+	// FastFinal / SlowFinal / IndirectFinal split the observer's explicit
+	// finalizations by path.
+	FastFinal, SlowFinal, IndirectFinal int64
+
+	// Faults counts safety faults across the cluster (must be zero).
+	Faults int
+	// Messages / MessageBytes count total network traffic.
+	Messages, MessageBytes int64
+	// Delta echoes the Δ actually used (after auto-derivation).
+	Delta time.Duration
+}
+
+// AutoDelta derives the Δ bound for a topology and block size: the largest
+// one-way delay, inflated for jitter, plus the sender-side transmission
+// time of a full block broadcast, plus the receiver-side processing burden
+// of a round's relayed block copies, plus a fixed margin. This matches the
+// paper's methodology of setting delays "larger than the message delay
+// experienced without network disruptions" so exactly one block is
+// proposed per round in fault-free runs.
+func AutoDelta(topo *wan.Topology, blockSize int, bandwidthBps, procRateBps float64,
+	procFixed time.Duration) time.Duration {
+	d := topo.MaxOneWay()
+	d += d / 4 // jitter headroom
+	n := topo.N()
+	if bandwidthBps > 0 {
+		tx := float64(blockSize) * float64(n-1) / bandwidthBps
+		d += time.Duration(tx * float64(time.Second))
+	}
+	if procRateBps > 0 {
+		proc := float64(blockSize) / procRateBps * float64(time.Second)
+		d += time.Duration(proc*float64(n-1)) + time.Duration(n-1)*procFixed
+	}
+	return d + 5*time.Millisecond
+}
+
+const (
+	defaultBandwidth = 625e6 // 5 Gbit/s in bytes/s
+	// defaultProcRate / defaultProcFixed approximate the Bamboo stack's
+	// per-message receive cost (gob decode + hashing + signature checks)
+	// on a 2-vCPU t3.large.
+	defaultProcRate  = 100e6 // bytes/s
+	defaultProcFixed = 150 * time.Microsecond
+)
+
+func (c *Config) fill() error {
+	if c.Topology == nil {
+		return fmt.Errorf("harness: topology is required")
+	}
+	if c.Params.N == 0 {
+		return fmt.Errorf("harness: params are required")
+	}
+	if c.Params.N != c.Topology.N() {
+		return fmt.Errorf("harness: params n=%d but topology has %d replicas", c.Params.N, c.Topology.N())
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Warmup <= 0 || c.Warmup >= c.Duration {
+		c.Warmup = c.Duration / 10
+	}
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = defaultBandwidth
+	}
+	if c.ProcRateBps == 0 {
+		c.ProcRateBps = defaultProcRate
+	} else if c.ProcRateBps < 0 {
+		c.ProcRateBps = 0
+	}
+	if c.ProcFixed == 0 {
+		c.ProcFixed = defaultProcFixed
+	} else if c.ProcFixed < 0 {
+		c.ProcFixed = 0
+	}
+	if c.Delta == 0 {
+		c.Delta = AutoDelta(c.Topology, c.BlockSize, c.BandwidthBps, c.ProcRateBps, c.ProcFixed)
+	}
+	if c.ViewTimeout == 0 {
+		// Generous enough that the happy path never times out.
+		c.ViewTimeout = 6 * c.Delta
+	}
+	if c.Scheme == "" {
+		c.Scheme = "hmac"
+	}
+	return nil
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	scheme, err := crypto.SchemeByName(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	keyring, signers := crypto.GenerateCluster(scheme, cfg.Params.N, cfg.Seed)
+	bc, err := beacon.NewRoundRobin(cfg.Params.N)
+	if err != nil {
+		return nil, err
+	}
+
+	engines := make([]protocol.Engine, cfg.Params.N)
+	for i := range engines {
+		src := mempool.NewSynthetic(cfg.BlockSize, cfg.Seed^uint64(i)<<32, false)
+		e, err := buildEngine(cfg, types.ReplicaID(i), keyring, signers[i], bc, src)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+
+	crashedSet := make(map[types.ReplicaID]bool, len(cfg.Crash))
+	for _, c := range cfg.Crash {
+		crashedSet[c.Replica] = true
+	}
+	observer := types.ReplicaID(0)
+	for crashedSet[observer] {
+		observer++
+	}
+	if int(observer) >= cfg.Params.N {
+		return nil, fmt.Errorf("harness: all replicas crashed")
+	}
+
+	var (
+		warmupEnd   = simnet.Epoch.Add(cfg.Warmup)
+		proposedAt  = make(map[types.BlockID]time.Time)
+		latency     = metrics.NewSeries()
+		throughput  = metrics.NewThroughput(cfg.Duration - cfg.Warmup)
+		faultErrors []error
+	)
+	hooks := simnet.Hooks{
+		OnBroadcast: func(node types.ReplicaID, at time.Time, msg types.Message) {
+			p, ok := msg.(*types.Proposal)
+			if !ok || p.Relayed || p.Block == nil || p.Block.Proposer != node {
+				return
+			}
+			if !at.Before(warmupEnd) {
+				proposedAt[p.Block.ID()] = at
+			}
+		},
+		OnCommit: func(node types.ReplicaID, at time.Time, c protocol.Commit) {
+			for _, b := range c.Blocks {
+				if b.Proposer == node {
+					if t0, ok := proposedAt[b.ID()]; ok {
+						latency.Add(at.Sub(t0))
+						delete(proposedAt, b.ID())
+					}
+				}
+				if node == observer && !at.Before(warmupEnd) {
+					throughput.Observe(b.Payload.Size())
+				}
+			}
+		},
+		OnFault: func(node types.ReplicaID, at time.Time, err error) {
+			faultErrors = append(faultErrors, fmt.Errorf("replica %d at %s: %w", node, at.Sub(simnet.Epoch), err))
+		},
+	}
+
+	net, err := simnet.New(engines, simnet.Options{
+		Topology:     cfg.Topology,
+		BandwidthBps: cfg.BandwidthBps,
+		ProcRateBps:  cfg.ProcRateBps,
+		ProcFixed:    cfg.ProcFixed,
+		JitterFrac:   cfg.JitterFrac,
+		Seed:         cfg.Seed,
+	}, hooks)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cfg.Crash {
+		net.CrashAt(c.Replica, c.At)
+	}
+	net.Run(cfg.Duration)
+
+	obsMetrics := engines[observer].Metrics()
+	res := &Result{
+		Config:          cfg,
+		Latency:         latency.Summarize(),
+		LatencySamples:  latency.Samples(),
+		ThroughputBps:   throughput.BytesPerSecond(),
+		BlocksCommitted: throughput.Blocks,
+		BlockInterval:   throughput.BlockInterval(),
+		FastFinal:       obsMetrics["final_fast"],
+		SlowFinal:       obsMetrics["final_slow"],
+		IndirectFinal:   obsMetrics["final_indirect"],
+		Faults:          len(faultErrors),
+		Messages:        net.Stats().Messages,
+		MessageBytes:    net.Stats().Bytes,
+		Delta:           cfg.Delta,
+	}
+	if len(faultErrors) > 0 {
+		return res, fmt.Errorf("harness: safety faults: %v", faultErrors)
+	}
+	return res, nil
+}
+
+func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
+	signer *crypto.Signer, bc beacon.Beacon, src protocol.PayloadSource) (protocol.Engine, error) {
+	switch cfg.Protocol {
+	case Banyan, BanyanNoFast:
+		return core.New(core.Config{
+			Params:            cfg.Params,
+			Self:              id,
+			Keyring:           keyring,
+			Signer:            signer,
+			Beacon:            bc,
+			Payloads:          src,
+			Delta:             cfg.Delta,
+			DisableFastPath:   cfg.Protocol == BanyanNoFast,
+			DisableForwarding: cfg.NoForwarding,
+		})
+	case ICC:
+		return icc.New(icc.Config{
+			Params:            cfg.Params,
+			Self:              id,
+			Keyring:           keyring,
+			Signer:            signer,
+			Beacon:            bc,
+			Payloads:          src,
+			Delta:             cfg.Delta,
+			DisableForwarding: cfg.NoForwarding,
+		})
+	case HotStuff:
+		return hotstuff.New(hotstuff.Config{
+			Params:      cfg.Params,
+			Self:        id,
+			Keyring:     keyring,
+			Signer:      signer,
+			Beacon:      bc,
+			Payloads:    src,
+			ViewTimeout: cfg.ViewTimeout,
+		})
+	case Streamlet:
+		// Streamlet is clocked on the pessimistic synchrony bound Δ rather
+		// than actual delays (it is not optimistically responsive), so its
+		// epoch gets the protocol-prescribed 2Δ with Δ set to twice the
+		// measured bound — the safety margin any real deployment needs for
+		// a parameter that, if undershot, halts progress.
+		return streamlet.New(streamlet.Config{
+			Params:        cfg.Params,
+			Self:          id,
+			Keyring:       keyring,
+			Signer:        signer,
+			Beacon:        bc,
+			Payloads:      src,
+			EpochDuration: 4 * cfg.Delta,
+		})
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", cfg.Protocol)
+	}
+}
+
+// ParamsFor returns the fault parameters each protocol uses at cluster
+// size n: Banyan takes (f, p) per the caller; the baselines use the
+// classic f = (n-1)/3 bound with p ignored.
+func ParamsFor(proto Protocol, n, f, p int) types.Params {
+	switch proto {
+	case Banyan, BanyanNoFast:
+		return types.Params{N: n, F: f, P: p}
+	default:
+		return types.Params{N: n, F: (n - 1) / 3, P: 0}
+	}
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/wan"
+)
+
+// TestHeadlineShape reproduces the core claim of the evaluation on the
+// n=4 four-datacenter topology (Figure 6b): Banyan's fast path finalizes
+// proposals faster than ICC, which is faster than HotStuff, with Streamlet
+// slowest; and Banyan's finalizations are overwhelmingly fast-path.
+func TestHeadlineShape(t *testing.T) {
+	topo, err := wan.FourGlobal4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Protocol, f, pp int) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Protocol:  p,
+			Params:    ParamsFor(p, 4, f, pp),
+			Topology:  topo,
+			BlockSize: 1 << 20, // the 1 MB point section 9.3 highlights
+			Duration:  60 * time.Second,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		t.Logf("%-10s mean=%s p95=%s tput=%.2f MB/s blocks=%d fast=%d slow=%d",
+			p, res.Latency.Mean, res.Latency.P95, res.ThroughputBps/1e6,
+			res.BlocksCommitted, res.FastFinal, res.SlowFinal)
+		return res
+	}
+
+	banyan := run(Banyan, 1, 1)
+	iccRes := run(ICC, 1, 0)
+	hs := run(HotStuff, 1, 0)
+	sl := run(Streamlet, 1, 0)
+
+	if banyan.Latency.Mean >= iccRes.Latency.Mean {
+		t.Errorf("Banyan mean latency %v not below ICC %v", banyan.Latency.Mean, iccRes.Latency.Mean)
+	}
+	if iccRes.Latency.Mean >= hs.Latency.Mean {
+		t.Errorf("ICC mean latency %v not below HotStuff %v", iccRes.Latency.Mean, hs.Latency.Mean)
+	}
+	if hs.Latency.Mean >= sl.Latency.Mean {
+		t.Errorf("HotStuff mean latency %v not below Streamlet %v", hs.Latency.Mean, sl.Latency.Mean)
+	}
+	if banyan.FastFinal < 9*banyan.SlowFinal {
+		t.Errorf("fast path underused: fast=%d slow=%d", banyan.FastFinal, banyan.SlowFinal)
+	}
+	// The paper reports ~30%% improvement over ICC at n=4 (section 9.3):
+	// check we are in that regime (at least 20%%).
+	improvement := 1 - float64(banyan.Latency.Mean)/float64(iccRes.Latency.Mean)
+	if improvement < 0.20 {
+		t.Errorf("Banyan improvement over ICC only %.1f%%, expected ~30%%", improvement*100)
+	}
+}
+
+// TestCrashParityBanyanICC is Figure 6d's claim as an assertion: under
+// crash faults Banyan behaves exactly like ICC (no penalty for trying the
+// fast path).
+func TestCrashParityBanyanICC(t *testing.T) {
+	topo, err := wan.FourUS19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Protocol) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Protocol:  p,
+			Params:    ParamsFor(p, 19, 6, 1),
+			Topology:  topo,
+			BlockSize: 100 << 10,
+			Duration:  30 * time.Second,
+			Delta:     1500 * time.Millisecond, // the paper's 3s timeout
+			Seed:      4,
+			Crash:     []CrashSpec{{Replica: 0}, {Replica: 5}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	b, i := run(Banyan), run(ICC)
+	if b.FastFinal != 0 {
+		t.Errorf("fast path fired %d times under crashes that break the fast quorum", b.FastFinal)
+	}
+	// Same block production cadence.
+	if b.BlocksCommitted != i.BlocksCommitted {
+		t.Errorf("blocks: banyan %d vs icc %d", b.BlocksCommitted, i.BlocksCommitted)
+	}
+	// Latency within 3% of each other.
+	ratio := float64(b.Latency.Mean) / float64(i.Latency.Mean)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("crash-fault latency parity broken: banyan %v vs icc %v (ratio %.3f)",
+			b.Latency.Mean, i.Latency.Mean, ratio)
+	}
+}
+
+// TestVarianceClaim is Figure 6c's claim as an assertion: the fast path
+// does not increase latency variance.
+func TestVarianceClaim(t *testing.T) {
+	topo, err := wan.FourGlobal4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Protocol) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Protocol:   p,
+			Params:     ParamsFor(p, 4, 1, 1),
+			Topology:   topo,
+			BlockSize:  1 << 20,
+			Duration:   45 * time.Second,
+			Seed:       6,
+			JitterFrac: 0.08,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	b, i := run(Banyan), run(ICC)
+	if b.Latency.StdDev > i.Latency.StdDev*3/2 {
+		t.Errorf("Banyan stddev %v well above ICC's %v", b.Latency.StdDev, i.Latency.StdDev)
+	}
+	t.Logf("banyan: %v  icc: %v", b.Latency, i.Latency)
+}
+
+// TestNegligibleOverheadClaim is the abstract's "negligible communication
+// overhead" claim: Banyan's wire traffic exceeds ICC's by only a few
+// percent (fast votes ride on existing messages).
+func TestNegligibleOverheadClaim(t *testing.T) {
+	topo, err := wan.FourGlobal19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Protocol) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Protocol:  p,
+			Params:    ParamsFor(p, 19, 6, 1),
+			Topology:  topo,
+			BlockSize: 64 << 10,
+			Duration:  20 * time.Second,
+			Seed:      2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	b, i := run(Banyan), run(ICC)
+	perBlockB := float64(b.MessageBytes) / float64(b.BlocksCommitted)
+	perBlockI := float64(i.MessageBytes) / float64(i.BlocksCommitted)
+	overhead := perBlockB/perBlockI - 1
+	if overhead > 0.05 {
+		t.Errorf("Banyan wire overhead over ICC = %.1f%%, want < 5%%", overhead*100)
+	}
+	t.Logf("banyan %.1f KB/block vs icc %.1f KB/block (%+.1f%%)",
+		perBlockB/1024, perBlockI/1024, overhead*100)
+}
+
+// TestAutoDeltaKeepsSingleProposer: the derived Δ must be generous enough
+// that fault-free rounds see exactly one proposer (paper section 9.2's
+// tuning requirement).
+func TestAutoDeltaKeepsSingleProposer(t *testing.T) {
+	for _, mk := range []func() (*wan.Topology, error){wan.FourGlobal19, wan.Global19} {
+		topo, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Protocol:   Banyan,
+			Params:     ParamsFor(Banyan, 19, 6, 1),
+			Topology:   topo,
+			BlockSize:  400 << 10,
+			Duration:   20 * time.Second,
+			Seed:       3,
+			JitterFrac: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All finalizations fast => only rank-0 blocks ever won a round =>
+		// higher-rank proposals never interfered.
+		if res.SlowFinal > res.FastFinal/20 {
+			t.Errorf("%s: %d slow vs %d fast finalizations — Δ too tight?",
+				topo.Name(), res.SlowFinal, res.FastFinal)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package mempool supplies block payloads.
+//
+// Two sources are provided, matching the repository's two modes of use:
+//
+//   - Synthetic: the paper's benchmark workload (section 9.2) — the leader
+//     generates a pseudo-random bit vector of a configured size for every
+//     block it proposes. Used by the simulator and the benchmarks.
+//   - Pool: a FIFO transaction mempool for the SMR example applications —
+//     clients submit opaque transactions, proposers drain them into block
+//     payloads up to a size limit.
+package mempool
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// Synthetic produces fixed-size pseudo-random payloads, one per proposal.
+// It is safe for single-goroutine use (engines run single-threaded).
+type Synthetic struct {
+	size int
+	seed uint64
+	n    uint64
+	// Materialized controls whether payloads carry real bytes (needed on
+	// the TCP transport) or stay as size-only descriptors (simulation).
+	materialized bool
+}
+
+var _ protocol.PayloadSource = (*Synthetic)(nil)
+
+// NewSynthetic builds a source of size-byte payloads derived from seed.
+func NewSynthetic(size int, seed uint64, materialized bool) *Synthetic {
+	return &Synthetic{size: size, seed: seed, materialized: materialized}
+}
+
+// NextPayload implements protocol.PayloadSource.
+func (s *Synthetic) NextPayload(round types.Round) types.Payload {
+	s.n++
+	sub := s.seed ^ uint64(round)<<20 ^ s.n
+	p := types.SyntheticPayload(s.size, sub)
+	if s.materialized {
+		return types.BytesPayload(p.Materialize())
+	}
+	return p
+}
+
+// Pool is a bounded FIFO transaction mempool. It is safe for concurrent
+// use: the node runtime calls NextPayload from the engine goroutine while
+// clients Submit from anywhere.
+//
+// Transactions are length-prefixed when batched into a payload; DecodeBatch
+// recovers them on commit.
+type Pool struct {
+	mu       sync.Mutex
+	txs      [][]byte
+	bytes    int
+	maxBytes int // cap on buffered bytes; Submit fails beyond it
+	maxBlock int // cap on bytes drained into one payload
+}
+
+var _ protocol.PayloadSource = (*Pool)(nil)
+
+// NewPool creates a mempool buffering at most maxBytes of transactions and
+// draining at most maxBlock bytes per block.
+func NewPool(maxBytes, maxBlock int) *Pool {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	if maxBlock <= 0 {
+		maxBlock = 1 << 20
+	}
+	return &Pool{maxBytes: maxBytes, maxBlock: maxBlock}
+}
+
+// Submit queues a transaction; it reports false when the pool is full or
+// the transaction alone exceeds the per-block limit.
+func (p *Pool) Submit(tx []byte) bool {
+	if len(tx) == 0 || len(tx)+4 > p.maxBlock {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bytes+len(tx) > p.maxBytes {
+		return false
+	}
+	cp := make([]byte, len(tx))
+	copy(cp, tx)
+	p.txs = append(p.txs, cp)
+	p.bytes += len(tx)
+	return true
+}
+
+// Len returns the number of queued transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.txs)
+}
+
+// NextPayload implements protocol.PayloadSource: drains queued
+// transactions, oldest first, into a length-prefixed batch of at most
+// maxBlock bytes. An empty pool yields an empty payload (empty blocks keep
+// the chain growing, as in the paper's implementation).
+func (p *Pool) NextPayload(types.Round) types.Payload {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.txs) == 0 {
+		return types.Payload{}
+	}
+	var (
+		batch []byte
+		used  int
+	)
+	for used < len(p.txs) {
+		tx := p.txs[used]
+		if len(batch)+4+len(tx) > p.maxBlock {
+			break
+		}
+		batch = binary.LittleEndian.AppendUint32(batch, uint32(len(tx)))
+		batch = append(batch, tx...)
+		p.bytes -= len(tx)
+		used++
+	}
+	p.txs = p.txs[used:]
+	return types.BytesPayload(batch)
+}
+
+// DecodeBatch splits a payload produced by Pool.NextPayload back into
+// transactions. It returns nil for empty or malformed payloads.
+func DecodeBatch(payload types.Payload) [][]byte {
+	data := payload.Data
+	var txs [][]byte
+	for len(data) >= 4 {
+		n := binary.LittleEndian.Uint32(data[:4])
+		data = data[4:]
+		if int(n) > len(data) || n == 0 {
+			return nil
+		}
+		txs = append(txs, data[:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil
+	}
+	return txs
+}

@@ -1,0 +1,190 @@
+package mempool
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"banyan/internal/types"
+)
+
+func TestSyntheticSource(t *testing.T) {
+	src := NewSynthetic(4096, 1, false)
+	p1 := src.NextPayload(1)
+	p2 := src.NextPayload(1)
+	if !p1.IsSynthetic() || p1.Size() != 4096 {
+		t.Fatalf("unexpected payload %+v", p1)
+	}
+	if p1.Digest() == p2.Digest() {
+		t.Fatal("consecutive synthetic payloads must differ")
+	}
+	mat := NewSynthetic(128, 1, true)
+	p := mat.NextPayload(1)
+	if p.IsSynthetic() || len(p.Data) != 128 {
+		t.Fatalf("materialized payload %+v", p)
+	}
+}
+
+func TestPoolFIFOAndBatching(t *testing.T) {
+	pool := NewPool(0, 1024)
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		tx := []byte(fmt.Sprintf("tx-%02d", i))
+		want = append(want, tx)
+		if !pool.Submit(tx) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	if pool.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", pool.Len())
+	}
+	payload := pool.NextPayload(1)
+	got := DecodeBatch(payload)
+	if len(got) != 10 {
+		t.Fatalf("decoded %d transactions, want 10", len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("tx %d out of order: %q vs %q", i, got[i], want[i])
+		}
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("pool not drained: %d left", pool.Len())
+	}
+	if p := pool.NextPayload(2); p.Size() != 0 {
+		t.Fatalf("empty pool produced payload of size %d", p.Size())
+	}
+}
+
+func TestPoolBlockSizeLimit(t *testing.T) {
+	pool := NewPool(0, 100)
+	big := make([]byte, 200)
+	if pool.Submit(big) {
+		t.Fatal("transaction larger than a block accepted")
+	}
+	// Several transactions that cannot all fit in one block.
+	for i := 0; i < 5; i++ {
+		if !pool.Submit(make([]byte, 30)) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	first := DecodeBatch(pool.NextPayload(1))
+	if len(first) != 2 { // 2*(4+30) = 68 fits; 3 would be 102 > 100
+		t.Fatalf("first block has %d txs, want 2", len(first))
+	}
+	second := DecodeBatch(pool.NextPayload(2))
+	if len(first)+len(second)+pool.Len() != 5 {
+		t.Fatal("transactions lost across batches")
+	}
+}
+
+func TestPoolCapacity(t *testing.T) {
+	pool := NewPool(100, 1000)
+	if !pool.Submit(make([]byte, 80)) {
+		t.Fatal("first submit rejected")
+	}
+	if pool.Submit(make([]byte, 30)) {
+		t.Fatal("pool accepted beyond its byte capacity")
+	}
+	pool.NextPayload(1) // drain
+	if !pool.Submit(make([]byte, 30)) {
+		t.Fatal("submit rejected after drain")
+	}
+}
+
+func TestPoolRejectsEmpty(t *testing.T) {
+	pool := NewPool(0, 0)
+	if pool.Submit(nil) || pool.Submit([]byte{}) {
+		t.Fatal("empty transaction accepted")
+	}
+}
+
+func TestPoolConcurrentSubmit(t *testing.T) {
+	pool := NewPool(0, 1<<20)
+	var wg sync.WaitGroup
+	const workers, each = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				pool.Submit([]byte(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	total := 0
+	for {
+		select {
+		case <-done:
+			for {
+				batch := DecodeBatch(pool.NextPayload(1))
+				if len(batch) == 0 {
+					break
+				}
+				total += len(batch)
+			}
+			if total != workers*each {
+				t.Errorf("got %d transactions, want %d", total, workers*each)
+			}
+			return
+		default:
+			total += len(DecodeBatch(pool.NextPayload(1)))
+		}
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	if DecodeBatch(types.BytesPayload([]byte{1, 0, 0})) != nil {
+		t.Fatal("truncated prefix decoded")
+	}
+	if DecodeBatch(types.BytesPayload([]byte{10, 0, 0, 0, 1})) != nil {
+		t.Fatal("length beyond data decoded")
+	}
+	if DecodeBatch(types.BytesPayload([]byte{0, 0, 0, 0})) != nil {
+		t.Fatal("zero-length transaction decoded")
+	}
+	if DecodeBatch(types.Payload{}) != nil {
+		t.Fatal("empty payload should decode to nil")
+	}
+}
+
+// TestQuickBatchRoundTrip: submitting arbitrary transactions and decoding
+// the produced batches yields the same transactions in order.
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := NewPool(0, 1<<20)
+		var want [][]byte
+		for i := 0; i < int(count%40)+1; i++ {
+			tx := make([]byte, rng.Intn(100)+1)
+			rng.Read(tx)
+			if pool.Submit(tx) {
+				want = append(want, tx)
+			}
+		}
+		var got [][]byte
+		for pool.Len() > 0 {
+			got = append(got, DecodeBatch(pool.NextPayload(1))...)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package protocol
+
+import (
+	"testing"
+
+	"banyan/internal/types"
+)
+
+func TestTimerKindString(t *testing.T) {
+	tests := []struct {
+		kind TimerKind
+		want string
+	}{
+		{TimerPropose, "propose"},
+		{TimerNotarize, "notarize"},
+		{TimerView, "view"},
+		{TimerKind(99), "TimerKind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestFinalizationModeString(t *testing.T) {
+	tests := []struct {
+		mode FinalizationMode
+		want string
+	}{
+		{FinalizeSlow, "slow"},
+		{FinalizeFast, "fast"},
+		{FinalizeIndirect, "indirect"},
+		{FinalizationMode(42), "FinalizationMode(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestActionSetIsClosed(t *testing.T) {
+	// The Action marker keeps the set of actions known to hosts; this is a
+	// compile-time property, asserted here for documentation.
+	var acts = []Action{
+		Broadcast{},
+		Send{},
+		SetTimer{},
+		Commit{},
+		SafetyFault{},
+	}
+	if len(acts) != 5 {
+		t.Fatal("unexpected action count")
+	}
+}
+
+func TestPayloadFunc(t *testing.T) {
+	src := PayloadFunc(func(r types.Round) types.Payload {
+		return types.SyntheticPayload(int(r), 0)
+	})
+	if got := src.NextPayload(7).Size(); got != 7 {
+		t.Fatalf("payload size %d, want 7", got)
+	}
+	if EmptyPayloads.NextPayload(3).Size() != 0 {
+		t.Fatal("EmptyPayloads must produce empty payloads")
+	}
+}
+
+func TestTimerIDString(t *testing.T) {
+	id := TimerID{Round: 5, Kind: TimerNotarize, Rank: 2}
+	if got := id.String(); got != "timer{notarize r=5 rank=2}" {
+		t.Fatalf("String() = %q", got)
+	}
+}

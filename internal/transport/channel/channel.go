@@ -1,0 +1,207 @@
+// Package channel provides an in-process transport: a hub connects n
+// replicas through buffered channels with optional per-link delay, loss
+// and partitions. It backs the runnable examples (whole clusters in one
+// process, real time) and the node-runtime tests; wide-area experiments
+// use the discrete-event simulator instead.
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"banyan/internal/node"
+	"banyan/internal/types"
+)
+
+// Options tune the hub.
+type Options struct {
+	// QueueLen is each replica's inbound queue capacity (default 4096).
+	// When a queue is full the message is dropped — consensus protocols
+	// tolerate loss; tests can assert drop counters stay zero.
+	QueueLen int
+	// Delay, when non-nil, returns the one-way delivery delay per link.
+	Delay func(from, to types.ReplicaID) time.Duration
+	// DropRate in [0,1) drops messages at random (seeded by Seed).
+	DropRate float64
+	// Seed drives the loss randomness.
+	Seed int64
+}
+
+// Hub connects n in-process replicas.
+type Hub struct {
+	n      int
+	opts   Options
+	queues []chan node.Inbound
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned map[linkKey]bool
+	dropped     int64
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+type linkKey struct{ from, to types.ReplicaID }
+
+// NewHub creates a hub for n replicas.
+func NewHub(n int, opts Options) *Hub {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 4096
+	}
+	h := &Hub{
+		n:           n,
+		opts:        opts,
+		queues:      make([]chan node.Inbound, n),
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		partitioned: make(map[linkKey]bool),
+	}
+	for i := range h.queues {
+		h.queues[i] = make(chan node.Inbound, opts.QueueLen)
+	}
+	return h
+}
+
+// Transport returns the transport endpoint for replica id.
+func (h *Hub) Transport(id types.ReplicaID) node.Transport {
+	return &endpoint{hub: h, id: id}
+}
+
+// Partition cuts the link from -> to (one direction). Use both calls for a
+// full cut.
+func (h *Hub) Partition(from, to types.ReplicaID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.partitioned[linkKey{from, to}] = true
+}
+
+// Heal restores the link from -> to.
+func (h *Hub) Heal(from, to types.ReplicaID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.partitioned, linkKey{from, to})
+}
+
+// Isolate cuts every link to and from the replica.
+func (h *Hub) Isolate(id types.ReplicaID) {
+	for j := 0; j < h.n; j++ {
+		if types.ReplicaID(j) == id {
+			continue
+		}
+		h.Partition(id, types.ReplicaID(j))
+		h.Partition(types.ReplicaID(j), id)
+	}
+}
+
+// Rejoin restores every link to and from the replica.
+func (h *Hub) Rejoin(id types.ReplicaID) {
+	for j := 0; j < h.n; j++ {
+		if types.ReplicaID(j) == id {
+			continue
+		}
+		h.Heal(id, types.ReplicaID(j))
+		h.Heal(types.ReplicaID(j), id)
+	}
+}
+
+// Dropped returns the number of messages dropped (loss, partitions, full
+// queues).
+func (h *Hub) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Close shuts the hub down; pending delayed deliveries are awaited, then
+// all queues close.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.wg.Wait()
+	for _, q := range h.queues {
+		close(q)
+	}
+}
+
+func (h *Hub) deliver(from, to types.ReplicaID, msg types.Message) {
+	h.mu.Lock()
+	if h.closed || h.partitioned[linkKey{from, to}] {
+		h.dropped++
+		h.mu.Unlock()
+		return
+	}
+	if h.opts.DropRate > 0 && h.rng.Float64() < h.opts.DropRate {
+		h.dropped++
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+
+	var delay time.Duration
+	if h.opts.Delay != nil {
+		delay = h.opts.Delay(from, to)
+	}
+	in := node.Inbound{From: from, Msg: msg}
+	if delay <= 0 {
+		h.enqueue(to, in)
+		return
+	}
+	h.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer h.wg.Done()
+		h.mu.Lock()
+		closed := h.closed
+		h.mu.Unlock()
+		if !closed {
+			h.enqueue(to, in)
+		}
+	})
+}
+
+func (h *Hub) enqueue(to types.ReplicaID, in node.Inbound) {
+	select {
+	case h.queues[to] <- in:
+	default:
+		h.mu.Lock()
+		h.dropped++
+		h.mu.Unlock()
+	}
+}
+
+type endpoint struct {
+	hub *Hub
+	id  types.ReplicaID
+}
+
+var _ node.Transport = (*endpoint)(nil)
+
+func (e *endpoint) Send(to types.ReplicaID, msg types.Message) error {
+	if int(to) >= e.hub.n {
+		return fmt.Errorf("channel: no replica %d", to)
+	}
+	e.hub.deliver(e.id, to, msg)
+	return nil
+}
+
+func (e *endpoint) Broadcast(msg types.Message) error {
+	for j := 0; j < e.hub.n; j++ {
+		if types.ReplicaID(j) == e.id {
+			continue
+		}
+		e.hub.deliver(e.id, types.ReplicaID(j), msg)
+	}
+	return nil
+}
+
+func (e *endpoint) Receive() <-chan node.Inbound { return e.hub.queues[e.id] }
+
+// Close is a no-op for endpoints; the hub owns shared state. Closing the
+// hub closes every endpoint's receive channel.
+func (e *endpoint) Close() error { return nil }

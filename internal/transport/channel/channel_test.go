@@ -1,0 +1,139 @@
+package channel
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/node"
+	"banyan/internal/types"
+)
+
+func recvOne(t *testing.T, tr node.Transport) node.Inbound {
+	t.Helper()
+	select {
+	case in := <-tr.Receive():
+		return in
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+		return node.Inbound{}
+	}
+}
+
+func expectNone(t *testing.T, tr node.Transport) {
+	t.Helper()
+	select {
+	case in := <-tr.Receive():
+		t.Fatalf("unexpected delivery %+v", in)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSendAndBroadcast(t *testing.T) {
+	hub := NewHub(3, Options{})
+	defer hub.Close()
+	t0, t1, t2 := hub.Transport(0), hub.Transport(1), hub.Transport(2)
+
+	if err := t0.Send(1, &types.CertMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, t1)
+	if in.From != 0 {
+		t.Fatalf("from = %d", in.From)
+	}
+	if err := t2.Broadcast(&types.CertMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	if in := recvOne(t, t0); in.From != 2 {
+		t.Fatalf("from = %d", in.From)
+	}
+	if in := recvOne(t, t1); in.From != 2 {
+		t.Fatalf("from = %d", in.From)
+	}
+	if err := t0.Send(7, &types.CertMsg{}); err == nil {
+		t.Fatal("send to unknown replica accepted")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	hub := NewHub(2, Options{Delay: func(_, _ types.ReplicaID) time.Duration { return delay }})
+	defer hub.Close()
+	start := time.Now()
+	hub.Transport(0).Send(1, &types.CertMsg{})
+	recvOne(t, hub.Transport(1))
+	if got := time.Since(start); got < delay-5*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= %v", got, delay)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	hub := NewHub(2, Options{})
+	defer hub.Close()
+	hub.Partition(0, 1)
+	hub.Transport(0).Send(1, &types.CertMsg{})
+	expectNone(t, hub.Transport(1))
+	// The reverse direction still works.
+	hub.Transport(1).Send(0, &types.CertMsg{})
+	recvOne(t, hub.Transport(0))
+	if hub.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", hub.Dropped())
+	}
+	hub.Heal(0, 1)
+	hub.Transport(0).Send(1, &types.CertMsg{})
+	recvOne(t, hub.Transport(1))
+}
+
+func TestIsolateRejoin(t *testing.T) {
+	hub := NewHub(3, Options{})
+	defer hub.Close()
+	hub.Isolate(2)
+	hub.Transport(0).Broadcast(&types.CertMsg{})
+	recvOne(t, hub.Transport(1))
+	expectNone(t, hub.Transport(2))
+	hub.Transport(2).Send(0, &types.CertMsg{})
+	expectNone(t, hub.Transport(0))
+	hub.Rejoin(2)
+	hub.Transport(2).Send(0, &types.CertMsg{})
+	recvOne(t, hub.Transport(0))
+}
+
+func TestDropRate(t *testing.T) {
+	hub := NewHub(2, Options{DropRate: 1.0, Seed: 1})
+	defer hub.Close()
+	for i := 0; i < 10; i++ {
+		hub.Transport(0).Send(1, &types.CertMsg{})
+	}
+	expectNone(t, hub.Transport(1))
+	if hub.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", hub.Dropped())
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	hub := NewHub(2, Options{QueueLen: 4})
+	defer hub.Close()
+	for i := 0; i < 10; i++ {
+		hub.Transport(0).Send(1, &types.CertMsg{})
+	}
+	if hub.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", hub.Dropped())
+	}
+}
+
+func TestCloseClosesReceive(t *testing.T) {
+	hub := NewHub(2, Options{})
+	tr := hub.Transport(0)
+	hub.Close()
+	hub.Close() // idempotent
+	if _, ok := <-tr.Receive(); ok {
+		t.Fatal("receive channel still open after Close")
+	}
+	// Sends after close are dropped, not panicking.
+	hub.Transport(1).Send(0, &types.CertMsg{})
+}
+
+func TestDelayedDeliveryAfterCloseIsDropped(t *testing.T) {
+	hub := NewHub(2, Options{Delay: func(_, _ types.ReplicaID) time.Duration { return 30 * time.Millisecond }})
+	hub.Transport(0).Send(1, &types.CertMsg{})
+	hub.Close() // waits for the delayed delivery timer, which must not panic
+}

@@ -1,0 +1,376 @@
+// Package tcp is a length-prefix framed TCP transport for multi-process
+// deployments: each replica listens on one address, dials every peer with
+// automatic reconnection, and exchanges wire-encoded consensus messages
+// (types.EncodeMessage). It is the deployment substrate behind cmd/banyan
+// and cmd/localnet.
+//
+// Framing: a connection opens with a 10-byte hello (8-byte magic, 2-byte
+// sender ID); every subsequent frame is a 4-byte little-endian length
+// followed by that many bytes of message encoding. Oversized or malformed
+// frames close the connection; the dialer reconnects.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"banyan/internal/node"
+	"banyan/internal/types"
+)
+
+var magic = [8]byte{'b', 'a', 'n', 'y', 'a', 'n', '/', '1'}
+
+// Config assembles a TCP transport.
+type Config struct {
+	// Self is this replica's ID.
+	Self types.ReplicaID
+	// ListenAddr is the local listen address ("host:port"); use port 0 for
+	// an ephemeral port (Addr reports the bound address).
+	ListenAddr string
+	// Peers maps every other replica to its address. An entry for Self is
+	// ignored.
+	Peers map[types.ReplicaID]string
+	// DialTimeout bounds connection attempts (default 3s).
+	DialTimeout time.Duration
+	// RetryInterval paces reconnection attempts (default 500ms).
+	RetryInterval time.Duration
+	// QueueLen is the per-peer outbound queue and the shared inbound queue
+	// capacity (default 1024). Full outbound queues drop (consensus
+	// tolerates loss); the inbound queue applies backpressure.
+	QueueLen int
+	// MaxFrame bounds accepted frame sizes (default 32 MiB).
+	MaxFrame int
+	// Logf, when non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Transport is a running TCP endpoint. It implements node.Transport.
+type Transport struct {
+	cfg      Config
+	listener net.Listener
+	inbound  chan node.Inbound
+	closedCh chan struct{} // closed on Close; unblocks reader goroutines
+
+	mu      sync.Mutex
+	peers   map[types.ReplicaID]*peer
+	conns   map[net.Conn]bool // accepted connections, closed on Close
+	closed  bool
+	dropped int64
+
+	wg sync.WaitGroup
+}
+
+var _ node.Transport = (*Transport)(nil)
+
+type peer struct {
+	id   types.ReplicaID
+	addr string
+	out  chan []byte
+}
+
+// New starts listening and dialing. Callers should Close the transport.
+func New(cfg Config) (*Transport, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = 32 << 20
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", cfg.ListenAddr, err)
+	}
+	t := &Transport{
+		cfg:      cfg,
+		listener: ln,
+		inbound:  make(chan node.Inbound, cfg.QueueLen),
+		closedCh: make(chan struct{}),
+		peers:    make(map[types.ReplicaID]*peer),
+		conns:    make(map[net.Conn]bool),
+	}
+	for id, addr := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		p := &peer{id: id, addr: addr, out: make(chan []byte, cfg.QueueLen)}
+		t.peers[id] = p
+		t.wg.Add(1)
+		go t.dialLoop(p)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ephemeral ports).
+func (t *Transport) Addr() string { return t.listener.Addr().String() }
+
+// Dropped returns the number of outbound messages dropped on full queues.
+func (t *Transport) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Send implements node.Transport.
+func (t *Transport) Send(to types.ReplicaID, msg types.Message) error {
+	t.mu.Lock()
+	p, ok := t.peers[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return errors.New("tcp: transport closed")
+	}
+	if !ok {
+		return fmt.Errorf("tcp: unknown peer %d", to)
+	}
+	frame, err := encodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	t.enqueue(p, frame)
+	return nil
+}
+
+// Broadcast implements node.Transport: the message is encoded once and
+// queued to every peer.
+func (t *Transport) Broadcast(msg types.Message) error {
+	frame, err := encodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("tcp: transport closed")
+	}
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, p := range peers {
+		t.enqueue(p, frame)
+	}
+	return nil
+}
+
+// Receive implements node.Transport.
+func (t *Transport) Receive() <-chan node.Inbound { return t.inbound }
+
+// Close implements node.Transport: stops the listener, dialers and
+// readers, then closes the receive channel.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, p := range t.peers {
+		close(p.out)
+	}
+	// Close accepted connections so blocked readers return; otherwise a
+	// reader on a quiet connection would pin Close until the remote side
+	// goes away.
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	close(t.closedCh)
+	err := t.listener.Close()
+	t.wg.Wait()
+	close(t.inbound)
+	return err
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *Transport) enqueue(p *peer, frame []byte) {
+	defer func() {
+		// Losing the race with Close (send on closed channel) counts as a
+		// drop rather than a crash.
+		if recover() != nil {
+			t.countDrop()
+		}
+	}()
+	select {
+	case p.out <- frame:
+	default:
+		t.countDrop()
+	}
+}
+
+func (t *Transport) countDrop() {
+	t.mu.Lock()
+	t.dropped++
+	t.mu.Unlock()
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// dialLoop maintains the outbound connection to one peer, writing frames
+// from its queue and reconnecting on failure.
+func (t *Transport) dialLoop(p *peer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for frame := range p.out {
+		for conn == nil {
+			if t.isClosed() {
+				return
+			}
+			c, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
+			if err != nil {
+				t.logf("tcp: dial %d@%s: %v", p.id, p.addr, err)
+				time.Sleep(t.cfg.RetryInterval)
+				continue
+			}
+			if err := writeHello(c, t.cfg.Self); err != nil {
+				t.logf("tcp: hello to %d: %v", p.id, err)
+				c.Close()
+				time.Sleep(t.cfg.RetryInterval)
+				continue
+			}
+			conn = c
+			t.logf("tcp: connected to %d@%s", p.id, p.addr)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.logf("tcp: write to %d: %v", p.id, err)
+			conn.Close()
+			conn = nil
+			// The frame is lost; consensus handles loss. Continue with the
+			// next frame after reconnecting.
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per peer.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	from, err := readHello(conn)
+	if err != nil {
+		t.logf("tcp: bad hello from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			if !errors.Is(err, io.EOF) && !t.isClosed() {
+				t.logf("tcp: read from %d: %v", from, err)
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if int(n) > t.cfg.MaxFrame || n == 0 {
+			t.logf("tcp: bad frame length %d from %d", n, from)
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.logf("tcp: read frame from %d: %v", from, err)
+			return
+		}
+		msg, err := types.DecodeMessage(buf)
+		if err != nil {
+			t.logf("tcp: decode from %d: %v", from, err)
+			return
+		}
+		if t.isClosed() {
+			return
+		}
+		// Backpressure: block until the node consumes. A stalled node
+		// stalls its TCP peers rather than ballooning memory; shutdown
+		// unblocks via closedCh.
+		select {
+		case t.inbound <- node.Inbound{From: from, Msg: msg}:
+		case <-t.closedCh:
+			return
+		}
+	}
+}
+
+func encodeFrame(msg types.Message) ([]byte, error) {
+	body, err := types.EncodeMessage(msg)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+func writeHello(c net.Conn, self types.ReplicaID) error {
+	var hello [10]byte
+	copy(hello[:8], magic[:])
+	binary.LittleEndian.PutUint16(hello[8:10], uint16(self))
+	_, err := c.Write(hello[:])
+	return err
+}
+
+func readHello(c net.Conn) (types.ReplicaID, error) {
+	var hello [10]byte
+	if err := c.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return 0, err
+	}
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return 0, err
+	}
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		return 0, err
+	}
+	if [8]byte(hello[:8]) != magic {
+		return 0, errors.New("tcp: bad magic")
+	}
+	return types.ReplicaID(binary.LittleEndian.Uint16(hello[8:10])), nil
+}

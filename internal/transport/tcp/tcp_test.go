@@ -1,0 +1,234 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"banyan/internal/types"
+)
+
+// pairedTransports builds n connected transports on ephemeral ports.
+func pairedTransports(t *testing.T, n int) []*Transport {
+	t.Helper()
+	// First bind all listeners on ephemeral ports.
+	trs := make([]*Transport, n)
+	addrs := make(map[types.ReplicaID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := New(Config{
+			Self:       types.ReplicaID(i),
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		addrs[types.ReplicaID(i)] = tr.Addr()
+	}
+	// Rebuild with full peer maps (simplest correct wiring for tests).
+	for i := 0; i < n; i++ {
+		trs[i].Close()
+	}
+	for i := 0; i < n; i++ {
+		tr, err := New(Config{
+			Self:       types.ReplicaID(i),
+			ListenAddr: addrs[types.ReplicaID(i)],
+			Peers:      addrs,
+			Logf:       t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return trs
+}
+
+func TestSendAndBroadcast(t *testing.T) {
+	trs := pairedTransports(t, 3)
+
+	vote := types.Vote{Kind: types.VoteNotarize, Round: 7, Voter: 0, Signature: []byte("sig")}
+	if err := trs[0].Send(1, &types.VoteMsg{Votes: []types.Vote{vote}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-trs[1].Receive():
+		if in.From != 0 {
+			t.Fatalf("message from %d, want 0", in.From)
+		}
+		vm, ok := in.Msg.(*types.VoteMsg)
+		if !ok || len(vm.Votes) != 1 || vm.Votes[0].Round != 7 {
+			t.Fatalf("unexpected message %#v", in.Msg)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("send not delivered")
+	}
+
+	if err := trs[2].Broadcast(&types.CertMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		select {
+		case in := <-trs[i].Receive():
+			if in.From != 2 {
+				t.Fatalf("broadcast from %d, want 2", in.From)
+			}
+			if _, ok := in.Msg.(*types.CertMsg); !ok {
+				t.Fatalf("unexpected message %#v", in.Msg)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("broadcast not delivered to %d", i)
+		}
+	}
+}
+
+func TestCloseUnblocksPromptly(t *testing.T) {
+	trs := pairedTransports(t, 2)
+	// Generate some traffic so connections exist.
+	for i := 0; i < 10; i++ {
+		if err := trs[0].Send(1, &types.CertMsg{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-trs[1].Receive():
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery")
+	}
+	done := make(chan struct{})
+	go func() {
+		trs[0].Close()
+		trs[1].Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return promptly")
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	trs := pairedTransports(t, 2)
+	payload := make([]byte, 2<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b := types.NewBlock(3, 0, 0, types.BlockID{}, types.BytesPayload(payload))
+	if err := trs[0].Send(1, &types.Proposal{Block: b}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-trs[1].Receive():
+		p, ok := in.Msg.(*types.Proposal)
+		if !ok {
+			t.Fatalf("unexpected message %#v", in.Msg)
+		}
+		if p.Block.Payload.Size() != len(payload) {
+			t.Fatalf("payload size %d, want %d", p.Block.Payload.Size(), len(payload))
+		}
+		if p.Block.ID() != b.ID() {
+			t.Fatal("block identity changed in transit")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large frame not delivered")
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	trs := pairedTransports(t, 2)
+	addr1 := trs[1].Addr()
+
+	if err := trs[0].Send(1, &types.CertMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-trs[1].Receive():
+	case <-time.After(10 * time.Second):
+		t.Fatal("initial delivery failed")
+	}
+
+	// Restart replica 1's transport on the same address.
+	trs[1].Close()
+	time.Sleep(100 * time.Millisecond)
+	tr1, err := New(Config{
+		Self:       1,
+		ListenAddr: addr1,
+		Peers:      map[types.ReplicaID]string{0: trs[0].Addr()},
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr1.Close()
+
+	// Sending repeatedly must eventually get through the new connection.
+	deadline := time.After(20 * time.Second)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := trs[0].Send(1, &types.CertMsg{}); err != nil {
+				t.Fatal(err)
+			}
+		case in := <-tr1.Receive():
+			if in.From != 0 {
+				t.Fatalf("from %d, want 0", in.From)
+			}
+			return
+		case <-deadline:
+			t.Fatalf("no delivery after restart (dropped=%d)", trs[0].Dropped())
+		}
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	trs := pairedTransports(t, 2)
+	if err := trs[0].Send(9, &types.CertMsg{}); err == nil {
+		t.Fatal("expected error for unknown peer")
+	}
+}
+
+func TestManyMessagesBothWays(t *testing.T) {
+	trs := pairedTransports(t, 2)
+	const count = 500
+	go func() {
+		for i := 0; i < count; i++ {
+			trs[0].Send(1, &types.VoteMsg{Votes: []types.Vote{{Kind: types.VoteFast, Round: types.Round(i)}}})
+		}
+	}()
+	go func() {
+		for i := 0; i < count; i++ {
+			trs[1].Send(0, &types.VoteMsg{Votes: []types.Vote{{Kind: types.VoteFast, Round: types.Round(i)}}})
+		}
+	}()
+	recv := func(tr *Transport, name string) {
+		got := 0
+		deadline := time.After(20 * time.Second)
+		for got < count {
+			select {
+			case <-tr.Receive():
+				got++
+			case <-deadline:
+				t.Errorf("%s received %d/%d", name, got, count)
+				return
+			}
+		}
+	}
+	recv(trs[0], "tr0")
+	recv(trs[1], "tr1")
+	if err := failIfDropped(trs...); err != nil {
+		t.Log(err) // informational: drops are legal but unexpected locally
+	}
+}
+
+func failIfDropped(trs ...*Transport) error {
+	for i, tr := range trs {
+		if d := tr.Dropped(); d > 0 {
+			return fmt.Errorf("transport %d dropped %d messages", i, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BlockHeader is the hashed portion of a block. Headers appear on the wire
+// inside unlock proofs, where the verifier needs the rank of a voted block
+// without necessarily holding the block itself: the header re-hashes to the
+// BlockID the votes name, so the rank claim is bound by collision
+// resistance.
+type BlockHeader struct {
+	Round         Round
+	Proposer      ReplicaID
+	Rank          Rank
+	Parent        BlockID
+	PayloadDigest [32]byte
+}
+
+// ID computes the block ID this header hashes to.
+func (h BlockHeader) ID() BlockID {
+	var hdr [8 + 2 + 2 + 32 + 32]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(h.Round))
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(h.Proposer))
+	binary.LittleEndian.PutUint16(hdr[10:12], uint16(h.Rank))
+	copy(hdr[12:44], h.Parent[:])
+	copy(hdr[44:76], h.PayloadDigest[:])
+	hash := sha256.New()
+	hash.Write([]byte("banyan/block/v1"))
+	hash.Write(hdr[:])
+	var id BlockID
+	hash.Sum(id[:0])
+	return id
+}
+
+// Header extracts the block's header.
+func (b *Block) Header() BlockHeader {
+	return BlockHeader{
+		Round:         b.Round,
+		Proposer:      b.Proposer,
+		Rank:          b.Rank,
+		Parent:        b.Parent,
+		PayloadDigest: b.Payload.Digest(),
+	}
+}
+
+// CertKind distinguishes the aggregate certificates of the protocol.
+type CertKind uint8
+
+const (
+	// CertNotarization aggregates NotarizationQuorum notarization votes
+	// (paper: "notarization", N in Figure 3).
+	CertNotarization CertKind = iota + 1
+	// CertFinalization aggregates FinalizationQuorum finalization votes
+	// ("finalization", F in Figure 3) — SP-finalization.
+	CertFinalization
+	// CertFastFinalization aggregates FastQuorum fast votes for a rank-0
+	// block (Addition 4) — FP-finalization.
+	CertFastFinalization
+)
+
+func (k CertKind) String() string {
+	switch k {
+	case CertNotarization:
+		return "notarization"
+	case CertFinalization:
+		return "finalization"
+	case CertFastFinalization:
+		return "fast-finalization"
+	default:
+		return fmt.Sprintf("CertKind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a defined certificate kind.
+func (k CertKind) Valid() bool { return k >= CertNotarization && k <= CertFastFinalization }
+
+// VoteKind returns the kind of vote the certificate aggregates.
+func (k CertKind) VoteKind() VoteKind {
+	switch k {
+	case CertNotarization:
+		return VoteNotarize
+	case CertFinalization:
+		return VoteFinalize
+	case CertFastFinalization:
+		return VoteFast
+	default:
+		return 0
+	}
+}
+
+// Certificate is an aggregate of quorum-many votes of one kind for one
+// block. The paper aggregates votes into BLS multi-signatures; this
+// implementation substitutes a signer list plus one signature per signer
+// (see DESIGN.md section 2) — same quorum semantics, transferable, and the
+// certificate size still grows with the quorum, preserving the message-size
+// behaviour the evaluation depends on.
+type Certificate struct {
+	Kind    CertKind
+	Round   Round
+	Block   BlockID
+	Signers []ReplicaID // ascending, no duplicates
+	Sigs    [][]byte    // Sigs[i] is Signers[i]'s signature over the vote digest
+}
+
+// NewCertificate assembles a certificate from collected votes of the given
+// kind for the given block. Votes for other blocks/rounds/kinds are
+// rejected.
+func NewCertificate(kind CertKind, round Round, block BlockID, votes []Vote) (*Certificate, error) {
+	want := kind.VoteKind()
+	c := &Certificate{Kind: kind, Round: round, Block: block}
+	seen := make(map[ReplicaID]bool, len(votes))
+	sorted := make([]Vote, 0, len(votes))
+	for _, v := range votes {
+		if v.Kind != want || v.Round != round || v.Block != block {
+			return nil, fmt.Errorf("certificate: vote %v does not match %s for round %d block %s",
+				v, kind, round, block)
+		}
+		if seen[v.Voter] {
+			continue
+		}
+		seen[v.Voter] = true
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Voter < sorted[j].Voter })
+	c.Signers = make([]ReplicaID, len(sorted))
+	c.Sigs = make([][]byte, len(sorted))
+	for i, v := range sorted {
+		c.Signers[i] = v.Voter
+		c.Sigs[i] = v.Signature
+	}
+	return c, nil
+}
+
+// Digest returns the vote digest every signature in the certificate covers.
+func (c *Certificate) Digest() [32]byte {
+	return VoteDigest(c.Kind.VoteKind(), c.Round, c.Block)
+}
+
+// CheckShape verifies the structural well-formedness of the certificate:
+// sorted unique signers with in-range IDs and one signature each, meeting
+// the given quorum. Signature verification is done by crypto.VerifyCert.
+func (c *Certificate) CheckShape(n, quorum int) error {
+	if !c.Kind.Valid() {
+		return fmt.Errorf("certificate: invalid kind %d", c.Kind)
+	}
+	if len(c.Signers) != len(c.Sigs) {
+		return fmt.Errorf("certificate: %d signers but %d signatures", len(c.Signers), len(c.Sigs))
+	}
+	if len(c.Signers) < quorum {
+		return fmt.Errorf("certificate: %d signers below quorum %d", len(c.Signers), quorum)
+	}
+	for i, s := range c.Signers {
+		if int(s) >= n {
+			return fmt.Errorf("certificate: signer %d out of range (n=%d)", s, n)
+		}
+		if i > 0 && c.Signers[i-1] >= s {
+			return fmt.Errorf("certificate: signers not strictly ascending at index %d", i)
+		}
+	}
+	return nil
+}
+
+func (c *Certificate) String() string {
+	return fmt.Sprintf("%s{r=%d b=%s |signers|=%d}", c.Kind, c.Round, c.Block, len(c.Signers))
+}
+
+// UnlockEntry groups the fast votes an unlock proof contains for one block,
+// together with that block's header (which binds the block's rank).
+type UnlockEntry struct {
+	Header BlockHeader
+	Voters []ReplicaID // ascending, no duplicates
+	Sigs   [][]byte    // fast-vote signatures, aligned with Voters
+}
+
+// UnlockProof is the transferable evidence that a block is unlocked
+// (Definition 7.7): a collection of fast votes that satisfies one of the
+// two conditions of Definition 7.6 from any verifier's standpoint.
+type UnlockProof struct {
+	Round Round
+	Block BlockID // block claimed unlocked; ignored when All is set
+	// All marks a Condition-2 proof: every current and future block of the
+	// round is unlocked.
+	All     bool
+	Entries []UnlockEntry
+}
+
+// Evaluate re-runs Definition 7.6 over the proof's own votes and reports
+// whether they establish the claim, assuming all contained votes verify
+// (signature checking is crypto.VerifyUnlockProof's job). threshold is
+// Params.UnlockThreshold() = f + p.
+//
+// Condition 1: |supp(b) ∪ supp(nonLeaderBlocks)| > f+p unlocks b.
+// Condition 2: |supp(nonMaxBlocks)| > f+p unlocks every block of the round,
+// where max is a rank-0 block with the greatest support among the entries.
+func (u *UnlockProof) Evaluate(threshold int) bool {
+	for _, e := range u.Entries {
+		if e.Header.Round != u.Round {
+			return false
+		}
+		if len(e.Voters) != len(e.Sigs) {
+			return false
+		}
+		for i := 1; i < len(e.Voters); i++ {
+			if e.Voters[i-1] >= e.Voters[i] {
+				return false
+			}
+		}
+	}
+	if u.All {
+		return u.cond2Support() > threshold
+	}
+	return u.cond1Support(u.Block) > threshold
+}
+
+// cond1Support computes |supp(b) ∪ supp(nonLeaderBlocks)| over the entries.
+func (u *UnlockProof) cond1Support(b BlockID) int {
+	voters := make(map[ReplicaID]bool)
+	for _, e := range u.Entries {
+		id := e.Header.ID()
+		if id == b || e.Header.Rank != 0 {
+			for _, v := range e.Voters {
+				voters[v] = true
+			}
+		}
+	}
+	return len(voters)
+}
+
+// cond2Support computes the Condition-2 support under the *strict*
+// semantics: the smallest |supp(entries \ {m})| over every possible choice
+// of the excluded rank-0 block m (including "m is a block the verifier has
+// not seen", i.e. excluding nothing).
+//
+// Definition 7.2 picks max(k) as the rank-0 block with the largest
+// support, but a verifier working from a transferred vote set cannot know
+// the true max: an adversary could withhold votes for an FP-finalized
+// block so that a different block looks maximal, smuggling that block's
+// honest votes into the Condition-2 count and forging an "all unlocked"
+// proof for a round with an FP-finalized block (breaking Lemma 8.5 for
+// f >= 2). Requiring the bound for every candidate max closes the gap:
+//
+//   - Sound: if block b is FP-finalized, votes for blocks other than b
+//     come from at most p honest + f Byzantine distinct voters, so the
+//     choice m = b (or m absent when b's votes are withheld) caps the
+//     support at f+p.
+//   - Live: in Lemma 8.1's pigeonhole, either supp(max) > f+p (then
+//     Condition 1 already unlocks max), or supp(max) <= f+p and the total
+//     2f+2p+1 support means removing any single rank-0 block leaves more
+//     than f+p voters, so the strict condition still fires.
+func (u *UnlockProof) cond2Support() int {
+	support := func(skip int) int {
+		voters := make(map[ReplicaID]bool)
+		for i, e := range u.Entries {
+			if i == skip {
+				continue
+			}
+			for _, v := range e.Voters {
+				voters[v] = true
+			}
+		}
+		return len(voters)
+	}
+	min := support(-1) // the excluded max may be a block with no entry
+	for i, e := range u.Entries {
+		if e.Header.Rank != 0 {
+			continue
+		}
+		if s := support(i); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+func lessID(a, b BlockID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// VoteCount returns the total number of fast votes carried by the proof.
+func (u *UnlockProof) VoteCount() int {
+	n := 0
+	for _, e := range u.Entries {
+		n += len(e.Voters)
+	}
+	return n
+}
+
+func (u *UnlockProof) String() string {
+	if u == nil {
+		return "unlock{nil}"
+	}
+	return fmt.Sprintf("unlock{r=%d b=%s all=%v votes=%d}", u.Round, u.Block, u.All, u.VoteCount())
+}

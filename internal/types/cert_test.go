@@ -1,0 +1,239 @@
+package types
+
+import (
+	"testing"
+)
+
+func mkVote(kind VoteKind, round Round, block BlockID, voter ReplicaID) Vote {
+	return Vote{Kind: kind, Round: round, Block: block, Voter: voter, Signature: []byte{byte(voter)}}
+}
+
+func TestNewCertificate(t *testing.T) {
+	var block BlockID
+	block[0] = 7
+	votes := []Vote{
+		mkVote(VoteNotarize, 3, block, 2),
+		mkVote(VoteNotarize, 3, block, 0),
+		mkVote(VoteNotarize, 3, block, 1),
+		mkVote(VoteNotarize, 3, block, 2), // duplicate, dropped
+	}
+	c, err := NewCertificate(CertNotarization, 3, block, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Signers) != 3 {
+		t.Fatalf("got %d signers, want 3", len(c.Signers))
+	}
+	for i := 1; i < len(c.Signers); i++ {
+		if c.Signers[i-1] >= c.Signers[i] {
+			t.Fatal("signers not strictly ascending")
+		}
+	}
+	if err := c.CheckShape(4, 3); err != nil {
+		t.Fatalf("CheckShape: %v", err)
+	}
+	if err := c.CheckShape(4, 4); err == nil {
+		t.Fatal("CheckShape should fail below quorum")
+	}
+	if err := c.CheckShape(2, 3); err == nil {
+		t.Fatal("CheckShape should fail with out-of-range signer")
+	}
+}
+
+func TestNewCertificateRejectsMismatches(t *testing.T) {
+	var b1, b2 BlockID
+	b2[0] = 1
+	tests := []struct {
+		name string
+		vote Vote
+	}{
+		{"wrong kind", mkVote(VoteFast, 3, b1, 0)},
+		{"wrong round", mkVote(VoteNotarize, 4, b1, 0)},
+		{"wrong block", mkVote(VoteNotarize, 3, b2, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCertificate(CertNotarization, 3, b1, []Vote{tt.vote}); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestCertKindVoteKind(t *testing.T) {
+	tests := []struct {
+		cert CertKind
+		vote VoteKind
+	}{
+		{CertNotarization, VoteNotarize},
+		{CertFinalization, VoteFinalize},
+		{CertFastFinalization, VoteFast},
+	}
+	for _, tt := range tests {
+		if got := tt.cert.VoteKind(); got != tt.vote {
+			t.Errorf("%v.VoteKind() = %v, want %v", tt.cert, got, tt.vote)
+		}
+	}
+	if CertKind(0).VoteKind() != 0 {
+		t.Error("invalid kind should map to zero")
+	}
+}
+
+// unlockFixture builds headers for a round with one or two rank-0 blocks
+// and one rank-1 block, plus helpers to assemble proofs.
+type unlockFixture struct {
+	round   Round
+	leaderA BlockHeader // rank 0
+	leaderB BlockHeader // rank 0 (equivocation)
+	rank1   BlockHeader // rank 1
+}
+
+func newUnlockFixture(round Round) unlockFixture {
+	f := unlockFixture{round: round}
+	f.leaderA = BlockHeader{Round: round, Proposer: 0, Rank: 0, PayloadDigest: [32]byte{1}}
+	f.leaderB = BlockHeader{Round: round, Proposer: 0, Rank: 0, PayloadDigest: [32]byte{2}}
+	f.rank1 = BlockHeader{Round: round, Proposer: 1, Rank: 1, PayloadDigest: [32]byte{3}}
+	return f
+}
+
+func entry(h BlockHeader, voters ...ReplicaID) UnlockEntry {
+	e := UnlockEntry{Header: h}
+	for _, v := range voters {
+		e.Voters = append(e.Voters, v)
+		e.Sigs = append(e.Sigs, []byte{byte(v)})
+	}
+	return e
+}
+
+// TestUnlockProofCondition1 mirrors Figure 4's round k: with n=4, f=1,
+// p=1 (threshold 2), three fast votes for the rank-0 block unlock it.
+func TestUnlockProofCondition1(t *testing.T) {
+	f := newUnlockFixture(5)
+	proof := &UnlockProof{
+		Round:   5,
+		Block:   f.leaderA.ID(),
+		Entries: []UnlockEntry{entry(f.leaderA, 0, 1, 2)},
+	}
+	if !proof.Evaluate(2) {
+		t.Fatal("3 votes for the block should exceed threshold 2")
+	}
+	// Two votes are not enough.
+	proof.Entries = []UnlockEntry{entry(f.leaderA, 0, 1)}
+	if proof.Evaluate(2) {
+		t.Fatal("2 votes must not exceed threshold 2")
+	}
+	// Votes for the block plus votes for a non-leader block pool together
+	// (supp(b) ∪ supp(nonLeaderBlocks)).
+	proof.Entries = []UnlockEntry{entry(f.leaderA, 0, 1), entry(f.rank1, 2)}
+	if !proof.Evaluate(2) {
+		t.Fatal("2 votes for b plus 1 for a non-leader block should unlock")
+	}
+	// Overlapping voters count once.
+	proof.Entries = []UnlockEntry{entry(f.leaderA, 0, 1), entry(f.rank1, 0, 1)}
+	if proof.Evaluate(2) {
+		t.Fatal("overlapping voters must be deduplicated")
+	}
+}
+
+// TestUnlockProofCondition2 checks the strict Condition-2 semantics: the
+// support bound must hold no matter which rank-0 block is taken as max(k)
+// (see cond2Support for why the paper-literal "largest support" choice is
+// unsound against adversarial vote presentation). With n=4, f=1, p=1
+// (threshold 2), an equivocating leader's two rank-0 blocks plus a rank-1
+// block can still unlock the whole round when support is spread.
+func TestUnlockProofCondition2(t *testing.T) {
+	f := newUnlockFixture(6)
+	proof := &UnlockProof{
+		Round: 6,
+		All:   true,
+		Entries: []UnlockEntry{
+			entry(f.leaderA, 0),
+			entry(f.leaderB, 1),
+			entry(f.rank1, 2, 3),
+		},
+	}
+	// Excluding leaderA leaves voters {1,2,3}; excluding leaderB leaves
+	// {0,2,3}: both exceed 2, so the round unlocks.
+	if !proof.Evaluate(2) {
+		t.Fatal("spread support should satisfy strict condition 2")
+	}
+	// Concentrated support does not: excluding the heavy rank-0 block
+	// leaves too few voters.
+	proof.Entries = []UnlockEntry{
+		entry(f.leaderA, 0, 1, 2),
+		entry(f.rank1, 3),
+	}
+	if proof.Evaluate(2) {
+		t.Fatal("excluding the heavy rank-0 block leaves 1 voter; must fail")
+	}
+}
+
+// TestUnlockProofCondition2ForgeryResistance is the attack the strict
+// semantics exists for: an adversary presents a partial view in which an
+// FP-finalized block's votes are hidden behind a fake max, trying to trip
+// Condition 2. The strict evaluator also excludes the FP-finalized block
+// as a candidate max, capping the count.
+func TestUnlockProofCondition2ForgeryResistance(t *testing.T) {
+	f := newUnlockFixture(7)
+	// Suppose leaderA was FP-finalized with votes {0,1,2} (n-p = 3 of 4).
+	// The adversary shows only voter 0 for leaderA, makes leaderB look
+	// maximal with Byzantine voter 3, and reuses voter 3 on the rank-1
+	// block. Under "largest support is max" the excluded block would be
+	// leaderB and the count would be |{0, 3}| -- still short here, but
+	// with larger f this forges; strictly, excluding leaderA gives
+	// |{3}| = 1 and the proof fails outright.
+	proof := &UnlockProof{
+		Round: 7,
+		All:   true,
+		Entries: []UnlockEntry{
+			entry(f.leaderA, 0),
+			entry(f.leaderB, 3),
+			entry(f.rank1, 3),
+		},
+	}
+	if proof.Evaluate(2) {
+		t.Fatal("partial-view forgery must not satisfy strict condition 2")
+	}
+}
+
+func TestUnlockProofRejectsMalformed(t *testing.T) {
+	f := newUnlockFixture(8)
+	base := func() *UnlockProof {
+		return &UnlockProof{
+			Round:   8,
+			Block:   f.leaderA.ID(),
+			Entries: []UnlockEntry{entry(f.leaderA, 0, 1, 2)},
+		}
+	}
+	p := base()
+	p.Entries[0].Header.Round = 9 // round mismatch
+	if p.Evaluate(2) {
+		t.Fatal("entry with mismatched round must fail")
+	}
+	p = base()
+	p.Entries[0].Voters = []ReplicaID{2, 1, 0} // unsorted
+	if p.Evaluate(2) {
+		t.Fatal("unsorted voters must fail")
+	}
+	p = base()
+	p.Entries[0].Voters = []ReplicaID{0, 0, 1} // duplicates
+	if p.Evaluate(2) {
+		t.Fatal("duplicate voters must fail")
+	}
+	p = base()
+	p.Entries[0].Sigs = p.Entries[0].Sigs[:2] // sig/voter mismatch
+	if p.Evaluate(2) {
+		t.Fatal("voter/sig count mismatch must fail")
+	}
+}
+
+func TestUnlockProofVoteCount(t *testing.T) {
+	f := newUnlockFixture(9)
+	p := &UnlockProof{
+		Round:   9,
+		Entries: []UnlockEntry{entry(f.leaderA, 0, 1), entry(f.rank1, 2, 3, 0)},
+	}
+	if got := p.VoteCount(); got != 5 {
+		t.Fatalf("VoteCount = %d, want 5", got)
+	}
+}

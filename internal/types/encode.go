@@ -1,0 +1,440 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The wire encoding is a hand-rolled little-endian binary format: fixed
+// width integers, 4-byte length-prefixed byte strings, and presence tags
+// for optional fields. It is deliberately free of reflection so encoding
+// cost is predictable on the block-broadcast hot path.
+
+// ErrTruncated reports an encoding that ended before the value it promised.
+var ErrTruncated = errors.New("types: truncated encoding")
+
+// maxSliceLen bounds length prefixes so a corrupt or hostile frame cannot
+// trigger a huge allocation. 64 MiB comfortably exceeds any block this
+// repository produces.
+const maxSliceLen = 64 << 20
+
+// encoder appends values to a buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) id(v BlockID) { e.buf = append(e.buf, v[:]...) }
+func (e *encoder) hash(v [32]byte) {
+	e.buf = append(e.buf, v[:]...)
+}
+
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// decoder consumes values from a buffer with a sticky error.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.data) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) id() BlockID {
+	var id BlockID
+	b := d.take(32)
+	if b != nil {
+		copy(id[:], b)
+	}
+	return id
+}
+
+func (d *decoder) hash() [32]byte {
+	var h [32]byte
+	b := d.take(32)
+	if b != nil {
+		copy(h[:], b)
+	}
+	return h
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || n == 0 {
+		// Zero length decodes to nil so that encode/decode round-trips
+		// preserve payload identity (a nil Data marks synthetic payloads).
+		return nil
+	}
+	if n > maxSliceLen {
+		d.fail(fmt.Errorf("types: slice length %d exceeds limit", n))
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return fmt.Errorf("types: %d trailing bytes after message", len(d.data)-d.off)
+	}
+	return nil
+}
+
+// EncodeMessage serializes any consensus message, prefixed with its kind
+// tag. The inverse is DecodeMessage.
+func EncodeMessage(m Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, m.WireSize())}
+	e.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case *Proposal:
+		encodeProposal(e, v)
+	case *VoteMsg:
+		e.u16(uint16(len(v.Votes)))
+		for _, vote := range v.Votes {
+			encodeVote(e, vote)
+		}
+	case *CertMsg:
+		encodeOptCert(e, v.Cert)
+	case *Advance:
+		encodeOptCert(e, v.Notarization)
+		encodeOptUnlock(e, v.Unlock)
+	case *NewView:
+		e.u64(uint64(v.Round))
+		e.u16(uint16(v.Sender))
+		encodeOptCert(e, v.HighQC)
+		e.bytes(v.Signature)
+	case *SyncRequest:
+		e.u64(uint64(v.From))
+		e.u64(uint64(v.To))
+	case *SyncResponse:
+		e.u32(uint32(len(v.Blocks)))
+		for _, b := range v.Blocks {
+			encodeBlock(e, b)
+		}
+		encodeOptCert(e, v.Finalization)
+	default:
+		return nil, fmt.Errorf("types: cannot encode message of type %T", m)
+	}
+	return e.buf, nil
+}
+
+// DecodeMessage parses a frame produced by EncodeMessage.
+func DecodeMessage(data []byte) (Message, error) {
+	d := &decoder{data: data}
+	kind := MsgKind(d.u8())
+	var m Message
+	switch kind {
+	case MsgProposal:
+		m = decodeProposal(d)
+	case MsgVote:
+		n := int(d.u16())
+		vm := &VoteMsg{}
+		for i := 0; i < n && d.err == nil; i++ {
+			vm.Votes = append(vm.Votes, decodeVote(d))
+		}
+		m = vm
+	case MsgCert:
+		m = &CertMsg{Cert: decodeOptCert(d)}
+	case MsgAdvance:
+		m = &Advance{Notarization: decodeOptCert(d), Unlock: decodeOptUnlock(d)}
+	case MsgNewView:
+		m = &NewView{
+			Round:  Round(d.u64()),
+			Sender: ReplicaID(d.u16()),
+		}
+		m.(*NewView).HighQC = decodeOptCert(d)
+		m.(*NewView).Signature = d.bytes()
+	case MsgSyncRequest:
+		m = &SyncRequest{From: Round(d.u64()), To: Round(d.u64())}
+	case MsgSyncResponse:
+		sr := &SyncResponse{}
+		n := d.u32()
+		if d.err == nil && n > 2*MaxSyncBlocks {
+			d.fail(fmt.Errorf("types: sync response with %d blocks exceeds limit", n))
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			sr.Blocks = append(sr.Blocks, decodeBlock(d))
+		}
+		sr.Finalization = decodeOptCert(d)
+		m = sr
+	default:
+		return nil, fmt.Errorf("types: unknown message kind %d", kind)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeProposal(e *encoder, p *Proposal) {
+	e.bool(p.Relayed)
+	encodeBlock(e, p.Block)
+	encodeOptCert(e, p.ParentNotarization)
+	encodeOptUnlock(e, p.ParentUnlock)
+	if p.FastVote != nil {
+		e.bool(true)
+		encodeVote(e, *p.FastVote)
+	} else {
+		e.bool(false)
+	}
+}
+
+func decodeProposal(d *decoder) *Proposal {
+	p := &Proposal{}
+	p.Relayed = d.bool()
+	p.Block = decodeBlock(d)
+	p.ParentNotarization = decodeOptCert(d)
+	p.ParentUnlock = decodeOptUnlock(d)
+	if d.bool() {
+		v := decodeVote(d)
+		p.FastVote = &v
+	}
+	return p
+}
+
+func encodeBlock(e *encoder, b *Block) {
+	if b == nil {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.u64(uint64(b.Round))
+	e.u16(uint16(b.Proposer))
+	e.u16(uint16(b.Rank))
+	e.id(b.Parent)
+	encodePayload(e, b.Payload)
+	e.bytes(b.Signature)
+}
+
+func decodeBlock(d *decoder) *Block {
+	if !d.bool() {
+		return nil
+	}
+	b := &Block{
+		Round:    Round(d.u64()),
+		Proposer: ReplicaID(d.u16()),
+		Rank:     Rank(d.u16()),
+		Parent:   d.id(),
+	}
+	b.Payload = decodePayload(d)
+	b.Signature = d.bytes()
+	return b
+}
+
+func encodePayload(e *encoder, p Payload) {
+	if p.IsSynthetic() {
+		e.u8(1)
+		e.u32(p.SynthSize)
+		e.u64(p.SynthSeed)
+		return
+	}
+	e.u8(0)
+	e.bytes(p.Data)
+}
+
+func decodePayload(d *decoder) Payload {
+	if d.u8() == 1 {
+		return Payload{SynthSize: d.u32(), SynthSeed: d.u64()}
+	}
+	return Payload{Data: d.bytes()}
+}
+
+func encodeVote(e *encoder, v Vote) {
+	e.u8(uint8(v.Kind))
+	e.u64(uint64(v.Round))
+	e.id(v.Block)
+	e.u16(uint16(v.Voter))
+	e.bytes(v.Signature)
+}
+
+func decodeVote(d *decoder) Vote {
+	return Vote{
+		Kind:      VoteKind(d.u8()),
+		Round:     Round(d.u64()),
+		Block:     d.id(),
+		Voter:     ReplicaID(d.u16()),
+		Signature: d.bytes(),
+	}
+}
+
+func encodeOptCert(e *encoder, c *Certificate) {
+	if c == nil {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.u8(uint8(c.Kind))
+	e.u64(uint64(c.Round))
+	e.id(c.Block)
+	e.u32(uint32(len(c.Signers)))
+	for i, s := range c.Signers {
+		e.u16(uint16(s))
+		e.bytes(c.Sigs[i])
+	}
+}
+
+func decodeOptCert(d *decoder) *Certificate {
+	if !d.bool() {
+		return nil
+	}
+	c := &Certificate{
+		Kind:  CertKind(d.u8()),
+		Round: Round(d.u64()),
+		Block: d.id(),
+	}
+	n := d.u32()
+	if d.err != nil || n > maxSliceLen/8 {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	if n > 0 {
+		c.Signers = make([]ReplicaID, 0, n)
+		c.Sigs = make([][]byte, 0, n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		c.Signers = append(c.Signers, ReplicaID(d.u16()))
+		c.Sigs = append(c.Sigs, d.bytes())
+	}
+	return c
+}
+
+func encodeOptUnlock(e *encoder, u *UnlockProof) {
+	if u == nil {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.u64(uint64(u.Round))
+	e.id(u.Block)
+	e.bool(u.All)
+	e.u32(uint32(len(u.Entries)))
+	for _, en := range u.Entries {
+		e.u64(uint64(en.Header.Round))
+		e.u16(uint16(en.Header.Proposer))
+		e.u16(uint16(en.Header.Rank))
+		e.id(en.Header.Parent)
+		e.hash(en.Header.PayloadDigest)
+		e.u32(uint32(len(en.Voters)))
+		for i, v := range en.Voters {
+			e.u16(uint16(v))
+			e.bytes(en.Sigs[i])
+		}
+	}
+}
+
+func decodeOptUnlock(d *decoder) *UnlockProof {
+	if !d.bool() {
+		return nil
+	}
+	u := &UnlockProof{
+		Round: Round(d.u64()),
+		Block: d.id(),
+		All:   d.bool(),
+	}
+	n := d.u32()
+	if d.err != nil || n > maxSliceLen/8 {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	if n > 0 {
+		u.Entries = make([]UnlockEntry, 0, n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		en := UnlockEntry{Header: BlockHeader{
+			Round:    Round(d.u64()),
+			Proposer: ReplicaID(d.u16()),
+			Rank:     Rank(d.u16()),
+			Parent:   d.id(),
+		}}
+		en.Header.PayloadDigest = d.hash()
+		m := d.u32()
+		if d.err != nil || m > maxSliceLen/8 {
+			d.fail(ErrTruncated)
+			break
+		}
+		if m > 0 {
+			en.Voters = make([]ReplicaID, 0, m)
+			en.Sigs = make([][]byte, 0, m)
+		}
+		for j := uint32(0); j < m && d.err == nil; j++ {
+			en.Voters = append(en.Voters, ReplicaID(d.u16()))
+			en.Sigs = append(en.Sigs, d.bytes())
+		}
+		u.Entries = append(u.Entries, en)
+	}
+	return u
+}

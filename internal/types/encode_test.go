@@ -1,0 +1,403 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomVote builds an arbitrary vote from a fuzz source.
+func randomVote(r *rand.Rand) Vote {
+	v := Vote{
+		Kind:  VoteKind(r.Intn(3) + 1),
+		Round: Round(r.Uint64() >> 16),
+		Voter: ReplicaID(r.Intn(1 << 16)),
+	}
+	r.Read(v.Block[:])
+	if n := r.Intn(80); n > 0 {
+		v.Signature = make([]byte, n)
+		r.Read(v.Signature)
+	}
+	return v
+}
+
+func randomBlock(r *rand.Rand) *Block {
+	b := &Block{
+		Round:    Round(r.Uint64() >> 16),
+		Proposer: ReplicaID(r.Intn(1 << 15)),
+		Rank:     Rank(r.Intn(1 << 15)),
+	}
+	r.Read(b.Parent[:])
+	switch r.Intn(3) {
+	case 0: // concrete payload
+		data := make([]byte, r.Intn(512)+1)
+		r.Read(data)
+		b.Payload = BytesPayload(data)
+	case 1: // synthetic payload
+		b.Payload = SyntheticPayload(r.Intn(1<<20)+1, r.Uint64())
+	default: // empty
+	}
+	b.Signature = make([]byte, 64)
+	r.Read(b.Signature)
+	return b
+}
+
+func randomCert(r *rand.Rand) *Certificate {
+	c := &Certificate{
+		Kind:  CertKind(r.Intn(3) + 1),
+		Round: Round(r.Uint64() >> 16),
+	}
+	r.Read(c.Block[:])
+	n := r.Intn(20) + 1
+	for i := 0; i < n; i++ {
+		c.Signers = append(c.Signers, ReplicaID(i*3+r.Intn(2)))
+		sig := make([]byte, 32)
+		r.Read(sig)
+		c.Sigs = append(c.Sigs, sig)
+	}
+	return c
+}
+
+func randomUnlock(r *rand.Rand) *UnlockProof {
+	u := &UnlockProof{
+		Round: Round(r.Uint64() >> 16),
+		All:   r.Intn(2) == 0,
+	}
+	r.Read(u.Block[:])
+	for i := 0; i < r.Intn(4); i++ {
+		e := UnlockEntry{Header: BlockHeader{
+			Round:    u.Round,
+			Proposer: ReplicaID(r.Intn(64)),
+			Rank:     Rank(r.Intn(8)),
+		}}
+		r.Read(e.Header.Parent[:])
+		r.Read(e.Header.PayloadDigest[:])
+		for j := 0; j < r.Intn(5)+1; j++ {
+			e.Voters = append(e.Voters, ReplicaID(j*2))
+			sig := make([]byte, 32)
+			r.Read(sig)
+			e.Sigs = append(e.Sigs, sig)
+		}
+		u.Entries = append(u.Entries, e)
+	}
+	return u
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	enc, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeMessage(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return dec
+}
+
+func TestProposalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		fv := randomVote(r)
+		p := &Proposal{
+			Block:   randomBlock(r),
+			Relayed: r.Intn(2) == 0,
+		}
+		if r.Intn(2) == 0 {
+			p.ParentNotarization = randomCert(r)
+		}
+		if r.Intn(2) == 0 {
+			p.ParentUnlock = randomUnlock(r)
+		}
+		if r.Intn(2) == 0 {
+			p.FastVote = &fv
+		}
+		got := roundTrip(t, p).(*Proposal)
+		if got.Block.ID() != p.Block.ID() {
+			t.Fatalf("block identity changed: %v vs %v", got.Block, p.Block)
+		}
+		if !reflect.DeepEqual(normalizeProposal(got), normalizeProposal(p)) {
+			t.Fatalf("round-trip mismatch:\n got %#v\nwant %#v", got, p)
+		}
+	}
+}
+
+// normalizeProposal strips unexported cache fields for comparison.
+func normalizeProposal(p *Proposal) *Proposal {
+	cp := *p
+	b := *p.Block
+	b.ID() // force hash so both sides cache
+	cp.Block = &b
+	return &cp
+}
+
+func TestVoteMsgRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m := &VoteMsg{}
+		for j := 0; j < r.Intn(3)+1; j++ {
+			m.Votes = append(m.Votes, randomVote(r))
+		}
+		got := roundTrip(t, m).(*VoteMsg)
+		if len(got.Votes) != len(m.Votes) {
+			t.Fatalf("vote count %d != %d", len(got.Votes), len(m.Votes))
+		}
+		for j := range m.Votes {
+			if got.Votes[j].Digest() != m.Votes[j].Digest() {
+				t.Fatalf("vote %d digest changed", j)
+			}
+			if !bytes.Equal(got.Votes[j].Signature, m.Votes[j].Signature) {
+				t.Fatalf("vote %d signature changed", j)
+			}
+		}
+	}
+}
+
+func TestCertMsgRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		m := &CertMsg{Cert: randomCert(r)}
+		got := roundTrip(t, m).(*CertMsg)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round-trip mismatch:\n got %#v\nwant %#v", got.Cert, m.Cert)
+		}
+	}
+}
+
+func TestAdvanceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		m := &Advance{}
+		if r.Intn(4) > 0 {
+			m.Notarization = randomCert(r)
+		}
+		if r.Intn(4) > 0 {
+			m.Unlock = randomUnlock(r)
+		}
+		got := roundTrip(t, m).(*Advance)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round-trip mismatch:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+func TestNewViewRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		m := &NewView{
+			Round:  Round(r.Uint64() >> 16),
+			Sender: ReplicaID(r.Intn(1 << 15)),
+		}
+		if r.Intn(2) == 0 {
+			m.HighQC = randomCert(r)
+		}
+		m.Signature = make([]byte, 64)
+		r.Read(m.Signature)
+		got := roundTrip(t, m).(*NewView)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round-trip mismatch:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+// TestWireSizeMatchesEncoding checks WireSize equals the encoded length
+// for concrete (non-synthetic) payloads — the property the bandwidth model
+// relies on.
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		var m Message
+		switch r.Intn(5) {
+		case 0:
+			b := randomBlock(r)
+			if b.Payload.IsSynthetic() {
+				b.Payload = BytesPayload(b.Payload.Materialize())
+			}
+			fv := randomVote(r)
+			m = &Proposal{Block: b, ParentNotarization: randomCert(r), FastVote: &fv}
+		case 1:
+			m = &VoteMsg{Votes: []Vote{randomVote(r), randomVote(r)}}
+		case 2:
+			m = &CertMsg{Cert: randomCert(r)}
+		case 3:
+			m = &Advance{Notarization: randomCert(r), Unlock: randomUnlock(r)}
+		default:
+			m = &NewView{Round: 9, Sender: 3, HighQC: randomCert(r), Signature: []byte("sig")}
+		}
+		enc, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.WireSize() != len(enc) {
+			t.Fatalf("%T: WireSize %d != encoded %d", m, m.WireSize(), len(enc))
+		}
+	}
+}
+
+// TestSyntheticWireSizeCharged checks synthetic payloads are charged at
+// their logical size even though their encoding is a small descriptor.
+func TestSyntheticWireSizeCharged(t *testing.T) {
+	small := NewBlock(1, 0, 0, BlockID{}, SyntheticPayload(1<<20, 7))
+	big := NewBlock(1, 0, 0, BlockID{}, SyntheticPayload(2<<20, 7))
+	ps, pb := (&Proposal{Block: small}).WireSize(), (&Proposal{Block: big}).WireSize()
+	if pb-ps != 1<<20 {
+		t.Fatalf("synthetic payload size not charged: %d vs %d", ps, pb)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{99}},
+		{"truncated proposal", []byte{byte(MsgProposal), 1, 1}},
+		{"truncated vote", []byte{byte(MsgVote), 2, 0}},
+		{"trailing garbage", append(mustEncode(&CertMsg{}), 0xFF)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeMessage(tt.data); err == nil {
+				t.Error("expected decode error")
+			}
+		})
+	}
+}
+
+// TestDecodeFuzz feeds random bytes into the decoder: it must never panic
+// and never allocate absurd amounts.
+func TestDecodeFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, r.Intn(200))
+		r.Read(data)
+		_, _ = DecodeMessage(data) // must not panic
+	}
+	// Mutate valid encodings.
+	valid := mustEncode(&Proposal{Block: NewBlock(3, 1, 1, BlockID{}, BytesPayload([]byte("xyz")))})
+	for i := 0; i < 2000; i++ {
+		data := append([]byte(nil), valid...)
+		data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+		_, _ = DecodeMessage(data)
+	}
+}
+
+// TestHugeLengthPrefixRejected checks a hostile length prefix cannot force
+// a giant allocation.
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	e := &encoder{}
+	e.u8(uint8(MsgVote))
+	e.u16(1)
+	e.u8(uint8(VoteNotarize))
+	e.u64(1)
+	e.id(BlockID{})
+	e.u16(0)
+	e.u32(0xFFFFFFFF) // absurd signature length
+	if _, err := DecodeMessage(e.buf); err == nil {
+		t.Fatal("expected error for huge length prefix")
+	}
+}
+
+func mustEncode(m Message) []byte {
+	b, err := EncodeMessage(m)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestNilEmptyPayloadIdentity is the regression test for the TCP bug where
+// an empty payload changed identity across the wire: all empty payload
+// representations must share one digest, and decoding must preserve it.
+func TestNilEmptyPayloadIdentity(t *testing.T) {
+	a := Payload{}
+	b := Payload{Data: []byte{}}
+	c := SyntheticPayload(0, 0)
+	if a.Digest() != b.Digest() || b.Digest() != c.Digest() {
+		t.Fatal("empty payload representations disagree on digest")
+	}
+	blk := NewBlock(5, 2, 1, BlockID{}, Payload{})
+	blk.Signature = []byte("s")
+	got := roundTrip(t, &Proposal{Block: blk}).(*Proposal)
+	if got.Block.ID() != blk.ID() {
+		t.Fatal("empty-payload block changed identity over the wire")
+	}
+}
+
+// TestQuickVoteDigest checks digest injectivity over vote fields with
+// testing/quick: distinct (kind, round, block) never collide.
+func TestQuickVoteDigest(t *testing.T) {
+	f := func(r1, r2 uint32, b1, b2 [32]byte, k1, k2 uint8) bool {
+		kind1 := VoteKind(k1%3 + 1)
+		kind2 := VoteKind(k2%3 + 1)
+		d1 := VoteDigest(kind1, Round(r1), BlockID(b1))
+		d2 := VoteDigest(kind2, Round(r2), BlockID(b2))
+		same := kind1 == kind2 && r1 == r2 && b1 == b2
+		return same == (d1 == d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeaderID checks header hashing matches block hashing for all
+// field combinations.
+func TestQuickHeaderID(t *testing.T) {
+	f := func(round uint32, proposer, rank uint16, parent [32]byte, data []byte) bool {
+		b := NewBlock(Round(round), ReplicaID(proposer), Rank(rank), BlockID(parent), BytesPayload(data))
+		return b.Header().ID() == b.ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncMessagesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		req := &SyncRequest{From: Round(r.Uint64() >> 16), To: Round(r.Uint64() >> 16)}
+		got := roundTrip(t, req).(*SyncRequest)
+		if *got != *req {
+			t.Fatalf("sync request mismatch: %+v vs %+v", got, req)
+		}
+
+		resp := &SyncResponse{}
+		for j := 0; j < r.Intn(4); j++ {
+			b := randomBlock(r)
+			resp.Blocks = append(resp.Blocks, b)
+		}
+		if r.Intn(2) == 0 {
+			resp.Finalization = randomCert(r)
+		}
+		gotResp := roundTrip(t, resp).(*SyncResponse)
+		if len(gotResp.Blocks) != len(resp.Blocks) {
+			t.Fatalf("block count %d vs %d", len(gotResp.Blocks), len(resp.Blocks))
+		}
+		for j := range resp.Blocks {
+			if gotResp.Blocks[j].ID() != resp.Blocks[j].ID() {
+				t.Fatalf("block %d identity changed", j)
+			}
+		}
+		if !reflect.DeepEqual(gotResp.Finalization, resp.Finalization) {
+			t.Fatal("finalization certificate changed")
+		}
+	}
+}
+
+func TestSyncResponseBlockLimitEnforced(t *testing.T) {
+	resp := &SyncResponse{}
+	for i := 0; i < 2*MaxSyncBlocks+1; i++ {
+		resp.Blocks = append(resp.Blocks, NewBlock(Round(i+1), 0, 0, BlockID{}, Payload{}))
+	}
+	enc, err := EncodeMessage(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(enc); err == nil {
+		t.Fatal("oversized sync response decoded")
+	}
+}

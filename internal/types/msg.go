@@ -1,0 +1,242 @@
+package types
+
+import "fmt"
+
+// MsgKind tags the wire type of a consensus message.
+type MsgKind uint8
+
+const (
+	// MsgProposal carries a block together with its parent's credentials.
+	// Used by every engine (HotStuff reads ParentNotarization as its QC).
+	MsgProposal MsgKind = iota + 1
+	// MsgVote carries one or more votes (Banyan bundles a fast vote with the
+	// first notarization vote of a round, Algorithm 1 line 39).
+	MsgVote
+	// MsgCert broadcasts a certificate (finalization, fast-finalization, or
+	// a bare notarization).
+	MsgCert
+	// MsgAdvance is Banyan's round-advance broadcast: the notarization and
+	// unlock proof of the block that closed the round (Addition 1, line 50).
+	MsgAdvance
+	// MsgNewView is the HotStuff pacemaker's timeout message carrying the
+	// sender's highest QC to the next leader.
+	MsgNewView
+	// MsgSyncRequest asks peers for the finalized chain segment a lagging
+	// replica is missing (the catch-up subprotocol; production ICC has an
+	// equivalent state-sync component the paper leaves out of scope).
+	MsgSyncRequest
+	// MsgSyncResponse returns finalized blocks plus a finalization
+	// certificate proving the segment.
+	MsgSyncResponse
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgProposal:
+		return "proposal"
+	case MsgVote:
+		return "vote"
+	case MsgCert:
+		return "cert"
+	case MsgAdvance:
+		return "advance"
+	case MsgNewView:
+		return "new-view"
+	case MsgSyncRequest:
+		return "sync-request"
+	case MsgSyncResponse:
+		return "sync-response"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Message is the interface implemented by everything exchanged between
+// replicas. WireSize is the number of bytes the message occupies on the
+// wire; the discrete-event simulator charges it against link bandwidth, and
+// for concrete payloads it matches the length of the binary encoding.
+type Message interface {
+	Kind() MsgKind
+	WireSize() int
+}
+
+// Proposal carries a block proposal (or a relayed block: Algorithm 1 line
+// 35 re-broadcasts a block one votes for, together with the same parent
+// credentials).
+type Proposal struct {
+	Block *Block
+	// ParentNotarization proves the parent was notarized. Nil when the
+	// parent is the genesis block. HotStuff uses this field as the block's
+	// justify QC.
+	ParentNotarization *Certificate
+	// ParentUnlock proves the parent was unlocked (Banyan, Addition 2).
+	// Nil when the parent is genesis or explicitly finalized.
+	ParentUnlock *UnlockProof
+	// FastVote is the proposer's own fast vote for the block; required when
+	// the block has rank 0 (Algorithm 2 line 63, Addition 2).
+	FastVote *Vote
+	// Relayed marks a forwarded copy rather than the original proposal.
+	Relayed bool
+}
+
+func (*Proposal) Kind() MsgKind { return MsgProposal }
+
+// WireSize sums the proposal's components; the block's payload counts at
+// its logical size so synthetic payloads are charged like real ones.
+func (p *Proposal) WireSize() int {
+	s := 1 + 2 // kind tag + flags
+	s += blockWireSize(p.Block)
+	s += certWireSize(p.ParentNotarization)
+	s += unlockWireSize(p.ParentUnlock)
+	if p.FastVote != nil {
+		s += voteWireSize(*p.FastVote)
+	}
+	return s
+}
+
+// VoteMsg carries one or more votes from a single replica.
+type VoteMsg struct {
+	Votes []Vote
+}
+
+func (*VoteMsg) Kind() MsgKind { return MsgVote }
+
+func (m *VoteMsg) WireSize() int {
+	s := 1 + 2
+	for _, v := range m.Votes {
+		s += voteWireSize(v)
+	}
+	return s
+}
+
+// CertMsg broadcasts a certificate on its own.
+type CertMsg struct {
+	Cert *Certificate
+}
+
+func (*CertMsg) Kind() MsgKind { return MsgCert }
+
+func (m *CertMsg) WireSize() int { return 1 + certWireSize(m.Cert) }
+
+// Advance is Banyan's end-of-round broadcast: the notarization of the
+// round's notarized-and-unlocked block plus its unlock proof, guaranteeing
+// every honest replica can enter the next round (Addition 1).
+type Advance struct {
+	Notarization *Certificate
+	Unlock       *UnlockProof
+}
+
+func (*Advance) Kind() MsgKind { return MsgAdvance }
+
+func (m *Advance) WireSize() int {
+	return 1 + certWireSize(m.Notarization) + unlockWireSize(m.Unlock)
+}
+
+// NewView is the HotStuff pacemaker timeout message.
+type NewView struct {
+	Round  Round
+	Sender ReplicaID
+	HighQC *Certificate
+	// Signature authenticates the (round, sender) pair.
+	Signature []byte
+}
+
+func (*NewView) Kind() MsgKind { return MsgNewView }
+
+func (m *NewView) WireSize() int {
+	return 1 + 8 + 2 + certWireSize(m.HighQC) + sliceWireSize(m.Signature)
+}
+
+func blockWireSize(b *Block) int {
+	if b == nil {
+		return 1
+	}
+	// round + proposer + rank + parent + payload + signature
+	return 1 + 8 + 2 + 2 + 32 + payloadWireSize(b.Payload) + sliceWireSize(b.Signature)
+}
+
+func payloadWireSize(p Payload) int {
+	// tag + (length prefix + logical bytes)
+	return 1 + 4 + p.Size()
+}
+
+func voteWireSize(v Vote) int {
+	return 1 + 8 + 32 + 2 + sliceWireSize(v.Signature)
+}
+
+func certWireSize(c *Certificate) int {
+	if c == nil {
+		return 1
+	}
+	s := 1 + 1 + 8 + 32 + 4
+	s += 2 * len(c.Signers)
+	for _, sig := range c.Sigs {
+		s += sliceWireSize(sig)
+	}
+	return s
+}
+
+func unlockWireSize(u *UnlockProof) int {
+	if u == nil {
+		return 1
+	}
+	s := 1 + 8 + 32 + 1 + 4
+	for _, e := range u.Entries {
+		s += 8 + 2 + 2 + 32 + 32 + 4 + 2*len(e.Voters)
+		for _, sig := range e.Sigs {
+			s += sliceWireSize(sig)
+		}
+	}
+	return s
+}
+
+func sliceWireSize(b []byte) int { return 4 + len(b) }
+
+// SyncRequest asks peers for finalized blocks in rounds [From, To]. A
+// replica that detects it is behind (a finalization certificate for a
+// round it cannot connect to its tree) broadcasts one, rate-limited, and
+// repeats until caught up.
+type SyncRequest struct {
+	From Round
+	To   Round
+}
+
+// Kind implements Message.
+func (*SyncRequest) Kind() MsgKind { return MsgSyncRequest }
+
+// WireSize implements Message.
+func (*SyncRequest) WireSize() int { return 1 + 8 + 8 }
+
+// SyncResponse carries a finalized chain segment (ascending rounds) and
+// the responder's latest finalization certificate, which transitively
+// proves every block in the segment once the requester's tree connects.
+type SyncResponse struct {
+	Blocks       []*Block
+	Finalization *Certificate
+}
+
+// Kind implements Message.
+func (*SyncResponse) Kind() MsgKind { return MsgSyncResponse }
+
+// WireSize implements Message.
+func (m *SyncResponse) WireSize() int {
+	s := 1 + 4
+	for _, b := range m.Blocks {
+		s += blockWireSize(b)
+	}
+	return s + certWireSize(m.Finalization)
+}
+
+// MaxSyncBlocks bounds the blocks in one SyncResponse; requesters iterate.
+const MaxSyncBlocks = 64
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Proposal)(nil)
+	_ Message = (*VoteMsg)(nil)
+	_ Message = (*CertMsg)(nil)
+	_ Message = (*Advance)(nil)
+	_ Message = (*NewView)(nil)
+	_ Message = (*SyncRequest)(nil)
+	_ Message = (*SyncResponse)(nil)
+)

@@ -1,0 +1,138 @@
+// Package types defines the core data model shared by every consensus
+// engine in this repository: replica identities, rounds, ranks, blocks,
+// votes, certificates, protocol parameters and the wire encoding used by
+// the TCP transport.
+//
+// The vocabulary follows the Banyan paper (Middleware 2024): a protocol
+// proceeds in rounds, each round has a permutation of replicas assigning
+// every replica a rank (rank 0 is the leader), blocks are notarized and
+// finalized by aggregating votes, and Banyan additionally exchanges fast
+// votes that can finalize a rank-0 block after a single round trip.
+package types
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReplicaID identifies a replica by its index in the (fixed, permissioned)
+// replica set. IDs are dense in [0, n).
+type ReplicaID uint16
+
+// Round is the protocol round, equal to the block-tree height at which a
+// block proposed in that round is placed. Round 0 is reserved for the
+// genesis block.
+type Round uint64
+
+// Rank is a replica's position in a round's leader permutation.
+// The rank-0 replica is the round's leader.
+type Rank uint16
+
+// NoReplica is a sentinel for "no replica" in contexts where a ReplicaID is
+// optional (e.g. message tracing).
+const NoReplica = ReplicaID(math.MaxUint16)
+
+// Params carries the fault-model parameters of a deployment.
+//
+// Banyan requires n >= max(3f+2p-1, 3f+1) with p in [1, f]: up to f
+// Byzantine replicas are tolerated, and the fast path succeeds whenever at
+// most p replicas are unresponsive. Setting p = 1 gives the classic
+// n >= 3f+1 bound at no extra cost; p = f makes the fast path robust to
+// Byzantine interference (given an honest leader).
+type Params struct {
+	N int // total number of replicas
+	F int // maximum number of Byzantine replicas tolerated
+	P int // fast-path slack: replicas not needed for the fast path
+}
+
+// Validate reports whether the parameters satisfy the Banyan bound
+// n >= max(3f+2p-1, 3f+1) with 1 <= p <= f (or p == 0 for protocols
+// without a fast path, which only need n >= 3f+1).
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("params: n = %d must be positive", p.N)
+	}
+	if p.F < 0 {
+		return fmt.Errorf("params: f = %d must be non-negative", p.F)
+	}
+	if p.P < 0 {
+		return fmt.Errorf("params: p = %d must be non-negative", p.P)
+	}
+	if p.P > p.F && !(p.F == 0 && p.P == 0) {
+		return fmt.Errorf("params: p = %d must not exceed f = %d", p.P, p.F)
+	}
+	min := 3*p.F + 2*p.P - 1
+	if m := 3*p.F + 1; m > min {
+		min = m
+	}
+	if p.N < min {
+		return fmt.Errorf("params: n = %d below bound max(3f+2p-1, 3f+1) = %d for f = %d, p = %d",
+			p.N, min, p.F, p.P)
+	}
+	return nil
+}
+
+// NotarizationQuorum is the number of notarization votes required to
+// notarize a block in Banyan: ceil((n+f+1)/2) (Algorithm 2, line 45).
+// At n = 3f+1 this equals the familiar 2f+1 = n-f.
+func (p Params) NotarizationQuorum() int {
+	return (p.N + p.F + 2) / 2 // ceil((n+f+1)/2)
+}
+
+// FinalizationQuorum is the number of finalization votes required to
+// SP-finalize a block in Banyan: ceil((n+f+1)/2) (Algorithm 2, line 56).
+func (p Params) FinalizationQuorum() int {
+	return (p.N + p.F + 2) / 2
+}
+
+// FastQuorum is the number of fast votes required to FP-finalize a rank-0
+// block: n - p (Definition 6.2, Algorithm 2 line 56).
+func (p Params) FastQuorum() int {
+	return p.N - p.P
+}
+
+// UnlockThreshold is the strict lower bound of Definition 7.6: a support
+// set unlocks a block once its size exceeds f + p.
+func (p Params) UnlockThreshold() int {
+	return p.F + p.P
+}
+
+// ICCQuorum is the n-f quorum used by the ICC baseline (paper section 4)
+// for both notarization and finalization.
+func (p Params) ICCQuorum() int {
+	return p.N - p.F
+}
+
+// MaxFaultyFor returns the largest f tolerable for n replicas under the
+// classic n >= 3f+1 bound.
+func MaxFaultyFor(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n - 1) / 3
+}
+
+// BanyanParams builds Params for n replicas with the largest f such that
+// n >= max(3f+2p-1, 3f+1) still holds for the given p. It is a convenience
+// for experiment setup; use Params literals when f is fixed externally.
+func BanyanParams(n, p int) (Params, error) {
+	if p < 1 {
+		return Params{}, fmt.Errorf("params: p = %d must be at least 1", p)
+	}
+	for f := (n - 1) / 3; f >= p; f-- {
+		pr := Params{N: n, F: f, P: p}
+		if pr.Validate() == nil {
+			return pr, nil
+		}
+	}
+	// Fall back to f = p if even that fails, reporting the error.
+	pr := Params{N: n, F: p, P: p}
+	if err := pr.Validate(); err != nil {
+		return Params{}, err
+	}
+	return pr, nil
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d f=%d p=%d", p.N, p.F, p.P)
+}

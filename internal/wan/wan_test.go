@@ -1,0 +1,176 @@
+package wan
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/types"
+)
+
+func TestRTTModelPlausibility(t *testing.T) {
+	// The model should land within ~25% of well-known figures.
+	tests := []struct {
+		a, b string
+		want time.Duration
+	}{
+		{"us-east-1", "eu-west-1", 67 * time.Millisecond},
+		{"us-east-1", "us-west-2", 60 * time.Millisecond},
+		{"us-east-1", "ap-northeast-1", 145 * time.Millisecond},
+		{"eu-central-1", "ap-southeast-1", 155 * time.Millisecond},
+		{"us-east-1", "sa-east-1", 115 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		got, err := RTT(tt.a, tt.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := tt.want * 3 / 4
+		hi := tt.want * 5 / 4
+		if got < lo || got > hi {
+			t.Errorf("RTT(%s, %s) = %v; published ≈ %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestRTTSymmetryAndSelf(t *testing.T) {
+	regions := Regions()
+	for _, a := range regions {
+		self, err := RTT(a, a)
+		if err != nil || self != sameRegionRTT {
+			t.Fatalf("RTT(%s, %s) = %v, %v", a, a, self, err)
+		}
+		for _, b := range regions {
+			ab, err1 := RTT(a, b)
+			ba, err2 := RTT(b, a)
+			if err1 != nil || err2 != nil || ab != ba {
+				t.Fatalf("RTT asymmetric for %s<->%s: %v vs %v", a, b, ab, ba)
+			}
+		}
+	}
+	if _, err := RTT("mars-east-1", "us-east-1"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestTopologyDelayIsHalfRTT(t *testing.T) {
+	topo, err := NewTopology("t", []string{"us-east-1", "eu-west-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt, _ := RTT("us-east-1", "eu-west-1")
+	if got := topo.Delay(0, 1); got != rtt/2 {
+		t.Fatalf("one-way delay %v, want %v", got, rtt/2)
+	}
+	if topo.Delay(0, 0) != 0 {
+		t.Fatal("self delay must be zero")
+	}
+}
+
+func TestPaperTestbeds(t *testing.T) {
+	tests := []struct {
+		name string
+		make func() (*Topology, error)
+		n    int
+	}{
+		{"FourGlobal19", FourGlobal19, 19},
+		{"FourGlobal4", FourGlobal4, 4},
+		{"FourUS19", FourUS19, 19},
+		{"Global19", Global19, 19},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			topo, err := tt.make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if topo.N() != tt.n {
+				t.Fatalf("N = %d, want %d", topo.N(), tt.n)
+			}
+			if topo.MaxOneWay() <= 0 {
+				t.Fatal("MaxOneWay must be positive")
+			}
+		})
+	}
+}
+
+func TestFourGlobal19Layout(t *testing.T) {
+	topo, err := FourGlobal19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5/5/5/4 across four datacenters.
+	perDC := make(map[string]int)
+	for i := 0; i < topo.N(); i++ {
+		perDC[topo.Region(types.ReplicaID(i))]++
+	}
+	if len(perDC) != 4 {
+		t.Fatalf("%d datacenters, want 4", len(perDC))
+	}
+	fives, fours := 0, 0
+	for _, c := range perDC {
+		switch c {
+		case 5:
+			fives++
+		case 4:
+			fours++
+		}
+	}
+	if fives != 3 || fours != 1 {
+		t.Fatalf("layout %v, want 5/5/5/4", perDC)
+	}
+	// Co-located replicas see sub-millisecond delays.
+	if d := topo.Delay(0, 1); d >= time.Millisecond {
+		t.Fatalf("intra-DC delay %v too large", d)
+	}
+	// Cross-DC delays are tens of milliseconds.
+	if d := topo.Delay(0, 18); d < 10*time.Millisecond {
+		t.Fatalf("cross-DC delay %v too small", d)
+	}
+}
+
+func TestGlobal19CoversAllRegions(t *testing.T) {
+	topo, err := Global19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < topo.N(); i++ {
+		seen[topo.Region(types.ReplicaID(i))] = true
+	}
+	if len(seen) != 19 {
+		t.Fatalf("%d distinct regions, want 19", len(seen))
+	}
+}
+
+func TestUniform(t *testing.T) {
+	topo := Uniform(5, 30*time.Millisecond)
+	if topo.N() != 5 {
+		t.Fatal("wrong n")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 30 * time.Millisecond
+			if i == j {
+				want = 0
+			}
+			if got := topo.Delay(types.ReplicaID(i), types.ReplicaID(j)); got != want {
+				t.Fatalf("Delay(%d,%d) = %v", i, j, got)
+			}
+		}
+	}
+	if topo.MaxOneWay() != 30*time.Millisecond {
+		t.Fatal("MaxOneWay wrong")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewTopology("x", nil); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+	if _, err := NewTopology("x", []string{"nowhere-1"}); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	if _, err := Colocated("x", []string{"us-east-1"}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package banyan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"banyan/internal/beacon"
+	"banyan/internal/crypto"
+	"banyan/internal/mempool"
+	"banyan/internal/node"
+	"banyan/internal/protocol"
+	"banyan/internal/transport/tcp"
+	"banyan/internal/types"
+)
+
+// ReplicaConfig configures a single TCP-connected replica for
+// multi-process deployments (see cmd/banyan and cmd/localnet).
+type ReplicaConfig struct {
+	// ID is this replica's index in [0, N).
+	ID int
+	// N, F, P are the cluster fault parameters (see Params).
+	N, F, P int
+	// Protocol selects the engine; empty picks ProtocolBanyan.
+	Protocol Protocol
+	// ListenAddr is the local listen address; Peers maps every replica ID
+	// to its address (the entry for ID is ignored).
+	ListenAddr string
+	Peers      map[int]string
+	// Delta is the Δ bound for rank delays; zero picks 50ms (LAN/metro).
+	Delta time.Duration
+	// MaxBlockBytes caps transaction batches per block (default 1 MiB).
+	MaxBlockBytes int
+	// Scheme selects the signature scheme (default "ed25519").
+	Scheme string
+	// ClusterSeed derives the shared demo PKI deterministically; every
+	// replica of a deployment must use the same value.
+	ClusterSeed uint64
+	// CommitBuffer is the capacity of the Commits channel (default 1024).
+	CommitBuffer int
+	// Logf, when non-nil, receives transport diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Replica is one consensus replica over TCP.
+type Replica struct {
+	cfg    ReplicaConfig
+	params types.Params
+	node   *node.Node
+	tr     *tcp.Transport
+	pool   *mempool.Pool
+	engine protocol.Engine
+
+	commits   chan Commit
+	rawCommit chan node.CommitEvent
+
+	mu      sync.Mutex
+	faults  []error
+	stopped bool
+	done    chan struct{}
+}
+
+// NewReplica assembles a replica; call Start to run it.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolBanyan
+	}
+	if cfg.P == 0 {
+		cfg.P = 1
+	}
+	var params types.Params
+	var err error
+	if cfg.F == 0 {
+		params, err = DefaultParams(cfg.Protocol, cfg.N, cfg.P)
+	} else {
+		params, err = Params(cfg.Protocol, cfg.N, cfg.F, cfg.P)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ID < 0 || cfg.ID >= params.N {
+		return nil, fmt.Errorf("banyan: replica id %d out of range (n=%d)", cfg.ID, params.N)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 50 * time.Millisecond
+	}
+	if cfg.MaxBlockBytes <= 0 {
+		cfg.MaxBlockBytes = 1 << 20
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "ed25519"
+	}
+	if cfg.CommitBuffer <= 0 {
+		cfg.CommitBuffer = 1024
+	}
+
+	scheme, err := crypto.SchemeByName(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	keyring, signers := crypto.GenerateCluster(scheme, params.N, cfg.ClusterSeed)
+	bc, err := beacon.NewRoundRobin(params.N)
+	if err != nil {
+		return nil, err
+	}
+
+	peers := make(map[types.ReplicaID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		peers[types.ReplicaID(id)] = addr
+	}
+	listenAddr := cfg.ListenAddr
+	if listenAddr == "" {
+		// Default to this replica's own entry in the peer list.
+		listenAddr = cfg.Peers[cfg.ID]
+	}
+	tr, err := tcp.New(tcp.Config{
+		Self:       types.ReplicaID(cfg.ID),
+		ListenAddr: listenAddr,
+		Peers:      peers,
+		Logf:       cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Replica{
+		cfg:       cfg,
+		params:    params,
+		tr:        tr,
+		pool:      mempool.NewPool(0, cfg.MaxBlockBytes),
+		commits:   make(chan Commit, cfg.CommitBuffer),
+		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
+		done:      make(chan struct{}),
+	}
+	eng, err := buildEngine(cfg.Protocol, params, types.ReplicaID(cfg.ID),
+		keyring, signers[cfg.ID], bc, r.pool, cfg.Delta)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	r.engine = eng
+	n, err := node.New(node.Config{
+		Engine:    eng,
+		Transport: tr,
+		Commits:   r.rawCommit,
+		OnFault:   func(err error) { r.recordFault(err) },
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	r.node = n
+	return r, nil
+}
+
+// Addr returns the bound listen address.
+func (r *Replica) Addr() string { return r.tr.Addr() }
+
+// Start runs the replica.
+func (r *Replica) Start() error {
+	go r.pump()
+	return r.node.Start()
+}
+
+func (r *Replica) pump() {
+	defer close(r.commits)
+	for {
+		select {
+		case <-r.done:
+			return
+		case ev := <-r.rawCommit:
+			for _, b := range ev.Blocks {
+				commit := Commit{
+					Round:        uint64(b.Round),
+					BlockID:      b.ID().String(),
+					Proposer:     int(b.Proposer),
+					Transactions: mempool.DecodeBatch(b.Payload),
+					PayloadBytes: b.Payload.Size(),
+					Path:         pathOf(ev.Explicit),
+					At:           ev.At,
+				}
+				select {
+				case r.commits <- commit:
+				case <-r.done:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Submit queues a transaction for proposal when this replica leads.
+func (r *Replica) Submit(tx []byte) bool { return r.pool.Submit(tx) }
+
+// Commits streams blocks finalized by this replica.
+func (r *Replica) Commits() <-chan Commit { return r.commits }
+
+// Faults returns safety faults (must stay empty).
+func (r *Replica) Faults() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]error, len(r.faults))
+	copy(out, r.faults)
+	return out
+}
+
+// Metrics returns the engine counters. Only valid after Stop.
+func (r *Replica) Metrics() map[string]int64 { return r.node.Metrics() }
+
+// Stop shuts the replica down.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	r.node.Stop()
+	close(r.done)
+}
+
+func (r *Replica) recordFault(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = append(r.faults, err)
+}
