@@ -45,6 +45,13 @@ type ClusterConfig struct {
 	Seed uint64
 	// CommitBuffer is the capacity of the Commits channel (default 1024).
 	CommitBuffer int
+	// VerifyWorkers sizes each replica's signature-verification pool: 0
+	// selects GOMAXPROCS, 1 verifies inline, negative additionally skips
+	// the node's preverification stage.
+	VerifyWorkers int
+	// VerifyCacheSize caps each replica's verified-signature cache
+	// (0 default, negative disables caching).
+	VerifyCacheSize int
 }
 
 // Cluster is an n-replica consensus cluster running in one process. It
@@ -136,10 +143,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
 	}
+	verifyCfg := crypto.VerifyConfig{Workers: cfg.VerifyWorkers, CacheSize: cfg.VerifyCacheSize}
 	for i := 0; i < params.N; i++ {
 		id := types.ReplicaID(i)
 		c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
-		eng, err := buildEngine(cfg.Protocol, params, id, keyring, signers[i], bc, c.pools[i], cfg.Delta)
+		// One verifier per Banyan replica, shared between the engine and
+		// the node's preverification stage so cache warm-ups reach the
+		// engine. The baseline engines verify through the keyring
+		// directly, so building one for them would be dead weight.
+		verifier := newVerifierFor(cfg.Protocol, keyring, verifyCfg)
+		eng, err := buildEngine(cfg.Protocol, params, id, keyring, verifier, signers[i], bc, c.pools[i], cfg.Delta)
 		if err != nil {
 			return nil, err
 		}
@@ -149,10 +162,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			commitCh = c.rawCommit
 		}
 		n, err := node.New(node.Config{
-			Engine:    eng,
-			Transport: hub.Transport(id),
-			Commits:   commitCh,
-			OnFault:   func(err error) { c.recordFault(err) },
+			Engine:        eng,
+			Transport:     hub.Transport(id),
+			Commits:       commitCh,
+			OnFault:       func(err error) { c.recordFault(err) },
+			Preverifier:   preverifierFor(verifier),
+			VerifyWorkers: cfg.VerifyWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -162,8 +177,29 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
+// newVerifierFor builds the shared verification pipeline for the Banyan
+// engines; the baselines verify through the keyring directly and get nil.
+func newVerifierFor(proto Protocol, keyring *crypto.Keyring, cfg crypto.VerifyConfig) *crypto.Verifier {
+	switch proto {
+	case ProtocolBanyan, ProtocolBanyanNoFast:
+		return crypto.NewVerifier(keyring, cfg)
+	default:
+		return nil
+	}
+}
+
+// preverifierFor adapts a possibly-nil verifier to the node's Preverifier
+// interface (a typed nil inside the interface would dodge the node's
+// nil check and panic on first use).
+func preverifierFor(verifier *crypto.Verifier) node.Preverifier {
+	if verifier == nil {
+		return nil
+	}
+	return verifier
+}
+
 func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
-	keyring *crypto.Keyring, signer *crypto.Signer, bc beacon.Beacon,
+	keyring *crypto.Keyring, verifier *crypto.Verifier, signer *crypto.Signer, bc beacon.Beacon,
 	payloads protocol.PayloadSource, delta time.Duration) (protocol.Engine, error) {
 	switch proto {
 	case ProtocolBanyan, ProtocolBanyanNoFast:
@@ -171,6 +207,7 @@ func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 			Params:          params,
 			Self:            id,
 			Keyring:         keyring,
+			Verifier:        verifier,
 			Signer:          signer,
 			Beacon:          bc,
 			Payloads:        payloads,

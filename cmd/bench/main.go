@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"banyan/internal/crypto"
 	"banyan/internal/harness"
 	"banyan/internal/latencymodel"
 	"banyan/internal/types"
@@ -38,16 +39,26 @@ type options struct {
 	duration time.Duration
 	seed     uint64
 	quick    bool
+	verify   crypto.VerifyConfig
+}
+
+// run executes one harness experiment with the global verification knobs
+// applied.
+func (o options) run(cfg harness.Config) (*harness.Result, error) {
+	cfg.Verify = o.verify
+	return harness.Run(cfg)
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography or 'all'")
+		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify or 'all'")
 		duration = fs.Duration("duration", 120*time.Second, "virtual duration per run (paper: 120s)")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		quick    = fs.Bool("quick", false, "short runs and fewer sweep points")
 		list     = fs.Bool("list", false, "list experiments and exit")
+		verifyW  = fs.Int("verify-workers", 0, "signature-verification pool size (0 = GOMAXPROCS, 1 = inline)")
+		verifyC  = fs.Int("verify-cache", 0, "verified-signature cache capacity (0 = default, <0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +69,10 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	opts := options{duration: *duration, seed: *seed, quick: *quick}
+	opts := options{
+		duration: *duration, seed: *seed, quick: *quick,
+		verify: crypto.VerifyConfig{Workers: *verifyW, CacheSize: *verifyC},
+	}
 	if *quick && *duration == 120*time.Second {
 		opts.duration = 20 * time.Second
 	}
@@ -106,6 +120,7 @@ var allExperiments = []experiment{
 	{"ablation-fastpath", "Ablation: Banyan with the fast path disabled", runAblationFastPath},
 	{"ablation-forwarding", "Ablation: tip forwarding on/off", runAblationForwarding},
 	{"ablation-geography", "Ablation: co-located vs spread quorum geography", runAblationGeography},
+	{"verify", "Microbench: sequential vs batched/cached signature verification", runVerify},
 }
 
 const header = "%-22s %10s %10s %10s %10s %12s %8s %8s\n"
@@ -146,7 +161,7 @@ func runFig1(o options) error {
 		harness.Streamlet: "epoch-clocked (Δ-bound, not δ)",
 	}
 	for _, proto := range harness.Protocols() {
-		res, err := harness.Run(harness.Config{
+		res, err := o.run(harness.Config{
 			Protocol:    proto,
 			Params:      harness.ParamsFor(proto, 4, 1, 1),
 			Topology:    topo,
@@ -179,7 +194,7 @@ func runFig2(o options) error {
 	printHeader()
 	var banyanMean, iccMean time.Duration
 	for _, proto := range []harness.Protocol{harness.Banyan, harness.ICC} {
-		res, err := harness.Run(harness.Config{
+		res, err := o.run(harness.Config{
 			Protocol:  proto,
 			Params:    harness.ParamsFor(proto, 19, 6, 1),
 			Topology:  topo,
@@ -210,7 +225,7 @@ func fig6Sweep(o options, topo *wan.Topology, sizes []int, configs []protoConfig
 	printHeader()
 	for _, size := range sizes {
 		for _, pc := range configs {
-			res, err := harness.Run(harness.Config{
+			res, err := o.run(harness.Config{
 				Protocol:  pc.proto,
 				Params:    harness.ParamsFor(pc.proto, topo.N(), pc.f, pc.p),
 				Topology:  topo,
@@ -289,7 +304,7 @@ func runFig6c(o options) error {
 	fmt.Printf("%-10s %10s %10s %10s %10s %10s %10s %10s\n",
 		"protocol", "mean(ms)", "sd(ms)", "min(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
 	for _, proto := range []harness.Protocol{harness.Banyan, harness.ICC} {
-		res, err := harness.Run(harness.Config{
+		res, err := o.run(harness.Config{
 			Protocol:   proto,
 			Params:     harness.ParamsFor(proto, 4, 1, 1),
 			Topology:   topo,
@@ -330,7 +345,7 @@ func runFig6d(o options) error {
 			specs = append(specs, harness.CrashSpec{Replica: spread[i]})
 		}
 		for _, proto := range []harness.Protocol{harness.Banyan, harness.ICC} {
-			res, err := harness.Run(harness.Config{
+			res, err := o.run(harness.Config{
 				Protocol:  proto,
 				Params:    harness.ParamsFor(proto, 19, 6, 1),
 				Topology:  topo,
@@ -387,7 +402,7 @@ func runTraffic(o options) error {
 		"protocol", "blocks", "msgs/block", "wire-KB/block", "overhead")
 	const blockSize = 64 << 10
 	for _, proto := range harness.Protocols() {
-		res, err := harness.Run(harness.Config{
+		res, err := o.run(harness.Config{
 			Protocol:  proto,
 			Params:    harness.ParamsFor(proto, 19, 6, 1),
 			Topology:  topo,
@@ -430,7 +445,7 @@ func runAblationP(o options) error {
 			fmt.Printf("%-22s invalid: %v\n", fmt.Sprintf("f=%d,p=%d", pp.f, pp.p), err)
 			continue
 		}
-		res, err := harness.Run(harness.Config{
+		res, err := o.run(harness.Config{
 			Protocol:  harness.Banyan,
 			Params:    params,
 			Topology:  topo,
@@ -458,7 +473,7 @@ func runAblationFastPath(o options) error {
 		{"banyan-nofast", harness.BanyanNoFast, 1, 1},
 		{"icc", harness.ICC, 1, 0},
 	} {
-		res, err := harness.Run(harness.Config{
+		res, err := o.run(harness.Config{
 			Protocol:  pc.proto,
 			Params:    harness.ParamsFor(pc.proto, 4, pc.f, pc.p),
 			Topology:  topo,
@@ -483,7 +498,7 @@ func runAblationForwarding(o options) error {
 	printHeader()
 	for _, off := range []bool{false, true} {
 		for _, proto := range []harness.Protocol{harness.Banyan, harness.ICC} {
-			res, err := harness.Run(harness.Config{
+			res, err := o.run(harness.Config{
 				Protocol:     proto,
 				Params:       harness.ParamsFor(proto, 19, 6, 1),
 				Topology:     topo,
@@ -525,7 +540,7 @@ func runAblationGeography(o options) error {
 			{"banyan-p4", harness.Banyan, 4, 4},
 			{"icc", harness.ICC, 6, 0},
 		} {
-			res, err := harness.Run(harness.Config{
+			res, err := o.run(harness.Config{
 				Protocol:  pc.proto,
 				Params:    harness.ParamsFor(pc.proto, 19, pc.f, pc.p),
 				Topology:  topo,
@@ -539,6 +554,73 @@ func runAblationGeography(o options) error {
 			printRow(tc.label+"/"+pc.label, res)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// runVerify microbenchmarks the signature-verification pipeline outside
+// the simulator: a round's notarization certificate delivered redundantly
+// (the original broadcast, a relay, and the Advance carry the same quorum
+// of signatures), verified sequentially vs through the batched pool with
+// the verified-signature cache. This is the raw-crypto view of what the
+// engine's ingestion path pays per round.
+func runVerify(o options) error {
+	const redundancy = 3
+	fmt.Println("one notarization certificate per round, delivered 3x (gossip redundancy), ed25519")
+	fmt.Printf("%-6s %8s %16s %16s %9s %10s\n",
+		"n", "quorum", "seq(ms/round)", "batch(ms/round)", "speedup", "cache-hit%")
+	for _, n := range []int{16, 64, 128} {
+		params := types.Params{N: n, F: (n - 1) / 3, P: 1}
+		quorum := params.NotarizationQuorum()
+		keyring, signers := crypto.GenerateCluster(crypto.Ed25519(), n, o.seed)
+		rounds := 50
+		if o.quick {
+			rounds = 10
+		}
+		certs := make([]*types.Certificate, rounds)
+		for r := range certs {
+			var block types.BlockID
+			block[0], block[1] = byte(r), byte(r>>8)
+			votes := make([]types.Vote, quorum)
+			for i := range votes {
+				votes[i] = signers[i].SignVote(types.VoteNotarize, types.Round(r+1), block)
+			}
+			cert, err := types.NewCertificate(types.CertNotarization, types.Round(r+1), block, votes)
+			if err != nil {
+				return err
+			}
+			certs[r] = cert
+		}
+
+		seqStart := time.Now()
+		for _, cert := range certs {
+			for d := 0; d < redundancy; d++ {
+				if err := crypto.VerifyCert(keyring, cert, quorum); err != nil {
+					return err
+				}
+			}
+		}
+		seq := time.Since(seqStart)
+
+		verifier := crypto.NewVerifier(keyring, o.verify)
+		batchStart := time.Now()
+		for _, cert := range certs {
+			for d := 0; d < redundancy; d++ {
+				if err := verifier.VerifyCert(cert, quorum); err != nil {
+					return err
+				}
+			}
+		}
+		batch := time.Since(batchStart)
+		hits, misses := verifier.CacheStats()
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("%-6d %8d %16.2f %16.2f %8.1fx %9.1f%%\n",
+			n, quorum,
+			msF(seq)/float64(rounds), msF(batch)/float64(rounds),
+			float64(seq)/float64(batch), hitRate)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module banyan
+
+go 1.22

@@ -1,0 +1,218 @@
+package byzantine
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/crypto"
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// scriptedEngine is a fake inner engine that returns canned actions from
+// every entry point, so tests can observe exactly how an adversary wrapper
+// rewrites them.
+type scriptedEngine struct {
+	id   types.ReplicaID
+	acts []protocol.Action
+}
+
+func (s *scriptedEngine) ID() types.ReplicaID               { return s.id }
+func (s *scriptedEngine) Protocol() string                  { return "scripted" }
+func (s *scriptedEngine) Metrics() map[string]int64         { return map[string]int64{"x": 1} }
+func (s *scriptedEngine) Start(time.Time) []protocol.Action { return s.acts }
+func (s *scriptedEngine) HandleMessage(types.ReplicaID, types.Message, time.Time) []protocol.Action {
+	return s.acts
+}
+func (s *scriptedEngine) HandleTimer(protocol.TimerID, time.Time) []protocol.Action {
+	return s.acts
+}
+
+func signedProposal(t *testing.T, signer *crypto.Signer, rank types.Rank, withFastVote bool) *types.Proposal {
+	t.Helper()
+	b := types.NewBlock(1, signer.ID(), rank, types.BlockID{}, types.SyntheticPayload(64, 42))
+	if err := signer.SignBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	p := &types.Proposal{Block: b}
+	if withFastVote {
+		fv := signer.SignVote(types.VoteFast, b.Round, b.ID())
+		p.FastVote = &fv
+	}
+	return p
+}
+
+func TestEquivocatingLeaderSplitsOwnProposal(t *testing.T) {
+	const n = 5
+	keyring, signers := crypto.GenerateCluster(crypto.Ed25519(), n, 1)
+	self := signers[0]
+	prop := signedProposal(t, self, 0, true)
+	inner := &scriptedEngine{id: 0, acts: []protocol.Action{protocol.Broadcast{Msg: prop}}}
+	adv := NewEquivocatingLeader(inner, self, n)
+
+	acts := adv.Start(time.Unix(0, 0))
+
+	// The broadcast must be rewritten into per-recipient sends only.
+	sends := make(map[types.ReplicaID][]types.Message)
+	for _, a := range acts {
+		switch act := a.(type) {
+		case protocol.Broadcast:
+			t.Fatalf("own proposal escaped as a broadcast: %v", act.Msg)
+		case protocol.Send:
+			if act.To == adv.ID() {
+				t.Fatal("adversary sent to itself")
+			}
+			sends[act.To] = append(sends[act.To], act.Msg)
+		}
+	}
+	if len(sends) != n-1 {
+		t.Fatalf("split reached %d recipients, want %d", len(sends), n-1)
+	}
+
+	// Each recipient gets exactly one of two conflicting, validly signed
+	// blocks with the same round/rank/parent.
+	blockIDs := make(map[types.BlockID]bool)
+	for to, msgs := range sends {
+		p, ok := msgs[0].(*types.Proposal)
+		if !ok {
+			t.Fatalf("first message to %d is %T, want *Proposal", to, msgs[0])
+		}
+		b := p.Block
+		if b.Round != prop.Block.Round || b.Rank != prop.Block.Rank || b.Parent != prop.Block.Parent {
+			t.Fatalf("twin header diverges beyond the payload: %v", b)
+		}
+		if err := crypto.VerifyBlock(keyring, b); err != nil {
+			t.Fatalf("equivocated block to %d is not validly signed: %v", to, err)
+		}
+		if p.FastVote == nil {
+			t.Fatalf("proposal to %d lost the leader's fast vote", to)
+		}
+		if p.FastVote.Block != b.ID() {
+			t.Fatalf("fast vote to %d names %s, not the delivered block %s", to, p.FastVote.Block, b.ID())
+		}
+		if err := crypto.VerifyVote(keyring, *p.FastVote); err != nil {
+			t.Fatalf("equivocated fast vote to %d does not verify: %v", to, err)
+		}
+		blockIDs[b.ID()] = true
+	}
+	if len(blockIDs) != 2 {
+		t.Fatalf("split produced %d distinct blocks, want 2 conflicting", len(blockIDs))
+	}
+}
+
+func TestEquivocatingLeaderPassesThroughForeignActions(t *testing.T) {
+	const n = 4
+	_, signers := crypto.GenerateCluster(crypto.Ed25519(), n, 2)
+	self, other := signers[1], signers[2]
+	foreign := signedProposal(t, other, 1, false)
+	relayed := signedProposal(t, self, 0, false)
+	relayed.Relayed = true
+	vote := self.SignVote(types.VoteNotarize, 1, types.BlockID{})
+	inner := &scriptedEngine{id: 1, acts: []protocol.Action{
+		protocol.Broadcast{Msg: foreign},                                   // someone else's block
+		protocol.Broadcast{Msg: relayed},                                   // own block, but a relay
+		protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{vote}}}, // not a proposal
+		protocol.SetTimer{ID: protocol.TimerID{Round: 1}},                  // not a network action
+	}}
+	adv := NewEquivocatingLeader(inner, self, n)
+	acts := adv.HandleTimer(protocol.TimerID{}, time.Unix(0, 0))
+	if len(acts) != len(inner.acts) {
+		t.Fatalf("pass-through rewrote %d actions into %d", len(inner.acts), len(acts))
+	}
+	for i := range acts {
+		if acts[i] != inner.acts[i] {
+			t.Fatalf("action %d rewritten: %v -> %v", i, inner.acts[i], acts[i])
+		}
+	}
+}
+
+func TestSilentGoesMuteAfterDeadline(t *testing.T) {
+	_, signers := crypto.GenerateCluster(crypto.HMAC(), 4, 3)
+	prop := signedProposal(t, signers[0], 0, false)
+	inner := &scriptedEngine{id: 0, acts: []protocol.Action{
+		protocol.Broadcast{Msg: prop},
+		protocol.Send{To: 2, Msg: prop},
+		protocol.SetTimer{ID: protocol.TimerID{Round: 1}},
+	}}
+	cutoff := time.Unix(100, 0)
+	s := NewSilent(inner, cutoff)
+
+	before := s.HandleMessage(1, prop, cutoff.Add(-time.Second))
+	if len(before) != 3 {
+		t.Fatalf("before the deadline %d actions survived, want all 3", len(before))
+	}
+	after := s.HandleMessage(1, prop, cutoff)
+	if len(after) != 1 {
+		t.Fatalf("after the deadline %d actions survived, want only the timer", len(after))
+	}
+	if _, ok := after[0].(protocol.SetTimer); !ok {
+		t.Fatalf("surviving action is %T, want SetTimer (mute replicas keep internal timers)", after[0])
+	}
+}
+
+func TestVoteWithholderStripsFastAndFinalizationVotes(t *testing.T) {
+	_, signers := crypto.GenerateCluster(crypto.HMAC(), 4, 4)
+	self := signers[0]
+	notar := self.SignVote(types.VoteNotarize, 1, types.BlockID{})
+	fast := self.SignVote(types.VoteFast, 1, types.BlockID{})
+	final := self.SignVote(types.VoteFinalize, 1, types.BlockID{})
+	inner := &scriptedEngine{id: 0, acts: []protocol.Action{
+		protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{notar, fast}}},
+		protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{final}}},
+	}}
+	w := NewVoteWithholder(inner)
+	acts := w.Start(time.Unix(0, 0))
+	if len(acts) != 1 {
+		t.Fatalf("%d broadcasts survived, want 1 (the all-stripped VoteMsg is dropped)", len(acts))
+	}
+	vm := acts[0].(protocol.Broadcast).Msg.(*types.VoteMsg)
+	if len(vm.Votes) != 1 || vm.Votes[0].Kind != types.VoteNotarize {
+		t.Fatalf("surviving votes %v, want exactly the notarization vote", vm.Votes)
+	}
+}
+
+func TestVoteWithholderStripsProposalFastVote(t *testing.T) {
+	_, signers := crypto.GenerateCluster(crypto.HMAC(), 4, 5)
+	prop := signedProposal(t, signers[0], 0, true)
+	inner := &scriptedEngine{id: 0, acts: []protocol.Action{protocol.Broadcast{Msg: prop}}}
+	w := NewVoteWithholder(inner)
+	acts := w.Start(time.Unix(0, 0))
+	if len(acts) != 1 {
+		t.Fatalf("got %d actions, want 1", len(acts))
+	}
+	got := acts[0].(protocol.Broadcast).Msg.(*types.Proposal)
+	if got.FastVote != nil {
+		t.Fatal("fast vote riding on the proposal was not stripped")
+	}
+	if got.Block != prop.Block {
+		t.Fatal("withholder altered the proposal's block")
+	}
+	if prop.FastVote == nil {
+		t.Fatal("withholder mutated the original proposal instead of copying it")
+	}
+}
+
+// TestAdversaryIdentity: wrappers must report the wrapped replica's ID and
+// metrics while advertising their deviation in the protocol name.
+func TestAdversaryIdentity(t *testing.T) {
+	_, signers := crypto.GenerateCluster(crypto.HMAC(), 4, 6)
+	inner := &scriptedEngine{id: 3}
+	for _, tc := range []struct {
+		eng  protocol.Engine
+		want string
+	}{
+		{NewEquivocatingLeader(inner, signers[3], 4), "scripted-equivocator"},
+		{NewSilent(inner, time.Unix(0, 0)), "scripted-mute"},
+		{NewVoteWithholder(inner), "scripted-withholder"},
+	} {
+		if tc.eng.ID() != 3 {
+			t.Errorf("%s: ID() = %d, want 3", tc.want, tc.eng.ID())
+		}
+		if tc.eng.Protocol() != tc.want {
+			t.Errorf("Protocol() = %q, want %q", tc.eng.Protocol(), tc.want)
+		}
+		if tc.eng.Metrics()["x"] != 1 {
+			t.Errorf("%s: metrics not proxied", tc.want)
+		}
+	}
+}

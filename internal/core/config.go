@@ -37,6 +37,16 @@ type Config struct {
 	Self types.ReplicaID
 	// Keyring holds every replica's public key.
 	Keyring *crypto.Keyring
+	// Verifier is the batched, cached signature-verification pipeline the
+	// engine routes all VerifyVote/VerifyCert/VerifyUnlockProof/VerifyBlock
+	// checks through. Nil builds one over Keyring from VerifyOptions.
+	// Hosts that preverify inbound messages (internal/node's
+	// verify-then-deliver stage) must pass the same Verifier here and to
+	// the node so the engine sees the warmed cache.
+	Verifier *crypto.Verifier
+	// VerifyOptions tunes the Verifier built when the field above is nil:
+	// worker-pool size and verified-signature cache capacity.
+	VerifyOptions crypto.VerifyConfig
 	// Signer signs this replica's blocks and votes.
 	Signer *crypto.Signer
 	// Beacon supplies the per-round leader permutations.
@@ -92,6 +102,9 @@ func (c *Config) validate() error {
 	}
 	if c.Delta <= 0 {
 		return errors.New("core: Delta must be positive")
+	}
+	if c.Verifier == nil {
+		c.Verifier = crypto.NewVerifier(c.Keyring, c.VerifyOptions)
 	}
 	if c.Payloads == nil {
 		c.Payloads = protocol.EmptyPayloads

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"banyan/internal/blocktree"
-	"banyan/internal/crypto"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
@@ -266,7 +265,7 @@ func (e *Engine) onProposal(m *types.Proposal) {
 	id := b.ID()
 	_, known := rs.blocks[id]
 	if !known {
-		if err := crypto.VerifyBlock(e.cfg.Keyring, b); err != nil {
+		if err := e.cfg.Verifier.VerifyBlock(b); err != nil {
 			e.met.rejected++
 			return
 		}
@@ -309,7 +308,7 @@ func (e *Engine) onVote(v types.Vote) {
 	if _, dup := ledger[v.Block][v.Voter]; dup {
 		return
 	}
-	if err := crypto.VerifyVote(e.cfg.Keyring, v); err != nil {
+	if err := e.cfg.Verifier.VerifyVote(v); err != nil {
 		e.met.rejected++
 		return
 	}
@@ -329,7 +328,7 @@ func (e *Engine) onCert(c *types.Certificate) {
 		if rs.notarizations[c.Block] != nil {
 			return
 		}
-		if err := crypto.VerifyCert(e.cfg.Keyring, c, e.cfg.Params.NotarizationQuorum()); err != nil {
+		if err := e.cfg.Verifier.VerifyCert(c, e.cfg.Params.NotarizationQuorum()); err != nil {
 			e.met.rejected++
 			return
 		}
@@ -343,7 +342,7 @@ func (e *Engine) onCert(c *types.Certificate) {
 		if c.Kind == types.CertFastFinalization {
 			quorum = e.cfg.Params.FastQuorum()
 		}
-		if err := crypto.VerifyCert(e.cfg.Keyring, c, quorum); err != nil {
+		if err := e.cfg.Verifier.VerifyCert(c, quorum); err != nil {
 			e.met.rejected++
 			return
 		}
@@ -379,7 +378,7 @@ func (e *Engine) onUnlock(u *types.UnlockProof) {
 	if !u.All && rs.isUnlocked(u.Block) {
 		return
 	}
-	if err := crypto.VerifyUnlockProof(e.cfg.Keyring, u, e.cfg.Params.UnlockThreshold()); err != nil {
+	if err := e.cfg.Verifier.VerifyUnlockProof(u, e.cfg.Params.UnlockThreshold()); err != nil {
 		e.met.rejected++
 		return
 	}
@@ -591,7 +590,7 @@ func (e *Engine) onSyncResponse(m *types.SyncResponse) {
 			break // segment no longer connects; drop the rest
 		}
 		if !e.tree.Contains(b.ID()) {
-			if err := crypto.VerifyBlock(e.cfg.Keyring, b); err != nil {
+			if err := e.cfg.Verifier.VerifyBlock(b); err != nil {
 				e.met.rejected++
 				continue
 			}

@@ -1,0 +1,412 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+
+	"banyan/internal/types"
+)
+
+// corruption is one way an adversary can mangle a signature triple.
+type corruption int
+
+const (
+	corruptNone      corruption = iota // leave the triple valid
+	corruptForged                      // flip a bit of the signature
+	corruptWrongKey                    // signature by a different replica
+	corruptTruncated                   // cut the signature short
+	corruptDigest                      // signature over a different digest
+	corruptEmpty                       // empty signature
+	numCorruptions
+)
+
+// buildTriples makes count signature triples over random digests, applying
+// the corruption chosen by pick(i) to triple i. It returns the triples and
+// the expected per-triple verdicts (computed from the corruption applied,
+// not from calling Verify).
+func buildTriples(t testing.TB, scheme Scheme, n, count int, seed int64,
+	pick func(i int) corruption) (pubs [][]byte, digests [][32]byte, sigs [][]byte, want []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	_, signers := GenerateCluster(scheme, n, uint64(seed)+1)
+	keyring, _ := GenerateCluster(scheme, n, uint64(seed)+1)
+	for i := 0; i < count; i++ {
+		var digest [32]byte
+		rng.Read(digest[:])
+		who := rng.Intn(n)
+		sig := signers[who].Sign(digest)
+		pub := keyring.PublicKey(types.ReplicaID(who))
+		valid := true
+		switch pick(i) {
+		case corruptForged:
+			sig = append([]byte(nil), sig...)
+			sig[rng.Intn(len(sig))] ^= 1 << uint(rng.Intn(8))
+			valid = false
+		case corruptWrongKey:
+			other := (who + 1 + rng.Intn(n-1)) % n
+			pub = keyring.PublicKey(types.ReplicaID(other))
+			valid = false
+		case corruptTruncated:
+			sig = sig[:rng.Intn(len(sig))]
+			valid = false
+		case corruptDigest:
+			digest[rng.Intn(32)] ^= 1
+			valid = false
+		case corruptEmpty:
+			sig = nil
+			valid = false
+		}
+		pubs = append(pubs, pub)
+		digests = append(digests, digest)
+		sigs = append(sigs, sig)
+		want = append(want, valid)
+	}
+	return pubs, digests, sigs, want
+}
+
+// TestBatchVerifierMatchesSequential is the core equivalence property:
+// for every mix of valid, forged, wrong-key, truncated, wrong-digest and
+// empty signatures, under both schemes, BatchVerifier.Flush returns
+// exactly the verdicts per-signature Verify would.
+func TestBatchVerifierMatchesSequential(t *testing.T) {
+	for _, scheme := range schemes() {
+		t.Run(scheme.Name(), func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				count := 1 + rng.Intn(40)
+				pubs, digests, sigs, want := buildTriples(t, scheme, 7, count, int64(trial),
+					func(int) corruption { return corruption(rng.Intn(int(numCorruptions))) })
+
+				bv := NewBatchVerifier(scheme)
+				for i := range pubs {
+					bv.Add(pubs[i], digests[i], sigs[i])
+				}
+				got := bv.Flush()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d: triple %d: batch verdict %v, want %v",
+							trial, i, got[i], want[i])
+					}
+					if seq := scheme.Verify(pubs[i], digests[i], sigs[i]); seq != want[i] {
+						t.Fatalf("trial %d: triple %d: sequential verdict %v, want %v",
+							trial, i, seq, want[i])
+					}
+				}
+				if bv.Len() != 0 {
+					t.Fatalf("batch not reset after Flush: len=%d", bv.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestBatchVerifierAllValidAndAllInvalid exercises the two boundary
+// batches: the all-valid batch (batch path accepts in one pass) and the
+// all-invalid batch (every triple resolved by the per-signature fallback).
+func TestBatchVerifierAllValidAndAllInvalid(t *testing.T) {
+	for _, scheme := range schemes() {
+		for _, c := range []corruption{corruptNone, corruptForged} {
+			pubs, digests, sigs, want := buildTriples(t, scheme, 5, 33, int64(c),
+				func(int) corruption { return c })
+			bv := NewBatchVerifier(scheme)
+			for i := range pubs {
+				bv.Add(pubs[i], digests[i], sigs[i])
+			}
+			got := bv.Flush()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s corruption %d: triple %d got %v want %v",
+						scheme.Name(), c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVerifierPoolMatchesSequential checks the pool at several worker
+// counts, including fan-outs larger than the batch.
+func TestVerifierPoolMatchesSequential(t *testing.T) {
+	for _, scheme := range schemes() {
+		for _, workers := range []int{1, 2, 4, 64} {
+			pubs, digests, sigs, want := buildTriples(t, scheme, 9, 50, int64(workers),
+				func(i int) corruption { return corruption(i % int(numCorruptions)) })
+			pool := NewVerifierPool(scheme, workers)
+			got := pool.VerifyMany(pubs, digests, sigs)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: triple %d got %v want %v",
+						scheme.Name(), workers, i, got[i], want[i])
+				}
+			}
+			if pool.VerifyManyValid(pubs, digests, sigs) {
+				t.Fatalf("%s workers=%d: mixed batch reported all-valid", scheme.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestVerifierMatchesFreeFunctions: the cached pipeline must agree with
+// the package-level verification functions on both accepts and rejects —
+// including on repeat calls, where the cache serves the verdict.
+func TestVerifierMatchesFreeFunctions(t *testing.T) {
+	for _, scheme := range schemes() {
+		t.Run(scheme.Name(), func(t *testing.T) {
+			keyring, signers := GenerateCluster(scheme, 4, 3)
+			v := NewVerifier(keyring, VerifyConfig{})
+			var block types.BlockID
+			block[2] = 9
+
+			vote := signers[1].SignVote(types.VoteNotarize, 5, block)
+			forged := vote
+			forged.Voter = 2
+
+			votes := collectVotes(signers, types.VoteNotarize, 5, block, 0, 1, 3)
+			cert, err := types.NewCertificate(types.CertNotarization, 5, block, votes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tampered := &types.Certificate{
+				Kind: cert.Kind, Round: cert.Round, Block: cert.Block,
+				Signers: append([]types.ReplicaID(nil), cert.Signers...),
+				Sigs:    append([][]byte(nil), cert.Sigs...),
+			}
+			tampered.Sigs[1] = append([]byte(nil), tampered.Sigs[1]...)
+			tampered.Sigs[1][0] ^= 1
+
+			blk := types.NewBlock(5, 2, 1, types.BlockID{}, types.BytesPayload([]byte("x")))
+			if err := signers[2].SignBlock(blk); err != nil {
+				t.Fatal(err)
+			}
+
+			for round := 0; round < 3; round++ { // repeat: exercise cache hits
+				if got, want := v.VerifyVote(vote), VerifyVote(keyring, vote); (got == nil) != (want == nil) {
+					t.Fatalf("round %d: VerifyVote mismatch: %v vs %v", round, got, want)
+				}
+				if got, want := v.VerifyVote(forged), VerifyVote(keyring, forged); (got == nil) != (want == nil) {
+					t.Fatalf("round %d: forged vote mismatch: %v vs %v", round, got, want)
+				}
+				if got, want := v.VerifyCert(cert, 3), VerifyCert(keyring, cert, 3); (got == nil) != (want == nil) {
+					t.Fatalf("round %d: VerifyCert mismatch: %v vs %v", round, got, want)
+				}
+				if got, want := v.VerifyCert(tampered, 3), VerifyCert(keyring, tampered, 3); (got == nil) != (want == nil) {
+					t.Fatalf("round %d: tampered cert mismatch: %v vs %v", round, got, want)
+				}
+				if got, want := v.VerifyCert(cert, 4), VerifyCert(keyring, cert, 4); (got == nil) != (want == nil) {
+					t.Fatalf("round %d: below-quorum mismatch: %v vs %v", round, got, want)
+				}
+				if got, want := v.VerifyBlock(blk), VerifyBlock(keyring, blk); (got == nil) != (want == nil) {
+					t.Fatalf("round %d: VerifyBlock mismatch: %v vs %v", round, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifierUnlockProofMatches mirrors TestVerifyUnlockProof through the
+// pipeline, including the falsified-rank rejection.
+func TestVerifierUnlockProofMatches(t *testing.T) {
+	keyring, signers := GenerateCluster(Ed25519(), 4, 1)
+	v := NewVerifier(keyring, VerifyConfig{})
+	b := types.NewBlock(5, 0, 0, types.BlockID{}, types.BytesPayload([]byte("b")))
+	id := b.ID()
+	votes := collectVotes(signers, types.VoteFast, 5, id, 0, 1, 2)
+	proof := &types.UnlockProof{
+		Round: 5,
+		Block: id,
+		Entries: []types.UnlockEntry{{
+			Header: b.Header(),
+			Voters: []types.ReplicaID{0, 1, 2},
+			Sigs:   [][]byte{votes[0].Signature, votes[1].Signature, votes[2].Signature},
+		}},
+	}
+	for round := 0; round < 2; round++ {
+		if err := v.VerifyUnlockProof(proof, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.VerifyUnlockProof(proof, 3); err == nil {
+			t.Fatal("proof accepted above its support")
+		}
+		if err := v.VerifyUnlockProof(nil, 1); err == nil {
+			t.Fatal("nil proof accepted")
+		}
+		lied := *proof
+		lied.Entries = []types.UnlockEntry{proof.Entries[0]}
+		lied.Entries[0].Header.Rank = 1
+		if err := v.VerifyUnlockProof(&lied, 2); err == nil {
+			t.Fatal("proof with falsified rank accepted")
+		}
+	}
+}
+
+// TestVerifierNeverCachesFailures: a forged signature must be re-checked
+// (and re-rejected) on every delivery; only successes may enter the cache.
+func TestVerifierNeverCachesFailures(t *testing.T) {
+	keyring, signers := GenerateCluster(Ed25519(), 4, 2)
+	v := NewVerifier(keyring, VerifyConfig{})
+	vote := signers[0].SignVote(types.VoteFast, 1, types.BlockID{})
+	bad := vote
+	bad.Signature = append([]byte(nil), vote.Signature...)
+	bad.Signature[3] ^= 1
+	for i := 0; i < 5; i++ {
+		if err := v.VerifyVote(bad); err == nil {
+			t.Fatalf("delivery %d: forged vote accepted", i)
+		}
+	}
+	hits, _ := v.CacheStats()
+	if hits != 0 {
+		t.Fatalf("forged vote produced %d cache hits", hits)
+	}
+}
+
+// TestPreverifyWarmsCache: after PreverifyMessage on a worker, the
+// engine-side verification of the same material must be pure cache hits.
+func TestPreverifyWarmsCache(t *testing.T) {
+	keyring, signers := GenerateCluster(Ed25519(), 4, 5)
+	v := NewVerifier(keyring, VerifyConfig{})
+	var block types.BlockID
+	block[1] = 3
+	votes := collectVotes(signers, types.VoteNotarize, 2, block, 0, 1, 2)
+	cert, err := types.NewCertificate(types.CertNotarization, 2, block, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.PreverifyMessage(&types.CertMsg{Cert: cert})
+	_, missesBefore := v.CacheStats()
+	if err := v.VerifyCert(cert, 3); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := v.CacheStats()
+	if misses != missesBefore {
+		t.Fatalf("VerifyCert after preverify missed the cache (%d new misses)", misses-missesBefore)
+	}
+	if hits < int64(len(cert.Signers)) {
+		t.Fatalf("expected ≥%d cache hits, got %d", len(cert.Signers), hits)
+	}
+}
+
+// TestPreverifyMalformedMessages: preverification must tolerate every
+// malformed shape (it only warms the cache; judging is the engine's job).
+func TestPreverifyMalformedMessages(t *testing.T) {
+	keyring, signers := GenerateCluster(Ed25519(), 4, 6)
+	v := NewVerifier(keyring, VerifyConfig{})
+	blk := types.NewBlock(1, 0, 0, types.BlockID{}, types.BytesPayload([]byte("p")))
+	if err := signers[0].SignBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	fv := signers[0].SignVote(types.VoteFast, 1, blk.ID())
+	msgs := []types.Message{
+		&types.Proposal{}, // nil block
+		&types.Proposal{Block: blk, FastVote: &fv},
+		&types.VoteMsg{},
+		&types.VoteMsg{Votes: []types.Vote{{Kind: 99, Voter: 200}}},
+		&types.CertMsg{}, // nil cert
+		&types.CertMsg{Cert: &types.Certificate{Kind: 1, Signers: []types.ReplicaID{0}, Sigs: nil}},
+		&types.Advance{},
+		&types.SyncResponse{Blocks: []*types.Block{nil, blk}},
+		&types.SyncRequest{},
+	}
+	for _, m := range msgs {
+		v.PreverifyMessage(m) // must not panic
+	}
+}
+
+// TestPreverifyBoundsAdversarialMessages: preverification runs before any
+// protocol validation, so it must not be a CPU-amplification target — a
+// shape-violating aggregate is skipped outright, and a signature-stuffed
+// message is capped at a small multiple of the cluster size.
+func TestPreverifyBoundsAdversarialMessages(t *testing.T) {
+	const n = 4
+	keyring, signers := GenerateCluster(HMAC(), n, 8)
+	v := NewVerifier(keyring, VerifyConfig{})
+
+	// Unsorted signers violate certificate shape: no signature may even
+	// be looked up, let alone verified.
+	sig := signers[0].Sign([32]byte{})
+	v.PreverifyMessage(&types.CertMsg{Cert: &types.Certificate{
+		Kind:    types.CertNotarization,
+		Round:   1,
+		Signers: []types.ReplicaID{2, 1, 0},
+		Sigs:    [][]byte{sig, sig, sig},
+	}})
+	if hits, misses := v.CacheStats(); hits+misses != 0 {
+		t.Fatalf("malformed cert caused %d cache lookups, want 0", hits+misses)
+	}
+
+	// A vote-stuffed message (1000 distinct valid votes) must be capped
+	// at 4n signatures of preverification work.
+	var votes []types.Vote
+	for i := 0; i < 1000; i++ {
+		var block types.BlockID
+		block[0], block[1] = byte(i), byte(i>>8)
+		votes = append(votes, signers[i%n].SignVote(types.VoteNotarize, 1, block))
+	}
+	v.PreverifyMessage(&types.VoteMsg{Votes: votes})
+	if hits, misses := v.CacheStats(); hits+misses > int64(4*n) {
+		t.Fatalf("stuffed VoteMsg caused %d signature lookups, want <= %d", hits+misses, 4*n)
+	}
+}
+
+// TestVerifiedCacheEviction fills the cache past capacity and checks old
+// entries fall out while the map never exceeds the cap.
+func TestVerifiedCacheEviction(t *testing.T) {
+	c := NewVerifiedCache(8)
+	mk := func(i int) CacheKey {
+		var k CacheKey
+		k[0], k[1] = byte(i), byte(i>>8)
+		k[31] = 1 // never the zero sentinel
+		return k
+	}
+	for i := 0; i < 32; i++ {
+		c.Add(mk(i))
+		if c.Len() > 8 {
+			t.Fatalf("cache grew to %d entries (cap 8)", c.Len())
+		}
+	}
+	if c.Contains(mk(0)) {
+		t.Fatal("oldest entry survived 4x-capacity insertion")
+	}
+	if !c.Contains(mk(31)) {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+// FuzzBatchVerifyEquivalence: for arbitrary signature mutations, the
+// batch verdict must equal the sequential verdict, under both schemes.
+func FuzzBatchVerifyEquivalence(f *testing.F) {
+	f.Add([]byte{0}, uint8(0), uint8(0))
+	f.Add([]byte{1, 2, 3}, uint8(3), uint8(64))
+	f.Add([]byte{}, uint8(7), uint8(255))
+	f.Fuzz(func(t *testing.T, mutation []byte, whoRaw, cut uint8) {
+		for _, scheme := range schemes() {
+			keyring, signers := GenerateCluster(scheme, 4, 11)
+			who := int(whoRaw) % 4
+			var digest [32]byte
+			copy(digest[:], mutation)
+			sig := signers[who].Sign(digest)
+			// Mutate the signature with the fuzzed bytes: XOR then truncate.
+			sig = append([]byte(nil), sig...)
+			for i, b := range mutation {
+				sig[i%len(sig)] ^= b
+			}
+			if int(cut) < len(sig) {
+				sig = sig[:cut]
+			}
+			pub := keyring.PublicKey(types.ReplicaID(who))
+			want := scheme.Verify(pub, digest, sig)
+
+			bv := NewBatchVerifier(scheme)
+			bv.Add(pub, digest, sig)
+			// Pair the fuzzed triple with a valid one so a failing batch
+			// exercises the mixed per-signature fallback.
+			other := signers[(who+1)%4].Sign(digest)
+			bv.Add(keyring.PublicKey(types.ReplicaID((who+1)%4)), digest, other)
+			got := bv.Flush()
+			if got[0] != want {
+				t.Fatalf("%s: batch verdict %v, sequential %v", scheme.Name(), got[0], want)
+			}
+			if !got[1] {
+				t.Fatalf("%s: valid companion signature rejected", scheme.Name())
+			}
+		}
+	})
+}

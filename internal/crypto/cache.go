@@ -1,0 +1,109 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// VerifiedCache remembers signatures that have already verified, so that
+// re-gossiped material is never re-verified. Banyan re-delivers the same
+// signatures constantly: a vote arrives in a VoteMsg, again inside the
+// notarization certificate of the Advance broadcast, again in relayed
+// proposals' parent credentials, and fast votes reappear inside unlock
+// proofs. Keys bind the scheme, public key, digest and signature bytes, so
+// a hit proves this exact verification succeeded before; both schemes are
+// deterministic, making the cached verdict sound. Only successes are
+// cached — a forged signature is re-checked (and re-rejected) every time.
+//
+// The cache is a fixed-capacity LRU safe for concurrent use: the node's
+// preverification workers warm it while the consensus goroutine reads it.
+type VerifiedCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[CacheKey]int // key -> index into ring
+	ring []CacheKey       // circular eviction order (approximate LRU: FIFO ring)
+	next int
+
+	hits, misses int64
+}
+
+// CacheKey identifies one verified (scheme, pub, digest, sig) triple.
+type CacheKey [32]byte
+
+// DefaultCacheSize is the per-replica verified-signature capacity used
+// when a configuration leaves the size zero. At 32 bytes per key it is
+// ~256 KiB and covers several rounds of traffic at n in the hundreds.
+const DefaultCacheSize = 8192
+
+// NewVerifiedCache builds a cache holding up to size verified keys;
+// size <= 0 selects DefaultCacheSize.
+func NewVerifiedCache(size int) *VerifiedCache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &VerifiedCache{
+		cap:  size,
+		m:    make(map[CacheKey]int, size),
+		ring: make([]CacheKey, size),
+	}
+}
+
+// VerifiedKey computes the cache key for a signature triple.
+func VerifiedKey(scheme Scheme, pub []byte, digest [32]byte, sig []byte) CacheKey {
+	h := sha256.New()
+	h.Write([]byte("banyan/verified/v1/"))
+	h.Write([]byte(scheme.Name()))
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(pub)))
+	binary.LittleEndian.PutUint32(lens[4:8], uint32(len(sig)))
+	h.Write(lens[:])
+	h.Write(pub)
+	h.Write(digest[:])
+	h.Write(sig)
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// Contains reports whether the key was verified before.
+func (c *VerifiedCache) Contains(k CacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ok
+}
+
+// Add records a verified key, evicting the oldest entry when full.
+func (c *VerifiedCache) Add(k CacheKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	if old := c.ring[c.next]; old != (CacheKey{}) {
+		delete(c.m, old)
+	}
+	c.ring[c.next] = k
+	c.m[k] = c.next
+	c.next = (c.next + 1) % c.cap
+}
+
+// Len returns the number of cached keys.
+func (c *VerifiedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns cumulative (hits, misses) of Contains lookups.
+func (c *VerifiedCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,85 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+)
+
+// VerifierPool fans signature verification out over worker goroutines.
+// One logical batch is sharded into per-worker BatchVerifiers; the call is
+// synchronous, so callers (including the deterministic consensus engine)
+// observe the same verdicts regardless of worker count or scheduling —
+// parallelism changes wall-clock time only, never results.
+type VerifierPool struct {
+	scheme  Scheme
+	workers int
+}
+
+// minParallel is the batch size below which the pool verifies inline:
+// goroutine fan-out costs more than it saves on tiny batches.
+const minParallel = 8
+
+// NewVerifierPool builds a pool over the scheme. workers <= 0 selects
+// GOMAXPROCS; workers == 1 verifies everything inline.
+func NewVerifierPool(scheme Scheme, workers int) *VerifierPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &VerifierPool{scheme: scheme, workers: workers}
+}
+
+// Workers returns the pool's concurrency.
+func (p *VerifierPool) Workers() int { return p.workers }
+
+// VerifyMany checks every (pub, digest, sig) triple and returns one
+// verdict per triple, in order. The three slices must have equal length.
+func (p *VerifierPool) VerifyMany(pubs [][]byte, digests [][32]byte, sigs [][]byte) []bool {
+	n := len(pubs)
+	out := make([]bool, n)
+	if n == 0 {
+		return out
+	}
+	if p.workers == 1 || n < minParallel {
+		p.verifyChunk(pubs, digests, sigs, out)
+		return out
+	}
+	// Shard into at most `workers` contiguous chunks of near-equal size;
+	// each worker writes a disjoint range of out.
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	var wg sync.WaitGroup
+	size := (n + chunks - 1) / chunks
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.verifyChunk(pubs[lo:hi], digests[lo:hi], sigs[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// VerifyManyValid reports whether every triple verifies.
+func (p *VerifierPool) VerifyManyValid(pubs [][]byte, digests [][32]byte, sigs [][]byte) bool {
+	for _, ok := range p.VerifyMany(pubs, digests, sigs) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *VerifierPool) verifyChunk(pubs [][]byte, digests [][32]byte, sigs [][]byte, out []bool) {
+	bv := NewBatchVerifier(p.scheme)
+	for i := range pubs {
+		bv.Add(pubs[i], digests[i], sigs[i])
+	}
+	copy(out, bv.Flush())
+}

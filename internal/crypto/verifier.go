@@ -1,0 +1,357 @@
+package crypto
+
+import (
+	"fmt"
+
+	"banyan/internal/types"
+)
+
+// VerifyConfig tunes a Verifier. The zero value selects sensible defaults
+// for both simulators and deployments.
+type VerifyConfig struct {
+	// Workers sizes the verification worker pool: 0 selects GOMAXPROCS,
+	// 1 verifies inline, larger values cap the fan-out.
+	Workers int
+	// CacheSize caps the verified-signature cache: 0 selects
+	// DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+}
+
+// Verifier is the batched, cached verification pipeline over one keyring.
+// It offers the same checks as the package-level VerifyBlock / VerifyVote /
+// VerifyCert / VerifyUnlockProof functions — byte-for-byte identical
+// verdicts — but verifies signature sets through a worker pool and
+// remembers successes, so re-gossiped votes and certificates cost one
+// cache lookup instead of a curve operation. PreverifyMessage additionally
+// lets a transport stage warm the cache off the consensus goroutine.
+//
+// A Verifier is safe for concurrent use.
+type Verifier struct {
+	kr    *Keyring
+	pool  *VerifierPool
+	cache *VerifiedCache // nil when caching is disabled
+}
+
+// NewVerifier builds a verification pipeline over the keyring.
+func NewVerifier(kr *Keyring, cfg VerifyConfig) *Verifier {
+	v := &Verifier{
+		kr:   kr,
+		pool: NewVerifierPool(kr.Scheme(), cfg.Workers),
+	}
+	if cfg.CacheSize >= 0 {
+		v.cache = NewVerifiedCache(cfg.CacheSize)
+	}
+	return v
+}
+
+// Keyring returns the keyring the verifier checks against.
+func (v *Verifier) Keyring() *Keyring { return v.kr }
+
+// CacheStats returns cumulative cache (hits, misses); zeros when caching
+// is disabled.
+func (v *Verifier) CacheStats() (hits, misses int64) {
+	if v.cache == nil {
+		return 0, 0
+	}
+	return v.cache.Stats()
+}
+
+// verifyOne checks a single signature through the cache.
+func (v *Verifier) verifyOne(id types.ReplicaID, digest [32]byte, sig []byte) bool {
+	pub := v.kr.PublicKey(id)
+	if pub == nil {
+		return false
+	}
+	var key CacheKey
+	if v.cache != nil {
+		key = VerifiedKey(v.kr.scheme, pub, digest, sig)
+		if v.cache.Contains(key) {
+			return true
+		}
+	}
+	if !v.kr.scheme.Verify(pub, digest, sig) {
+		return false
+	}
+	if v.cache != nil {
+		v.cache.Add(key)
+	}
+	return true
+}
+
+// sigBatch collects the uncached signatures of one aggregate (certificate
+// or unlock proof) for a pooled flush.
+type sigBatch struct {
+	v       *Verifier
+	pubs    [][]byte
+	digests [][32]byte
+	sigs    [][]byte
+	keys    []CacheKey
+	// bad is the index (into the caller's ordering) of the first signer
+	// whose key was out of range, or -1.
+	bad int
+	// seq maps batch position back to the caller's ordering.
+	seq []int
+	// limit, when positive, caps how many signatures may be queued
+	// (preverification's defense against signature-stuffed messages).
+	limit int
+}
+
+// full reports whether the batch reached its queue limit.
+func (b *sigBatch) full() bool {
+	return b.limit > 0 && len(b.sigs) >= b.limit
+}
+
+func (v *Verifier) newSigBatch(capacity int) *sigBatch {
+	return &sigBatch{
+		v:       v,
+		pubs:    make([][]byte, 0, capacity),
+		digests: make([][32]byte, 0, capacity),
+		sigs:    make([][]byte, 0, capacity),
+		keys:    make([]CacheKey, 0, capacity),
+		seq:     make([]int, 0, capacity),
+		bad:     -1,
+	}
+}
+
+// add queues signer seq's signature unless it is already cached. It
+// reports false when the signer has no key in the keyring.
+func (b *sigBatch) add(seq int, id types.ReplicaID, digest [32]byte, sig []byte) bool {
+	pub := b.v.kr.PublicKey(id)
+	if pub == nil {
+		if b.bad < 0 {
+			b.bad = seq
+		}
+		return false
+	}
+	var key CacheKey
+	if b.v.cache != nil {
+		key = VerifiedKey(b.v.kr.scheme, pub, digest, sig)
+		if b.v.cache.Contains(key) {
+			return true
+		}
+	}
+	b.pubs = append(b.pubs, pub)
+	b.digests = append(b.digests, digest)
+	b.sigs = append(b.sigs, sig)
+	b.keys = append(b.keys, key)
+	b.seq = append(b.seq, seq)
+	return true
+}
+
+// flush verifies the queued signatures through the pool, caches the
+// successes, and returns the caller-ordering index of the first failure
+// (including any out-of-range signer recorded by add), or -1 when every
+// signature verified.
+func (b *sigBatch) flush() int {
+	verdicts := b.v.pool.VerifyMany(b.pubs, b.digests, b.sigs)
+	firstBad := b.bad
+	for i, ok := range verdicts {
+		if !ok {
+			if firstBad < 0 || b.seq[i] < firstBad {
+				firstBad = b.seq[i]
+			}
+			continue
+		}
+		if b.v.cache != nil {
+			b.v.cache.Add(b.keys[i])
+		}
+	}
+	return firstBad
+}
+
+// VerifyBlock checks the proposer signature on a block; it is the cached
+// counterpart of the package-level VerifyBlock.
+func (v *Verifier) VerifyBlock(b *types.Block) error {
+	if b.IsGenesis() {
+		return nil
+	}
+	if !v.verifyOne(b.Proposer, blockDigest(b.ID()), b.Signature) {
+		return fmt.Errorf("crypto: bad proposer signature on %v", b)
+	}
+	return nil
+}
+
+// VerifyVote checks a single vote's signature; cached counterpart of the
+// package-level VerifyVote.
+func (v *Verifier) VerifyVote(vt types.Vote) error {
+	if !vt.Kind.Valid() {
+		return fmt.Errorf("crypto: invalid vote kind in %v", vt)
+	}
+	if !v.verifyOne(vt.Voter, vt.Digest(), vt.Signature) {
+		return fmt.Errorf("crypto: bad signature on %v", vt)
+	}
+	return nil
+}
+
+// VerifyCert checks a certificate — shape, then every signature through
+// the pool and cache; cached counterpart of the package-level VerifyCert.
+func (v *Verifier) VerifyCert(c *types.Certificate, quorum int) error {
+	if c == nil {
+		return fmt.Errorf("crypto: nil certificate")
+	}
+	if err := c.CheckShape(v.kr.N(), quorum); err != nil {
+		return err
+	}
+	digest := c.Digest()
+	batch := v.newSigBatch(len(c.Signers))
+	for i, signer := range c.Signers {
+		batch.add(i, signer, digest, c.Sigs[i])
+	}
+	if bad := batch.flush(); bad >= 0 {
+		return fmt.Errorf("crypto: bad signature by %d in %v", c.Signers[bad], c)
+	}
+	return nil
+}
+
+// VerifyUnlockProof checks an unlock proof's fast votes through the pool
+// and cache, then re-evaluates the claim; cached counterpart of the
+// package-level VerifyUnlockProof.
+func (v *Verifier) VerifyUnlockProof(u *types.UnlockProof, threshold int) error {
+	if u == nil {
+		return fmt.Errorf("crypto: nil unlock proof")
+	}
+	total := 0
+	for _, e := range u.Entries {
+		if len(e.Voters) != len(e.Sigs) {
+			return fmt.Errorf("crypto: unlock entry voters/sigs mismatch in %v", u)
+		}
+		total += len(e.Voters)
+	}
+	type ref struct {
+		voter types.ReplicaID
+		id    types.BlockID
+	}
+	refs := make([]ref, 0, total)
+	batch := v.newSigBatch(total)
+	for _, e := range u.Entries {
+		id := e.Header.ID()
+		digest := types.VoteDigest(types.VoteFast, u.Round, id)
+		for i, voter := range e.Voters {
+			batch.add(len(refs), voter, digest, e.Sigs[i])
+			refs = append(refs, ref{voter: voter, id: id})
+		}
+	}
+	if bad := batch.flush(); bad >= 0 {
+		return fmt.Errorf("crypto: bad fast vote by %d for %s in %v",
+			refs[bad].voter, refs[bad].id, u)
+	}
+	if !u.Evaluate(threshold) {
+		return fmt.Errorf("crypto: unlock proof does not establish its claim: %v", u)
+	}
+	return nil
+}
+
+// PreverifyMessage verifies the signatures a consensus message carries
+// and caches the valid ones, without judging the message itself — quorum
+// thresholds and protocol rules remain the engine's job. It is the verify
+// half of a verify-then-deliver stage: transports call it on worker
+// goroutines so that the consensus goroutine's own verification becomes
+// cache lookups. Invalid signatures are simply not cached (the engine
+// will reject them); malformed messages are ignored.
+//
+// Because preverification runs before any protocol-level validation, it
+// is a CPU-amplification target: a Byzantine peer could stuff one message
+// with an arbitrary number of garbage signatures. Two defenses bound the
+// work to what the engine itself would risk: aggregates must pass the
+// same structural checks the engine applies first (sorted unique in-range
+// signers), and the total signatures verified per message are capped at a
+// small multiple of the cluster size — anything beyond the cap is left
+// for the engine, which rejects malformed aggregates before verifying.
+func (v *Verifier) PreverifyMessage(msg types.Message) {
+	if v.cache == nil {
+		return // nothing to warm
+	}
+	batch := v.newSigBatch(16)
+	batch.limit = 4 * v.kr.N()
+	v.gather(batch, msg)
+	batch.flush()
+}
+
+// gather queues every signature of a message into the batch.
+func (v *Verifier) gather(b *sigBatch, msg types.Message) {
+	switch m := msg.(type) {
+	case *types.Proposal:
+		if m.Block != nil && !m.Block.IsGenesis() {
+			b.add(0, m.Block.Proposer, blockDigest(m.Block.ID()), m.Block.Signature)
+		}
+		if m.FastVote != nil && m.FastVote.Kind.Valid() {
+			b.add(0, m.FastVote.Voter, m.FastVote.Digest(), m.FastVote.Signature)
+		}
+		v.gatherCert(b, m.ParentNotarization)
+		v.gatherUnlock(b, m.ParentUnlock)
+	case *types.VoteMsg:
+		for _, vt := range m.Votes {
+			if b.full() {
+				return
+			}
+			if vt.Kind.Valid() {
+				b.add(0, vt.Voter, vt.Digest(), vt.Signature)
+			}
+		}
+	case *types.CertMsg:
+		v.gatherCert(b, m.Cert)
+	case *types.Advance:
+		v.gatherCert(b, m.Notarization)
+		v.gatherUnlock(b, m.Unlock)
+	case *types.SyncResponse:
+		for _, blk := range m.Blocks {
+			if b.full() {
+				return
+			}
+			if blk != nil && !blk.IsGenesis() {
+				b.add(0, blk.Proposer, blockDigest(blk.ID()), blk.Signature)
+			}
+		}
+		v.gatherCert(b, m.Finalization)
+	}
+}
+
+// gatherCert queues a certificate's signatures, but only when the
+// certificate passes the engine's structural checks (sorted unique
+// in-range signers, which also bounds them at keyring.N()) — the engine
+// rejects anything else before verifying a single signature, so
+// preverifying it would be free work for an attacker.
+func (v *Verifier) gatherCert(b *sigBatch, c *types.Certificate) {
+	if c == nil || c.CheckShape(v.kr.N(), 1) != nil {
+		return
+	}
+	digest := c.Digest()
+	for i, signer := range c.Signers {
+		if b.full() {
+			return
+		}
+		b.add(0, signer, digest, c.Sigs[i])
+	}
+}
+
+// gatherUnlock queues an unlock proof's fast votes, entry by entry,
+// skipping entries that fail the structural rules Evaluate enforces
+// (aligned voter/sig lists, strictly ascending voters — which bounds each
+// entry at keyring.N() votes).
+func (v *Verifier) gatherUnlock(b *sigBatch, u *types.UnlockProof) {
+	if u == nil {
+		return
+	}
+	for _, e := range u.Entries {
+		if len(e.Voters) != len(e.Sigs) || !ascendingVoters(e.Voters) {
+			continue
+		}
+		id := e.Header.ID()
+		digest := types.VoteDigest(types.VoteFast, u.Round, id)
+		for i, voter := range e.Voters {
+			if b.full() {
+				return
+			}
+			b.add(0, voter, digest, e.Sigs[i])
+		}
+	}
+}
+
+func ascendingVoters(voters []types.ReplicaID) bool {
+	for i := 1; i < len(voters); i++ {
+		if voters[i-1] >= voters[i] {
+			return false
+		}
+	}
+	return true
+}

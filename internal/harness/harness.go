@@ -82,6 +82,11 @@ type Config struct {
 	NoForwarding bool
 	// Scheme selects the signature scheme ("hmac" default, "ed25519").
 	Scheme string
+	// Verify tunes the Banyan engines' signature-verification pipeline
+	// (worker-pool size and verified-signature cache capacity). The
+	// simulator's virtual clock is independent of real compute, so these
+	// knobs change wall-clock speed of a run, never its measured results.
+	Verify crypto.VerifyConfig
 }
 
 // CrashSpec crashes a replica at a point in virtual time.
@@ -312,6 +317,7 @@ func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 			Params:            cfg.Params,
 			Self:              id,
 			Keyring:           keyring,
+			VerifyOptions:     cfg.Verify,
 			Signer:            signer,
 			Beacon:            bc,
 			Payloads:          src,

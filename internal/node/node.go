@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -44,6 +45,14 @@ type CommitEvent struct {
 	At       time.Time
 }
 
+// Preverifier verifies the signatures a message carries before the
+// message reaches the engine, caching the results (crypto.Verifier
+// implements it). It must be safe for concurrent use and must not judge
+// the message — acceptance stays with the engine.
+type Preverifier interface {
+	PreverifyMessage(msg types.Message)
+}
+
 // Config assembles a node.
 type Config struct {
 	// Engine is the consensus state machine to host. Required.
@@ -58,6 +67,18 @@ type Config struct {
 	// OnFault, when non-nil, is called once if the engine reports a safety
 	// violation; the node stops afterwards.
 	OnFault func(error)
+	// Preverifier, when non-nil, inserts a verify-then-deliver stage
+	// between the transport and the engine: inbound messages have their
+	// signatures verified (and cached) on a worker pool, then are handed
+	// to the engine in arrival order. The engine's own verification of the
+	// same signatures becomes cache lookups, moving the dominant crypto
+	// cost off the consensus goroutine. Pass the engine's crypto.Verifier.
+	Preverifier Preverifier
+	// VerifyWorkers sizes the preverification stage: 0 selects GOMAXPROCS
+	// (and skips the stage entirely on single-proc hosts, where nothing
+	// can overlap), negative disables the stage even when Preverifier is
+	// set, positive counts are honored as given.
+	VerifyWorkers int
 	// Clock returns the current time; nil selects time.Now. Tests inject
 	// fake clocks here.
 	Clock func() time.Time
@@ -162,6 +183,18 @@ func (n *Node) run() {
 	idle := time.NewTimer(time.Hour)
 	defer idle.Stop()
 	inbound := n.cfg.Transport.Receive()
+	workers := n.cfg.VerifyWorkers
+	if workers == 0 {
+		// Auto mode: the stage only helps when verification can overlap
+		// engine processing, which needs a second processor. On a
+		// single-proc host it would add scheduling hops for nothing.
+		if workers = runtime.GOMAXPROCS(0); workers == 1 {
+			workers = -1
+		}
+	}
+	if n.cfg.Preverifier != nil && workers > 0 {
+		inbound = n.preverify(inbound, workers)
+	}
 	for {
 		var timerC <-chan time.Time
 		if next, ok := n.nextTimer(); ok {
@@ -203,6 +236,69 @@ func (n *Node) run() {
 			}
 		}
 	}
+}
+
+// preverify is the verify-then-deliver stage: it fans inbound messages
+// over `workers` goroutines that run the Preverifier (warming the
+// signature cache), while a reorder queue preserves arrival order into the
+// returned channel. The engine therefore observes exactly the message
+// sequence the transport delivered — only cheaper to verify. All stage
+// goroutines exit when the transport channel closes or the node stops.
+func (n *Node) preverify(inbound <-chan Inbound, workers int) <-chan Inbound {
+	type pending struct {
+		in   Inbound
+		done chan struct{}
+	}
+	depth := 4 * workers
+	order := make(chan *pending, depth)
+	work := make(chan *pending, depth)
+	out := make(chan Inbound, depth)
+
+	for i := 0; i < workers; i++ {
+		go func() {
+			for p := range work {
+				n.cfg.Preverifier.PreverifyMessage(p.in.Msg)
+				close(p.done)
+			}
+		}()
+	}
+	// Dispatcher: tag each message with a completion signal, keep the
+	// arrival order in `order`, and hand the work to the pool.
+	go func() {
+		defer close(order)
+		defer close(work)
+		for in := range inbound {
+			p := &pending{in: in, done: make(chan struct{})}
+			select {
+			case order <- p:
+			case <-n.stop:
+				return
+			}
+			select {
+			case work <- p:
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+	// Reorderer: release messages downstream strictly in arrival order,
+	// each once its verification finished.
+	go func() {
+		defer close(out)
+		for p := range order {
+			select {
+			case <-p.done:
+			case <-n.stop:
+				return
+			}
+			select {
+			case out <- p.in:
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+	return out
 }
 
 // apply executes engine actions; it returns false when the node must stop

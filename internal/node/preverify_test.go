@@ -1,0 +1,163 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// countingPreverifier records every message it sees, with a configurable
+// per-message delay to shake out ordering races in the pipeline.
+type countingPreverifier struct {
+	mu    sync.Mutex
+	seen  []types.Message
+	delay time.Duration
+}
+
+func (p *countingPreverifier) PreverifyMessage(msg types.Message) {
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	p.mu.Lock()
+	p.seen = append(p.seen, msg)
+	p.mu.Unlock()
+}
+
+func (p *countingPreverifier) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.seen)
+}
+
+// TestPreverifyStageDeliversInOrder: with several workers racing, every
+// message must still reach the engine, exactly once, in arrival order.
+func TestPreverifyStageDeliversInOrder(t *testing.T) {
+	eng := &scriptEngine{id: 0}
+	tr := newMemTransport()
+	pv := &countingPreverifier{delay: 100 * time.Microsecond}
+	n, err := New(Config{Engine: eng, Transport: tr, Preverifier: pv, VerifyWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	const total = 64
+	msgs := make([]*types.SyncRequest, total)
+	for i := range msgs {
+		msgs[i] = &types.SyncRequest{From: types.Round(i + 1)}
+		tr.in <- Inbound{From: 1, Msg: msgs[i]}
+	}
+	waitFor(t, func() bool { return eng.receivedCount() == total })
+
+	if got := pv.count(); got != total {
+		t.Fatalf("preverifier saw %d messages, want %d", got, total)
+	}
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	for i, m := range eng.received {
+		if m != msgs[i] {
+			t.Fatalf("delivery %d out of order: got %v, want %v",
+				i, m.(*types.SyncRequest).From, msgs[i].From)
+		}
+	}
+}
+
+// TestPreverifyRunsBeforeDelivery: by the time the engine handles a
+// message, that message's preverification must have completed (the
+// stage's whole point is that the engine finds a warm cache).
+func TestPreverifyRunsBeforeDelivery(t *testing.T) {
+	pv := &countingPreverifier{}
+	var (
+		mu         sync.Mutex
+		violations int
+	)
+	eng := &scriptEngine{id: 0}
+	eng.onMsg = func(_ types.ReplicaID, msg types.Message, _ time.Time) []protocol.Action {
+		pv.mu.Lock()
+		seen := false
+		for _, m := range pv.seen {
+			if m == msg {
+				seen = true
+				break
+			}
+		}
+		pv.mu.Unlock()
+		if !seen {
+			mu.Lock()
+			violations++
+			mu.Unlock()
+		}
+		return nil
+	}
+	tr := newMemTransport()
+	n, err := New(Config{Engine: eng, Transport: tr, Preverifier: pv, VerifyWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	const total = 16
+	for i := 0; i < total; i++ {
+		tr.in <- Inbound{From: 1, Msg: &types.SyncRequest{From: types.Round(i)}}
+	}
+	waitFor(t, func() bool { return eng.receivedCount() == total })
+	mu.Lock()
+	defer mu.Unlock()
+	if violations > 0 {
+		t.Fatalf("%d messages reached the engine before preverification", violations)
+	}
+}
+
+// TestPreverifyDisabled: a negative worker count must bypass the stage
+// entirely even when a Preverifier is configured.
+func TestPreverifyDisabled(t *testing.T) {
+	eng := &scriptEngine{id: 0}
+	tr := newMemTransport()
+	pv := &countingPreverifier{}
+	n, err := New(Config{Engine: eng, Transport: tr, Preverifier: pv, VerifyWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	tr.in <- Inbound{From: 1, Msg: &types.CertMsg{}}
+	waitFor(t, func() bool { return eng.receivedCount() == 1 })
+	if pv.count() != 0 {
+		t.Fatalf("preverifier ran %d times despite VerifyWorkers=-1", pv.count())
+	}
+}
+
+// TestPreverifyStopMidStream: stopping the node while the pipeline is
+// full must not deadlock or panic.
+func TestPreverifyStopMidStream(t *testing.T) {
+	eng := &scriptEngine{id: 0}
+	tr := newMemTransport()
+	pv := &countingPreverifier{delay: time.Millisecond}
+	n, err := New(Config{Engine: eng, Transport: tr, Preverifier: pv, VerifyWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		tr.in <- Inbound{From: 1, Msg: &types.SyncRequest{From: types.Round(i)}}
+	}
+	done := make(chan struct{})
+	go func() { n.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked with a full preverification pipeline")
+	}
+}

@@ -38,6 +38,13 @@ type ReplicaConfig struct {
 	ClusterSeed uint64
 	// CommitBuffer is the capacity of the Commits channel (default 1024).
 	CommitBuffer int
+	// VerifyWorkers sizes the signature-verification pool: 0 selects
+	// GOMAXPROCS, 1 verifies inline, negative additionally skips the
+	// node's preverification stage.
+	VerifyWorkers int
+	// VerifyCacheSize caps the verified-signature cache (0 default,
+	// negative disables caching).
+	VerifyCacheSize int
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -132,18 +139,23 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
 	}
+	verifier := newVerifierFor(cfg.Protocol, keyring, crypto.VerifyConfig{
+		Workers: cfg.VerifyWorkers, CacheSize: cfg.VerifyCacheSize,
+	})
 	eng, err := buildEngine(cfg.Protocol, params, types.ReplicaID(cfg.ID),
-		keyring, signers[cfg.ID], bc, r.pool, cfg.Delta)
+		keyring, verifier, signers[cfg.ID], bc, r.pool, cfg.Delta)
 	if err != nil {
 		tr.Close()
 		return nil, err
 	}
 	r.engine = eng
 	n, err := node.New(node.Config{
-		Engine:    eng,
-		Transport: tr,
-		Commits:   r.rawCommit,
-		OnFault:   func(err error) { r.recordFault(err) },
+		Engine:        eng,
+		Transport:     tr,
+		Commits:       r.rawCommit,
+		OnFault:       func(err error) { r.recordFault(err) },
+		Preverifier:   preverifierFor(verifier),
+		VerifyWorkers: cfg.VerifyWorkers,
 	})
 	if err != nil {
 		tr.Close()
