@@ -2,10 +2,12 @@ package banyan
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"banyan/internal/beacon"
+	"banyan/internal/blocktree"
 	"banyan/internal/core"
 	"banyan/internal/crypto"
 	"banyan/internal/hotstuff"
@@ -16,6 +18,7 @@ import (
 	"banyan/internal/streamlet"
 	"banyan/internal/transport/channel"
 	"banyan/internal/types"
+	"banyan/internal/wal"
 )
 
 // ClusterConfig configures an in-process cluster.
@@ -52,6 +55,39 @@ type ClusterConfig struct {
 	// VerifyCacheSize caps each replica's verified-signature cache
 	// (0 default, negative disables caching).
 	VerifyCacheSize int
+	// WALDir, when non-empty, gives every replica a write-ahead log in
+	// WALDir/replica-<i>. Replicas journal inbound messages, their own
+	// proposals/votes/certificates and commit decisions; CrashReplica and
+	// RestartReplica then express crash-restart scenarios: a restarted
+	// replica replays its log, restores its voting record (so it cannot
+	// equivocate), and rejoins the live cluster.
+	WALDir string
+	// WALSyncEveryRecord fsyncs per record instead of group-committing.
+	WALSyncEveryRecord bool
+	// WALSyncInterval is the group-commit window (0 = 2ms).
+	WALSyncInterval time.Duration
+	// WALSyncBytes flushes a group early at this many buffered bytes
+	// (0 = 256 KiB).
+	WALSyncBytes int
+	// WALSegmentBytes rotates log segments at this size (0 = 64 MiB).
+	WALSegmentBytes int
+	// WALNoForceOwn drops the force-log-before-send rule for replicas'
+	// own signed messages (see wal.SyncPolicy.NoForceOwn): faster, but a
+	// crash may forget a vote the network already saw.
+	WALNoForceOwn bool
+}
+
+// walOptions converts the ClusterConfig knobs to wal.Options.
+func (cfg ClusterConfig) walOptions() wal.Options {
+	return wal.Options{
+		Sync: wal.SyncPolicy{
+			EveryRecord: cfg.WALSyncEveryRecord,
+			Interval:    cfg.WALSyncInterval,
+			Bytes:       cfg.WALSyncBytes,
+			NoForceOwn:  cfg.WALNoForceOwn,
+		},
+		SegmentBytes: cfg.WALSegmentBytes,
+	}
 }
 
 // Cluster is an n-replica consensus cluster running in one process. It
@@ -64,7 +100,14 @@ type Cluster struct {
 	hub     *channel.Hub
 	nodes   []*node.Node
 	engines []protocol.Engine
+	recs    []*wal.Recorder // nil entries without WALDir
 	pools   []*mempool.Pool
+
+	// Rebuild materials for RestartReplica: the shared demo PKI and
+	// beacon every engine was constructed from.
+	keyring *crypto.Keyring
+	signers []*crypto.Signer
+	beacon  beacon.Beacon
 
 	commits   chan Commit
 	rawCommit chan node.CommitEvent
@@ -74,6 +117,7 @@ type Cluster struct {
 	faults   []error
 	started  bool
 	stopped  bool
+	crashed  []bool
 
 	done chan struct{}
 }
@@ -138,43 +182,72 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		hub:       hub,
 		nodes:     make([]*node.Node, params.N),
 		engines:   make([]protocol.Engine, params.N),
+		recs:      make([]*wal.Recorder, params.N),
 		pools:     make([]*mempool.Pool, params.N),
+		keyring:   keyring,
+		signers:   signers,
+		beacon:    bc,
+		crashed:   make([]bool, params.N),
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
 	}
-	verifyCfg := crypto.VerifyConfig{Workers: cfg.VerifyWorkers, CacheSize: cfg.VerifyCacheSize}
 	for i := 0; i < params.N; i++ {
-		id := types.ReplicaID(i)
 		c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
-		// One verifier per Banyan replica, shared between the engine and
-		// the node's preverification stage so cache warm-ups reach the
-		// engine. The baseline engines verify through the keyring
-		// directly, so building one for them would be dead weight.
-		verifier := newVerifierFor(cfg.Protocol, keyring, verifyCfg)
-		eng, err := buildEngine(cfg.Protocol, params, id, keyring, verifier, signers[i], bc, c.pools[i], cfg.Delta)
-		if err != nil {
+		if err := c.buildReplica(i); err != nil {
 			return nil, err
 		}
-		c.engines[i] = eng
-		var commitCh chan<- node.CommitEvent
-		if i == 0 {
-			commitCh = c.rawCommit
-		}
-		n, err := node.New(node.Config{
-			Engine:        eng,
-			Transport:     hub.Transport(id),
-			Commits:       commitCh,
-			OnFault:       func(err error) { c.recordFault(err) },
-			Preverifier:   preverifierFor(verifier),
-			VerifyWorkers: cfg.VerifyWorkers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.nodes[i] = n
 	}
 	return c, nil
+}
+
+// buildReplica assembles (or reassembles, after a crash) replica i's
+// engine, optional WAL recorder, and node over the shared hub. The
+// mempool is reused across restarts — submitted transactions survive.
+func (c *Cluster) buildReplica(i int) error {
+	id := types.ReplicaID(i)
+	verifyCfg := crypto.VerifyConfig{Workers: c.cfg.VerifyWorkers, CacheSize: c.cfg.VerifyCacheSize}
+	// One verifier per Banyan replica, shared between the engine and
+	// the node's preverification stage so cache warm-ups reach the
+	// engine. The baseline engines verify through the keyring
+	// directly, so building one for them would be dead weight.
+	verifier := newVerifierFor(c.cfg.Protocol, c.keyring, verifyCfg)
+	eng, err := buildEngine(c.cfg.Protocol, c.params, id, c.keyring, verifier,
+		c.signers[i], c.beacon, c.pools[i], c.cfg.Delta)
+	if err != nil {
+		return err
+	}
+	c.engines[i] = eng
+	hosted := eng
+	if c.cfg.WALDir != "" {
+		rec, err := wal.NewRecorder(wal.RecorderConfig{
+			Dir:     filepath.Join(c.cfg.WALDir, fmt.Sprintf("replica-%d", i)),
+			Engine:  eng,
+			Options: c.cfg.walOptions(),
+		})
+		if err != nil {
+			return err
+		}
+		c.recs[i] = rec
+		hosted = rec
+	}
+	var commitCh chan<- node.CommitEvent
+	if i == 0 {
+		commitCh = c.rawCommit
+	}
+	n, err := node.New(node.Config{
+		Engine:        hosted,
+		Transport:     c.hub.Transport(id),
+		Commits:       commitCh,
+		OnFault:       func(err error) { c.recordFault(err) },
+		Preverifier:   preverifierFor(verifier),
+		VerifyWorkers: c.cfg.VerifyWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	c.nodes[i] = n
+	return nil
 }
 
 // newVerifierFor builds the shared verification pipeline for the Banyan
@@ -343,7 +416,86 @@ func (c *Cluster) Metrics(replica int) map[string]int64 {
 	return c.nodes[replica].Metrics()
 }
 
-// Stop shuts the cluster down: replicas first, then the hub.
+// CrashReplica simulates a crash of one replica: its node stops, and its
+// WAL abandons the unsynced group-commit tail exactly as a dying process
+// would. The rest of the cluster keeps running (crash at most f replicas
+// to preserve liveness). RestartReplica brings it back.
+func (c *Cluster) CrashReplica(replica int) error {
+	c.mu.Lock()
+	if replica < 0 || replica >= len(c.nodes) {
+		c.mu.Unlock()
+		return fmt.Errorf("banyan: no replica %d", replica)
+	}
+	if !c.started || c.stopped || c.crashed[replica] {
+		c.mu.Unlock()
+		return fmt.Errorf("banyan: replica %d is not running", replica)
+	}
+	c.crashed[replica] = true
+	c.mu.Unlock()
+	c.nodes[replica].Stop()
+	if rec := c.recs[replica]; rec != nil {
+		rec.Crash()
+	}
+	return nil
+}
+
+// RestartReplica rebuilds a crashed replica from its write-ahead log and
+// starts it: the log replays into a fresh engine (restoring blocktree,
+// certificates, and the replica's own voting record), and the replica
+// rejoins the cluster at its recovered round, catching up on whatever
+// finalized while it was down via the sync subprotocol. Requires WALDir;
+// restarting replica 0 re-delivers its recovered chain on Commits.
+func (c *Cluster) RestartReplica(replica int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if replica < 0 || replica >= len(c.nodes) {
+		return fmt.Errorf("banyan: no replica %d", replica)
+	}
+	if c.cfg.WALDir == "" {
+		return fmt.Errorf("banyan: RestartReplica requires WALDir")
+	}
+	if !c.started || c.stopped || !c.crashed[replica] {
+		return fmt.Errorf("banyan: replica %d is not crashed", replica)
+	}
+	if err := c.buildReplica(replica); err != nil {
+		return err
+	}
+	if err := c.nodes[replica].Start(); err != nil {
+		return err
+	}
+	c.crashed[replica] = false
+	return nil
+}
+
+// FinalizedChain returns a replica's finalized block IDs (hex, round
+// order). Only valid after Stop; integration tests use it to assert
+// byte-identical chains across live and restarted replicas.
+func (c *Cluster) FinalizedChain(replica int) []string {
+	if replica < 0 || replica >= len(c.engines) {
+		return nil
+	}
+	select {
+	case <-c.done:
+	default:
+		return nil // still running: the engine is owned by its node loop
+	}
+	c.mu.Lock()
+	eng := c.engines[replica]
+	c.mu.Unlock()
+	treed, ok := eng.(interface{ Tree() *blocktree.Tree })
+	if !ok {
+		return nil
+	}
+	ids := treed.Tree().FinalizedChain()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
+	}
+	return out
+}
+
+// Stop shuts the cluster down: replicas first (flushing WAL tails), then
+// the hub.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
 	if c.stopped {
@@ -351,9 +503,21 @@ func (c *Cluster) Stop() {
 		return
 	}
 	c.stopped = true
+	crashed := make([]bool, len(c.crashed))
+	copy(crashed, c.crashed)
 	c.mu.Unlock()
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
 		n.Stop()
+		if rec := c.recs[i]; rec != nil && !crashed[i] {
+			// A log that died mid-run means the replica ran without
+			// durability; surface it instead of reporting a clean run.
+			if err := rec.Err(); err != nil {
+				c.recordFault(err)
+			}
+			if err := rec.Close(); err != nil {
+				c.recordFault(err)
+			}
+		}
 	}
 	c.hub.Close()
 	close(c.done)

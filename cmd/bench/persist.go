@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"banyan/internal/harness"
+	"banyan/internal/types"
+	"banyan/internal/wal"
+	"banyan/internal/wan"
+)
+
+// runPersist is the durability experiment: (a) raw WAL append throughput
+// under per-record fsync vs group commit — the amortization the engine's
+// hot path rides on — and (b) a crash-restart scenario on the simulator,
+// where f replicas die mid-run and recover from their logs.
+func runPersist(o options) error {
+	if err := persistThroughput(o); err != nil {
+		return err
+	}
+	fmt.Println()
+	return persistCrashRestart(o)
+}
+
+// persistRecord is a representative journal entry: a vote message with
+// an ed25519-sized signature, roughly what every round appends most of.
+func persistRecord(i int) wal.Record {
+	return wal.Record{
+		Kind: wal.KindInbound,
+		From: types.ReplicaID(i % 16),
+		Msg: &types.VoteMsg{Votes: []types.Vote{{
+			Kind:      types.VoteNotarize,
+			Round:     types.Round(i + 1),
+			Voter:     types.ReplicaID(i % 16),
+			Signature: bytes.Repeat([]byte{byte(i)}, 64),
+		}}},
+	}
+}
+
+// appendFor appends records for the window and returns records/second
+// plus the appends-per-fsync amortization ratio actually achieved.
+func appendFor(opts wal.Options, window time.Duration) (recsPerSec float64, perSync float64, err error) {
+	dir, err := os.MkdirTemp("", "banyan-persist-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	log, _, err := wal.Open(dir, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	deadline := start.Add(window)
+	n := 0
+	for time.Now().Before(deadline) {
+		// Check the clock once per small batch, not per append.
+		for i := 0; i < 64; i++ {
+			if err := log.Append(persistRecord(n)); err != nil {
+				return 0, 0, err
+			}
+			n++
+		}
+	}
+	elapsed := time.Since(start)
+	if err := log.Close(); err != nil {
+		return 0, 0, err
+	}
+	appends, syncs := log.Stats()
+	if syncs == 0 {
+		syncs = 1
+	}
+	return float64(n) / elapsed.Seconds(), float64(appends) / float64(syncs), nil
+}
+
+func persistThroughput(o options) error {
+	window := 2 * time.Second
+	if o.quick {
+		window = 500 * time.Millisecond
+	}
+	fmt.Printf("WAL append throughput, one ~120B vote record per append, %s per mode\n", window)
+	fmt.Printf("%-26s %14s %16s\n", "sync policy", "records/s", "appends/fsync")
+
+	everyRec, everyRatio, err := appendFor(wal.Options{Sync: wal.SyncPolicy{EveryRecord: true}}, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %14.0f %16.1f\n", "fsync per record", everyRec, everyRatio)
+
+	groupRec, groupRatio, err := appendFor(wal.Options{Sync: wal.SyncPolicy{Interval: 2 * time.Millisecond}}, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %14.0f %16.1f\n", "group commit (2ms window)", groupRec, groupRatio)
+	fmt.Printf("\ngroup commit sustains %.1fx the per-record-fsync throughput\n", groupRec/everyRec)
+	fmt.Println("(the window bounds loss: a crash forfeits at most 2ms of records — never acknowledged state,")
+	fmt.Println(" since replay re-verifies everything and the engine re-syncs any gap from peers)")
+	return nil
+}
+
+func persistCrashRestart(o options) error {
+	// The WAL is real I/O in virtual time, so hold the scenario to a
+	// short run regardless of -duration.
+	duration := 15 * time.Second
+	if o.quick {
+		duration = 8 * time.Second
+	}
+	const n, f, p = 7, 2, 1
+	fmt.Printf("crash-restart scenario: n=%d, f=%d replicas killed at t=%s, restarted from their WALs at t=%s\n",
+		n, f, duration/4, duration/2)
+	cfg := harness.Config{
+		Protocol:  harness.Banyan,
+		Params:    types.Params{N: n, F: f, P: p},
+		Topology:  wan.Uniform(n, 20*time.Millisecond),
+		BlockSize: 16 << 10,
+		Duration:  duration,
+		Seed:      o.seed,
+	}
+	dir, err := os.MkdirTemp("", "banyan-persist-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.WALDir = dir
+	for i := 0; i < f; i++ {
+		id := types.ReplicaID(n - 1 - i)
+		cfg.Crash = append(cfg.Crash, harness.CrashSpec{Replica: id, At: duration / 4})
+		cfg.Restart = append(cfg.Restart, harness.CrashSpec{Replica: id, At: duration / 2})
+	}
+	res, err := o.run(cfg)
+	if err != nil {
+		return err
+	}
+	printHeader()
+	printRow("banyan+crash-restart", res)
+	fmt.Printf("\nrestarted replicas replayed %d journaled records; safety faults: %d\n",
+		res.RestartReplayed, res.Faults)
+	return nil
+}

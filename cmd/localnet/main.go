@@ -3,6 +3,15 @@
 // runs a timed workload, and prints live and final statistics. It is the
 // "multi-process local evaluation" entry point in single-binary form
 // (replicas share the process but communicate exclusively through TCP).
+//
+// With -wal-dir every replica keeps a write-ahead log, and the
+// -crash/-crash-at/-restart-at flags script a crash-restart: the chosen
+// replica is killed mid-run (its WAL loses the unsynced group-commit
+// tail, as a real crash would), restarted from the log, and the run
+// fails unless it catches back up to the live tip. CI runs this as the
+// crash-restart smoke test:
+//
+//	localnet -duration 10s -wal-dir /tmp/wal -crash 1 -crash-at 3s -restart-at 5s
 package main
 
 import (
@@ -10,6 +19,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"banyan"
@@ -25,17 +37,40 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("localnet", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 4, "number of replicas")
-		proto    = fs.String("protocol", "banyan", "protocol: banyan, banyan-nofast, icc, hotstuff, streamlet")
-		pFlag    = fs.Int("p", 1, "Banyan fast-path slack p")
-		delta    = fs.Duration("delta", 20*time.Millisecond, "message-delay bound Δ")
-		duration = fs.Duration("duration", 15*time.Second, "run time")
-		load     = fs.Int("load", 200, "transactions per second submitted across the cluster")
-		txSize   = fs.Int("tx-size", 512, "bytes per transaction")
-		basePort = fs.Int("base-port", 0, "first TCP port (0 = ephemeral ports)")
+		n         = fs.Int("n", 4, "number of replicas")
+		proto     = fs.String("protocol", "banyan", "protocol: banyan, banyan-nofast, icc, hotstuff, streamlet")
+		pFlag     = fs.Int("p", 1, "Banyan fast-path slack p")
+		delta     = fs.Duration("delta", 20*time.Millisecond, "message-delay bound Δ")
+		duration  = fs.Duration("duration", 15*time.Second, "run time")
+		load      = fs.Int("load", 200, "transactions per second submitted across the cluster")
+		txSize    = fs.Int("tx-size", 512, "bytes per transaction")
+		basePort  = fs.Int("base-port", 0, "first TCP port (0 = ephemeral ports)")
+		walDir    = fs.String("wal-dir", "", "write-ahead log root (one subdirectory per replica; empty = no WAL)")
+		walSync   = fs.Duration("wal-sync", 0, "WAL group-commit window (0 = 2ms default)")
+		walEvery  = fs.Bool("wal-sync-every-record", false, "fsync the WAL per record instead of group-committing")
+		crashID   = fs.Int("crash", -1, "replica to kill mid-run (requires -wal-dir; must not be 0, the observer)")
+		crashAt   = fs.Duration("crash-at", 0, "when to kill it (0 = duration/3)")
+		restartAt = fs.Duration("restart-at", 0, "when to restart it from its WAL (0 = 2*duration/3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *crashID >= 0 {
+		if *walDir == "" {
+			return fmt.Errorf("-crash requires -wal-dir (the restart replays the log)")
+		}
+		if *crashID == 0 || *crashID >= *n {
+			return fmt.Errorf("-crash %d out of range (observer 0 cannot be crashed)", *crashID)
+		}
+	}
+	if *crashAt == 0 {
+		*crashAt = *duration / 3
+	}
+	if *restartAt == 0 {
+		*restartAt = 2 * *duration / 3
+	}
+	if *crashID >= 0 && *restartAt <= *crashAt {
+		return fmt.Errorf("-restart-at %s must be after -crash-at %s", *restartAt, *crashAt)
 	}
 
 	// Allocate addresses. With ephemeral ports we must bind first and
@@ -52,16 +87,36 @@ func run(args []string) error {
 		peers[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
 	}
 
-	replicas := make([]*banyan.Replica, *n)
+	mkReplica := func(i int) (*banyan.Replica, error) {
+		cfg := banyan.ReplicaConfig{
+			ID:                 i,
+			N:                  *n,
+			P:                  *pFlag,
+			Protocol:           banyan.Protocol(*proto),
+			Peers:              peers,
+			Delta:              *delta,
+			WALSyncInterval:    *walSync,
+			WALSyncEveryRecord: *walEvery,
+		}
+		if *walDir != "" {
+			cfg.WALDir = filepath.Join(*walDir, fmt.Sprintf("replica-%d", i))
+		}
+		return banyan.NewReplica(cfg)
+	}
+
+	// replicas is shared with the load-generator goroutine and mutated on
+	// restart; all access goes through the mutex.
+	var (
+		replicasMu sync.Mutex
+		replicas   = make([]*banyan.Replica, *n)
+	)
+	getReplica := func(i int) *banyan.Replica {
+		replicasMu.Lock()
+		defer replicasMu.Unlock()
+		return replicas[i]
+	}
 	for i := 0; i < *n; i++ {
-		r, err := banyan.NewReplica(banyan.ReplicaConfig{
-			ID:       i,
-			N:        *n,
-			P:        *pFlag,
-			Protocol: banyan.Protocol(*proto),
-			Peers:    peers,
-			Delta:    *delta,
-		})
+		r, err := mkReplica(i)
 		if err != nil {
 			return fmt.Errorf("replica %d: %w", i, err)
 		}
@@ -73,8 +128,8 @@ func run(args []string) error {
 		}
 	}
 	defer func() {
-		for _, r := range replicas {
-			r.Stop()
+		for i := 0; i < *n; i++ {
+			getReplica(i).Stop()
 		}
 	}()
 	fmt.Printf("localnet: %d %s replicas on 127.0.0.1:%d..%d, %v\n",
@@ -95,7 +150,7 @@ func run(args []string) error {
 			case <-tick.C:
 				tx := make([]byte, *txSize)
 				rng.Read(tx)
-				replicas[i%*n].Submit(tx)
+				getReplica(i % *n).Submit(tx)
 				i++
 			}
 		}
@@ -108,6 +163,18 @@ func run(args []string) error {
 		firstCommit        time.Time
 		lastRound          uint64
 	)
+	// Crash-restart schedule: both timers stay nil (never firing) unless
+	// -crash selected a victim.
+	var crashC, restartC <-chan time.Time
+	if *crashID >= 0 {
+		crashC = time.After(*crashAt)
+		restartC = time.After(*restartAt)
+	}
+	// victimRound tracks the highest round the restarted victim has
+	// committed — replayed history first, live commits once it rejoins.
+	var victimRound atomic.Uint64
+	restarted := false
+
 	deadline := time.After(*duration)
 	progress := time.NewTicker(5 * time.Second)
 	defer progress.Stop()
@@ -118,6 +185,31 @@ loop:
 		select {
 		case <-deadline:
 			break loop
+		case <-crashC:
+			crashC = nil
+			getReplica(*crashID).Crash()
+			fmt.Printf("  t=%4.0fs killed replica %d (WAL tail beyond the last group commit is lost)\n",
+				time.Since(start).Seconds(), *crashID)
+		case <-restartC:
+			restartC = nil
+			r, err := mkReplica(*crashID)
+			if err != nil {
+				return fmt.Errorf("restart replica %d: %w", *crashID, err)
+			}
+			if err := r.Start(); err != nil {
+				return fmt.Errorf("restart replica %d: %w", *crashID, err)
+			}
+			replicasMu.Lock()
+			replicas[*crashID] = r
+			replicasMu.Unlock()
+			restarted = true
+			go func() {
+				for c := range r.Commits() {
+					victimRound.Store(c.Round)
+				}
+			}()
+			fmt.Printf("  t=%4.0fs restarted replica %d from its WAL\n",
+				time.Since(start).Seconds(), *crashID)
 		case <-progress.C:
 			fmt.Printf("  t=%4.0fs round=%-6d blocks=%-6d txs=%-7d %.2f MB committed (fast=%d slow=%d)\n",
 				time.Since(start).Seconds(), lastRound, blocks, txs, float64(bytes)/1e6, fast, slow)
@@ -154,5 +246,17 @@ loop:
 		}
 	}
 	fmt.Println("  safety           : no faults")
+	if restarted {
+		vr := victimRound.Load()
+		fmt.Printf("  recovery         : replica %d back at round %d (observer at %d)\n",
+			*crashID, vr, lastRound)
+		if vr == 0 {
+			return fmt.Errorf("restarted replica %d never committed — recovery failed", *crashID)
+		}
+		if lastRound > 30 && vr+30 < lastRound {
+			return fmt.Errorf("restarted replica %d stuck at round %d, observer at %d",
+				*crashID, vr, lastRound)
+		}
+	}
 	return nil
 }

@@ -44,6 +44,11 @@ type Engine struct {
 	stopped bool
 	fault   error
 
+	// replaying marks WAL recovery (see replay.go): every clause that
+	// would create a new signature is suppressed, so replayed state can
+	// only come from the journal itself.
+	replaying bool
+
 	lastPrune types.Round
 
 	met struct {
@@ -717,7 +722,7 @@ func (e *Engine) parentOK(b *types.Block) bool {
 // delay for this replica's rank has elapsed.
 func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
 	rs := e.getRound(e.round)
-	if !rs.started || rs.proposed || rs.advanced {
+	if e.replaying || !rs.started || rs.proposed || rs.advanced {
 		return false, acts
 	}
 	rank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self)
@@ -770,7 +775,7 @@ func (e *Engine) parentCreds(r types.Round) (types.BlockID, *types.Certificate, 
 // blocks proposed by others (line 35).
 func (e *Engine) tryVote(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
 	rs := e.getRound(e.round)
-	if !rs.started || rs.advanced {
+	if e.replaying || !rs.started || rs.advanced {
 		return false, acts
 	}
 	// Lowest rank among valid blocks: the "∄ valid block of lower rank"
@@ -1015,8 +1020,9 @@ func (e *Engine) tryAdvance(now time.Time, acts []protocol.Action) (bool, []prot
 	acts = append(acts, protocol.Broadcast{Msg: &types.Advance{Notarization: notar, Unlock: proof}})
 
 	// Line 51: finalization vote if this replica notarization-voted for no
-	// other block.
-	if !rs.finalVoted && nSubsetOf(rs.notarVoted, id) {
+	// other block. Suppressed during WAL replay (a new signature); the
+	// journaled vote, if one was cast, restores finalVoted instead.
+	if !e.replaying && !rs.finalVoted && nSubsetOf(rs.notarVoted, id) {
 		fv := e.cfg.Signer.SignVote(types.VoteFinalize, round, id)
 		rs.finalVoted = true
 		addVote(rs.finalVotes, id, e.cfg.Self, fv.Signature)

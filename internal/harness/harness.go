@@ -1,14 +1,26 @@
-// Package harness runs the paper's experiments: it assembles a cluster of
-// engines of a chosen protocol, places them on a simulated WAN topology,
-// drives a timed workload, injects crash faults, and collects exactly the
-// quantities the evaluation section plots — average proposal finalization
-// time measured at the proposer, committed bytes per second at a
-// non-faulty replica, latency variance, block intervals, and the fast/slow
-// path split (paper section 9.2).
+// Package harness runs the paper's experiments: it assembles a cluster
+// of engines of a chosen protocol, places them on a simulated WAN
+// topology, drives a timed workload, injects faults, and collects
+// exactly the quantities the evaluation section plots — average proposal
+// finalization time measured at the proposer, committed bytes per second
+// at a non-faulty replica, latency variance, block intervals, and the
+// fast/slow path split (paper section 9.2).
+//
+// Fault injection covers permanent crashes (Config.Crash, Figure 6d)
+// and crash-restarts: with Config.WALDir every simulated replica runs
+// behind a write-ahead log (internal/wal), and Config.Restart rebuilds
+// a crashed replica from its journal mid-run — the cmd/bench "persist"
+// experiment and the crash-restart integration tests drive this path.
+//
+// Everything is deterministic: identical Config values (including Seed)
+// produce identical results, because the simulator runs in virtual time
+// and the WAL uses per-record fsync under the harness so the durable
+// prefix never depends on wall-clock flush timing.
 package harness
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"banyan/internal/beacon"
@@ -22,6 +34,7 @@ import (
 	"banyan/internal/simnet"
 	"banyan/internal/streamlet"
 	"banyan/internal/types"
+	"banyan/internal/wal"
 	"banyan/internal/wan"
 )
 
@@ -77,6 +90,16 @@ type Config struct {
 	Seed uint64
 	// Crash lists replicas crashed at given times (Figure 6d).
 	Crash []CrashSpec
+	// Restart lists crash-restarts: at the given time the replica is
+	// rebuilt from its write-ahead log and rejoins (crash it first via
+	// Crash). Requires WALDir.
+	Restart []CrashSpec
+	// WALDir, when non-empty, runs every replica behind a write-ahead
+	// log (one subdirectory per replica) with per-record fsync, so
+	// executions stay deterministic and Restart can replay. The WAL is a
+	// real-time side effect — it slows wall-clock runs, never changes
+	// virtual-time results.
+	WALDir string
 	// NoForwarding disables tip forwarding in the Banyan/ICC engines (the
 	// forwarding ablation; see DESIGN.md section 6).
 	NoForwarding bool
@@ -119,6 +142,9 @@ type Result struct {
 
 	// Faults counts safety faults across the cluster (must be zero).
 	Faults int
+	// RestartReplayed sums the WAL records restarted replicas replayed
+	// (zero without Restart specs).
+	RestartReplayed int64
 	// Messages / MessageBytes count total network traffic.
 	Messages, MessageBytes int64
 	// Delta echoes the Δ actually used (after auto-derivation).
@@ -214,10 +240,31 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	if len(cfg.Restart) > 0 && cfg.WALDir == "" {
+		return nil, fmt.Errorf("harness: Restart requires WALDir")
+	}
+	// mkEngine builds (or rebuilds, for restarts) one replica's engine;
+	// with a WALDir it is wrapped in a recorder over that replica's log.
+	mkEngine := func(i types.ReplicaID) (protocol.Engine, error) {
+		src := mempool.NewSynthetic(cfg.BlockSize, cfg.Seed^uint64(i)<<32, false)
+		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.WALDir == "" {
+			return e, nil
+		}
+		return wal.NewRecorder(wal.RecorderConfig{
+			Dir:    filepath.Join(cfg.WALDir, fmt.Sprintf("replica-%d", i)),
+			Engine: e,
+			// Per-record fsync keeps the durable prefix — and therefore the
+			// replayed execution — independent of wall-clock flush timing.
+			Options: wal.Options{Sync: wal.SyncPolicy{EveryRecord: true}},
+		})
+	}
 	engines := make([]protocol.Engine, cfg.Params.N)
 	for i := range engines {
-		src := mempool.NewSynthetic(cfg.BlockSize, cfg.Seed^uint64(i)<<32, false)
-		e, err := buildEngine(cfg, types.ReplicaID(i), keyring, signers[i], bc, src)
+		e, err := mkEngine(types.ReplicaID(i))
 		if err != nil {
 			return nil, err
 		}
@@ -285,9 +332,36 @@ func Run(cfg Config) (*Result, error) {
 	for _, c := range cfg.Crash {
 		net.CrashAt(c.Replica, c.At)
 	}
+	for _, r := range cfg.Restart {
+		id := r.Replica
+		net.RestartAt(id, r.At, func(time.Time) protocol.Engine {
+			// Crash the old recorder (dropping any unsynced tail — none
+			// under per-record fsync), then recover from its directory.
+			if rec, ok := net.Engine(id).(*wal.Recorder); ok {
+				rec.Crash()
+			}
+			e, err := mkEngine(id)
+			if err != nil {
+				// Rebuild can fail on real I/O (wal.Open on a full disk).
+				// Returning nil keeps the replica crashed — visible in the
+				// results — instead of corrupting the run by re-starting
+				// the old engine.
+				faultErrors = append(faultErrors, fmt.Errorf("replica %d restart: %w", id, err))
+				return nil
+			}
+			return e
+		})
+	}
 	net.Run(cfg.Duration)
 
-	obsMetrics := engines[observer].Metrics()
+	var restartReplayed int64
+	for _, r := range cfg.Restart {
+		if m := net.Engine(r.Replica).Metrics(); m != nil {
+			restartReplayed += m["wal_replayed_records"]
+		}
+	}
+
+	obsMetrics := net.Engine(observer).Metrics()
 	res := &Result{
 		Config:          cfg,
 		Latency:         latency.Summarize(),
@@ -299,6 +373,7 @@ func Run(cfg Config) (*Result, error) {
 		SlowFinal:       obsMetrics["final_slow"],
 		IndirectFinal:   obsMetrics["final_indirect"],
 		Faults:          len(faultErrors),
+		RestartReplayed: restartReplayed,
 		Messages:        net.Stats().Messages,
 		MessageBytes:    net.Stats().Bytes,
 		Delta:           cfg.Delta,

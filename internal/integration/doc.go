@@ -1,0 +1,21 @@
+// Package integration holds whole-cluster executions of every engine on
+// the discrete-event simulator, checking the protocol properties of
+// paper section 5 across scenario families:
+//
+//   - smoke_test.go — fault-free runs: deadlock-freeness (chain growth),
+//     safety (consistent finalized prefixes) and liveness (leader blocks
+//     finalize in synchrony) for Banyan and ICC.
+//   - baselines_smoke_test.go — the same for HotStuff and Streamlet.
+//   - adversarial_test.go — Byzantine engines (equivocation, vote
+//     withholding) via the internal/byzantine wrappers; safety must hold
+//     with up to f traitors.
+//   - chaos_test.go — network-level adversity: loss, partitions,
+//     reordering.
+//   - restart_test.go — crash-restart: f replicas killed mid-run,
+//     rebuilt from their write-ahead logs (internal/wal), rejoining with
+//     byte-identical chains and continued commits.
+//
+// The tests live in the external package integration_test and assert on
+// commit logs gathered through simnet hooks; a safety fault anywhere in
+// any scenario is a test failure.
+package integration

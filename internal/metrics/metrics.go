@@ -1,8 +1,18 @@
-// Package metrics provides the measurement pipeline of the evaluation:
-// latency series with summary statistics (mean, deviation, percentiles)
-// and byte-throughput accounting, mirroring the paper's definitions in
-// section 9.2 (proposal finalization time measured at the proposer;
-// committed bytes per second at a non-faulty replica).
+// Package metrics provides the measurement pipeline of the evaluation
+// and the operational counters of the runtime.
+//
+// For the evaluation (paper section 9.2): latency Series with summary
+// statistics (mean, deviation, percentiles) and byte-Throughput
+// accounting, mirroring the paper's definitions — proposal finalization
+// time measured at the proposer, committed bytes per second at a
+// non-faulty replica.
+//
+// For the runtime: named atomic Counters collected in a Registry, which
+// components share so operational events surface in the same
+// map[string]int64 snapshot the engines report instead of disappearing
+// silently — e.g. the TCP transport counts outbound-queue drops into
+// "transport_dropped", letting a WAL-recovery investigation distinguish
+// replay gaps from network loss.
 package metrics
 
 import (

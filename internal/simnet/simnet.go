@@ -84,16 +84,18 @@ const (
 	evTimer
 	evCrash
 	evRecover
+	evRestart
 )
 
 type event struct {
-	at   time.Time
-	seq  uint64
-	kind eventKind
-	node types.ReplicaID
-	from types.ReplicaID
-	msg  types.Message
-	tid  protocol.TimerID
+	at      time.Time
+	seq     uint64
+	kind    eventKind
+	node    types.ReplicaID
+	from    types.ReplicaID
+	msg     types.Message
+	tid     protocol.TimerID
+	rebuild func(now time.Time) protocol.Engine
 }
 
 type eventHeap []*event
@@ -221,6 +223,19 @@ func (s *Network) RecoverAt(id types.ReplicaID, t time.Duration) {
 	s.push(&event{at: Epoch.Add(t), kind: evRecover, node: id})
 }
 
+// RestartAt schedules a crash-restart: at time t the replica is replaced
+// by the engine the rebuild callback returns — typically a fresh engine
+// recovered from a write-ahead log (wal.NewRecorder over the crashed
+// replica's directory) — and that engine's Start runs at virtual time t.
+// A rebuild that fails may return nil: the replica then simply stays
+// crashed (re-Starting the old engine would rewind it to round 1 and
+// corrupt the run). Timer events scheduled by the pre-crash engine still
+// fire on the new one; engines discard stale timer IDs, so this models a
+// lost in-kernel timer wheel faithfully enough.
+func (s *Network) RestartAt(id types.ReplicaID, t time.Duration, rebuild func(now time.Time) protocol.Engine) {
+	s.push(&event{at: Epoch.Add(t), kind: evRestart, node: id, rebuild: rebuild})
+}
+
 // Start boots every engine at the epoch. Must be called once before Run.
 func (s *Network) Start() {
 	if s.started {
@@ -273,6 +288,17 @@ func (s *Network) dispatch(e *event) {
 		}
 	case evRecover:
 		s.crashed[e.node] = false
+	case evRestart:
+		if e.rebuild != nil {
+			ne := e.rebuild(s.now)
+			if ne == nil {
+				return // rebuild failed: the replica stays crashed
+			}
+			s.engines[e.node] = ne
+		}
+		s.crashed[e.node] = false
+		s.faulted[e.node] = false
+		s.apply(e.node, s.engines[e.node].Start(s.now))
 	case evDeliver:
 		if s.crashed[e.node] || s.faulted[e.node] {
 			return

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"banyan/internal/metrics"
 	"banyan/internal/node"
 	"banyan/internal/types"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	MaxFrame int
 	// Logf, when non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// Drops, when non-nil, is incremented for every outbound message
+	// dropped on a full (or closing) peer queue, surfacing transport loss
+	// through the replica's metrics instead of dropping silently —
+	// without it, a WAL-recovery investigation cannot tell replay gaps
+	// from network loss. Dropped reports the same count locally.
+	Drops *metrics.Counter
 }
 
 // Transport is a running TCP endpoint. It implements node.Transport.
@@ -220,6 +227,9 @@ func (t *Transport) countDrop() {
 	t.mu.Lock()
 	t.dropped++
 	t.mu.Unlock()
+	if t.cfg.Drops != nil {
+		t.cfg.Drops.Inc()
+	}
 }
 
 func (t *Transport) logf(format string, args ...any) {

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"banyan/internal/types"
+)
+
+// Kind tags what a record journals.
+type Kind uint8
+
+const (
+	// KindInbound is a consensus message received from a peer, appended
+	// before the engine processes it.
+	KindInbound Kind = iota + 1
+	// KindOwn is a message this replica generated (proposal, votes,
+	// certificate, advance), appended before the transport sends it. These
+	// records restore the replica's own voting record on replay, which is
+	// what prevents post-restart equivocation.
+	KindOwn
+	// KindCommit is a finalization decision: the explicitly finalized
+	// block, the path that finalized it, and the size of the committed
+	// batch. Commit records are bookkeeping for tooling and tests; replay
+	// re-derives commits from the message records.
+	KindCommit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInbound:
+		return "inbound"
+	case KindOwn:
+		return "own"
+	case KindCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one journal entry.
+type Record struct {
+	Kind Kind
+	// From is the sending replica (KindInbound only).
+	From types.ReplicaID
+	// Msg is the wire message (KindInbound and KindOwn).
+	Msg types.Message
+	// Round, Block, Mode and Blocks describe a finalization (KindCommit):
+	// the explicitly finalized block and protocol.FinalizationMode, plus
+	// the number of blocks the commit delivered (ancestors included).
+	Round  types.Round
+	Block  types.BlockID
+	Mode   uint8
+	Blocks uint32
+}
+
+// encode serializes the record payload (the CRC frame is the Log's job).
+func (r Record) encode() ([]byte, error) {
+	switch r.Kind {
+	case KindInbound:
+		body, err := types.EncodeMessage(r.Msg)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		out := make([]byte, 3, 3+len(body))
+		out[0] = byte(KindInbound)
+		binary.LittleEndian.PutUint16(out[1:3], uint16(r.From))
+		return append(out, body...), nil
+	case KindOwn:
+		body, err := types.EncodeMessage(r.Msg)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		out := make([]byte, 1, 1+len(body))
+		out[0] = byte(KindOwn)
+		return append(out, body...), nil
+	case KindCommit:
+		out := make([]byte, 1+8+32+1+4)
+		out[0] = byte(KindCommit)
+		binary.LittleEndian.PutUint64(out[1:9], uint64(r.Round))
+		copy(out[9:41], r.Block[:])
+		out[41] = r.Mode
+		binary.LittleEndian.PutUint32(out[42:46], r.Blocks)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wal: cannot encode record kind %d", r.Kind)
+	}
+}
+
+// decodeRecord parses a payload produced by encode. Any malformation is
+// an error — recovery treats it as the end of the durable prefix.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record")
+	}
+	switch Kind(payload[0]) {
+	case KindInbound:
+		if len(payload) < 4 {
+			return Record{}, fmt.Errorf("wal: truncated inbound record")
+		}
+		msg, err := types.DecodeMessage(payload[3:])
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: %w", err)
+		}
+		return Record{
+			Kind: KindInbound,
+			From: types.ReplicaID(binary.LittleEndian.Uint16(payload[1:3])),
+			Msg:  msg,
+		}, nil
+	case KindOwn:
+		if len(payload) < 2 {
+			return Record{}, fmt.Errorf("wal: truncated own record")
+		}
+		msg, err := types.DecodeMessage(payload[1:])
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: %w", err)
+		}
+		return Record{Kind: KindOwn, Msg: msg}, nil
+	case KindCommit:
+		if len(payload) != 1+8+32+1+4 {
+			return Record{}, fmt.Errorf("wal: bad commit record length %d", len(payload))
+		}
+		r := Record{
+			Kind:   KindCommit,
+			Round:  types.Round(binary.LittleEndian.Uint64(payload[1:9])),
+			Mode:   payload[41],
+			Blocks: binary.LittleEndian.Uint32(payload[42:46]),
+		}
+		copy(r.Block[:], payload[9:41])
+		return r, nil
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", payload[0])
+	}
+}

@@ -1,0 +1,246 @@
+package wal
+
+import (
+	"time"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// Replayer is the recovery contract an engine opts into. An engine that
+// implements it can be rebuilt from a WAL: the Recorder brackets a
+// replay with BeginReplay/EndReplay, feeds journaled peer messages back
+// through HandleMessage, and hands the replica's own journaled messages
+// to ReplayOwn so the engine restores its voting record (which blocks it
+// proposed, notarize-voted, fast-voted and finalize-voted for) without
+// signing anything new. Between the brackets the engine must not create
+// signatures — re-deciding a vote with post-crash timing is how a
+// restarted replica equivocates. internal/core implements it.
+type Replayer interface {
+	protocol.Engine
+	// BeginReplay enters replay mode before Start is called.
+	BeginReplay()
+	// ReplayOwn ingests a message this replica itself sent pre-crash.
+	ReplayOwn(msg types.Message, now time.Time) []protocol.Action
+	// EndReplay leaves replay mode, re-arms timers for the recovered
+	// round, and returns the actions to resume live operation with.
+	EndReplay(now time.Time) []protocol.Action
+}
+
+// RecorderConfig assembles a Recorder.
+type RecorderConfig struct {
+	// Dir is the log directory (one per replica).
+	Dir string
+	// Engine is the wrapped consensus engine. Required. If it implements
+	// Replayer, a non-empty log is replayed on Start; otherwise recovery
+	// is skipped and the engine starts fresh (the log still records).
+	Engine protocol.Engine
+	// Options tune the log (sync policy, segment size).
+	Options Options
+}
+
+// Recorder wraps a protocol.Engine with a write-ahead log. It is itself
+// a protocol.Engine, so every host (node runtime, simulator) can run a
+// durable replica without knowing about the WAL: inbound messages are
+// journaled before the engine's state transition, the engine's own
+// outbound messages before the host's transport sends them, and commit
+// decisions as they are emitted.
+type Recorder struct {
+	eng protocol.Engine
+	log *Log
+	rec *Recovery
+
+	replayedRecords int64
+	replayedCommits int64
+	walErrs         int64
+}
+
+var _ protocol.Engine = (*Recorder)(nil)
+
+// NewRecorder opens (or reopens) the log and wraps the engine. Recovery
+// happens on Start.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	log, rec, err := Open(cfg.Dir, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{eng: cfg.Engine, log: log, rec: rec}, nil
+}
+
+// Recovered reports what Open found on disk (records are released after
+// Start consumes them).
+func (r *Recorder) Recovered() Recovery { return *r.rec }
+
+// Log exposes the underlying log (for Sync in tests and benchmarks).
+func (r *Recorder) Log() *Log { return r.log }
+
+// ID implements protocol.Engine.
+func (r *Recorder) ID() types.ReplicaID { return r.eng.ID() }
+
+// Protocol implements protocol.Engine.
+func (r *Recorder) Protocol() string { return r.eng.Protocol() }
+
+// Start implements protocol.Engine. With an empty log it is a plain
+// recorded Start. With journaled records and a Replayer engine it
+// replays: peer messages re-enter HandleMessage (signatures re-verified,
+// certificates re-formed, commits re-derived), own messages restore the
+// voting record, and the host receives the recovered chain as ordinary
+// Commit actions followed by the actions that resume live operation.
+func (r *Recorder) Start(now time.Time) []protocol.Action {
+	records := r.rec.Records
+	r.rec.Records = nil
+	rep, canReplay := r.eng.(Replayer)
+	if len(records) == 0 || !canReplay {
+		return r.record(r.eng.Start(now))
+	}
+	rep.BeginReplay()
+	acts := keepReplayActions(nil, rep.Start(now))
+	for _, rec := range records {
+		switch rec.Kind {
+		case KindInbound:
+			acts = keepReplayActions(acts, rep.HandleMessage(rec.From, rec.Msg, now))
+		case KindOwn:
+			acts = keepReplayActions(acts, rep.ReplayOwn(rec.Msg, now))
+		}
+		r.replayedRecords++
+	}
+	for _, a := range acts {
+		if c, ok := a.(protocol.Commit); ok {
+			r.replayedCommits += int64(len(c.Blocks))
+		}
+	}
+	return append(acts, r.record(rep.EndReplay(now))...)
+}
+
+// keepReplayActions filters actions produced during replay: commits are
+// re-delivered to the application (which also lost its state), safety
+// faults surface, and everything else — sends the cluster has long seen,
+// timers for rounds long past — is dropped. Nothing is re-journaled.
+func keepReplayActions(acts, produced []protocol.Action) []protocol.Action {
+	for _, a := range produced {
+		switch a.(type) {
+		case protocol.Commit, protocol.SafetyFault:
+			acts = append(acts, a)
+		}
+	}
+	return acts
+}
+
+// HandleMessage implements protocol.Engine: journal, transition, journal
+// the outputs.
+func (r *Recorder) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	if loggedInbound(msg) {
+		r.append(Record{Kind: KindInbound, From: from, Msg: msg})
+	}
+	return r.record(r.eng.HandleMessage(from, msg, now))
+}
+
+// HandleTimer implements protocol.Engine.
+func (r *Recorder) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return r.record(r.eng.HandleTimer(id, now))
+}
+
+// Metrics implements protocol.Engine, adding the WAL's counters to the
+// engine's.
+func (r *Recorder) Metrics() map[string]int64 {
+	m := r.eng.Metrics()
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	appends, syncs := r.log.Stats()
+	m["wal_appends"] = appends
+	m["wal_syncs"] = syncs
+	m["wal_replayed_records"] = r.replayedRecords
+	m["wal_replayed_blocks"] = r.replayedCommits
+	m["wal_errors"] = r.walErrs
+	return m
+}
+
+// Sync forces the buffered group to disk.
+func (r *Recorder) Sync() error { return r.log.Sync() }
+
+// Close flushes and closes the log (graceful shutdown).
+func (r *Recorder) Close() error { return r.log.Close() }
+
+// Crash abandons the unsynced tail and closes the log (simulated crash).
+func (r *Recorder) Crash() { r.log.Crash() }
+
+// record journals the engine's outputs: own messages before the host
+// sends them (the node applies actions after this returns, and — unless
+// SyncPolicy.NoForceOwn — the group is forced to disk before any
+// own-signature message is released, the classic force-log-before-
+// externalize rule), commits as decisions.
+func (r *Recorder) record(acts []protocol.Action) []protocol.Action {
+	ownAppended := false
+	for _, a := range acts {
+		switch act := a.(type) {
+		case protocol.Broadcast:
+			if loggedOwn(act.Msg) {
+				r.append(Record{Kind: KindOwn, Msg: act.Msg})
+				ownAppended = true
+			}
+		case protocol.Send:
+			if loggedOwn(act.Msg) {
+				r.append(Record{Kind: KindOwn, Msg: act.Msg})
+				ownAppended = true
+			}
+		case protocol.Commit:
+			if len(act.Blocks) == 0 {
+				continue
+			}
+			tip := act.Blocks[len(act.Blocks)-1]
+			r.append(Record{
+				Kind:   KindCommit,
+				Round:  tip.Round,
+				Block:  tip.ID(),
+				Mode:   uint8(act.Explicit),
+				Blocks: uint32(len(act.Blocks)),
+			})
+		}
+	}
+	if ownAppended && !r.log.opts.Sync.NoForceOwn && !r.log.opts.Sync.EveryRecord {
+		// One fsync covers every own record of this action batch plus the
+		// whole pending group.
+		if err := r.log.Sync(); err != nil {
+			r.walErrs++
+		}
+	}
+	return acts
+}
+
+func (r *Recorder) append(rec Record) {
+	if err := r.log.Append(rec); err != nil {
+		// The replica keeps running without durability rather than halting
+		// consensus; the error is surfaced through Metrics and Err.
+		r.walErrs++
+	}
+}
+
+// Err returns the log's sticky I/O error, if any.
+func (r *Recorder) Err() error {
+	r.log.mu.Lock()
+	defer r.log.mu.Unlock()
+	return r.log.err
+}
+
+// loggedInbound says which peer messages are journaled. Sync requests
+// are stateless (served from the tree) and skipped; everything else —
+// including sync responses, whose blocks feed catch-up state — is
+// recorded.
+func loggedInbound(msg types.Message) bool {
+	_, isReq := msg.(*types.SyncRequest)
+	return !isReq
+}
+
+// loggedOwn says which of the replica's own messages are journaled. Sync
+// traffic is derived state (requests are stateless, responses are read
+// from the finalized tree) and would bloat the log; every message that
+// carries this replica's signatures or certificates is recorded.
+func loggedOwn(msg types.Message) bool {
+	switch msg.(type) {
+	case *types.SyncRequest, *types.SyncResponse:
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// fakeEngine is a scripted Replayer: it emits preset actions and records
+// every call the Recorder makes, so tests can assert journaling and
+// replay order without a real cluster.
+type fakeEngine struct {
+	calls   []string
+	actions []protocol.Action // returned by the next Handle*/Start call
+}
+
+func (f *fakeEngine) ID() types.ReplicaID { return 3 }
+func (f *fakeEngine) Protocol() string    { return "fake" }
+func (f *fakeEngine) Start(time.Time) []protocol.Action {
+	f.calls = append(f.calls, "start")
+	return f.take()
+}
+func (f *fakeEngine) HandleMessage(from types.ReplicaID, msg types.Message, _ time.Time) []protocol.Action {
+	f.calls = append(f.calls, "msg:"+msg.Kind().String())
+	return f.take()
+}
+func (f *fakeEngine) HandleTimer(protocol.TimerID, time.Time) []protocol.Action {
+	f.calls = append(f.calls, "timer")
+	return f.take()
+}
+func (f *fakeEngine) Metrics() map[string]int64 { return map[string]int64{"fake": 1} }
+func (f *fakeEngine) BeginReplay()              { f.calls = append(f.calls, "begin-replay") }
+func (f *fakeEngine) ReplayOwn(msg types.Message, _ time.Time) []protocol.Action {
+	f.calls = append(f.calls, "replay-own:"+msg.Kind().String())
+	return f.take()
+}
+func (f *fakeEngine) EndReplay(time.Time) []protocol.Action {
+	f.calls = append(f.calls, "end-replay")
+	return f.take()
+}
+func (f *fakeEngine) take() []protocol.Action {
+	a := f.actions
+	f.actions = nil
+	return a
+}
+
+func voteMsg(round types.Round) *types.VoteMsg {
+	return &types.VoteMsg{Votes: []types.Vote{{
+		Kind: types.VoteNotarize, Round: round, Voter: 3, Signature: []byte("sig"),
+	}}}
+}
+
+func TestRecorderJournalsAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(100, 0)
+
+	// First life: start, receive a message, emit a vote and a commit.
+	eng := &fakeEngine{}
+	rec, err := NewRecorder(RecorderConfig{Dir: dir, Engine: eng,
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(now)
+	eng.actions = []protocol.Action{
+		protocol.Broadcast{Msg: voteMsg(1)},
+		protocol.Broadcast{Msg: &types.SyncRequest{From: 1, To: 2}}, // not journaled
+		protocol.Commit{Blocks: []*types.Block{types.Genesis()}, Explicit: protocol.FinalizeFast},
+	}
+	rec.HandleMessage(5, voteMsg(1), now)
+	rec.Crash() // even with EveryRecord, everything is already durable
+
+	// Second life: the journal must replay — inbound through
+	// HandleMessage, own through ReplayOwn, bracketed by Begin/EndReplay —
+	// and the commit record must not re-enter the engine.
+	eng2 := &fakeEngine{}
+	rec2, err := NewRecorder(RecorderConfig{Dir: dir, Engine: eng2,
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.Recovered(); got.Truncated || len(got.Records) != 3 {
+		t.Fatalf("recovered %d records (truncated=%v), want 3", len(got.Records), got.Truncated)
+	}
+	rec2.Start(now)
+	want := []string{"begin-replay", "start", "msg:vote", "replay-own:vote", "end-replay"}
+	if len(eng2.calls) != len(want) {
+		t.Fatalf("replay calls = %v, want %v", eng2.calls, want)
+	}
+	for i := range want {
+		if eng2.calls[i] != want[i] {
+			t.Fatalf("replay call %d = %q, want %q (all: %v)", i, eng2.calls[i], want[i], eng2.calls)
+		}
+	}
+	m := rec2.Metrics()
+	if m["wal_replayed_records"] != 3 {
+		t.Fatalf("wal_replayed_records = %d", m["wal_replayed_records"])
+	}
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderForcesOwnBeforeSend: under group commit with an
+// effectively-infinite window, a message the replica signed must still
+// be durable the moment record() returns — i.e. before the host can
+// send it — so a crash can never forget a vote the network saw.
+func TestRecorderForcesOwnBeforeSend(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(100, 0)
+	lazy := Options{Sync: SyncPolicy{Interval: time.Hour, Bytes: 1 << 30}}
+
+	eng := &fakeEngine{}
+	rec, err := NewRecorder(RecorderConfig{Dir: dir, Engine: eng, Options: lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(now)
+	// An inbound-only batch stays in the group buffer...
+	rec.HandleMessage(1, voteMsg(1), now)
+	// ...but a batch carrying an own vote forces the whole group down.
+	eng.actions = []protocol.Action{protocol.Broadcast{Msg: voteMsg(2)}}
+	rec.HandleMessage(2, voteMsg(2), now)
+	rec.Crash()
+
+	_, recovery, err := Open(dir, lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three records survive: the forced sync for the own vote
+	// committed the buffered inbound records with it.
+	if len(recovery.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3 (own-vote sync must commit the group)", len(recovery.Records))
+	}
+	var ownDurable bool
+	for _, r := range recovery.Records {
+		if r.Kind == KindOwn {
+			ownDurable = true
+		}
+	}
+	if !ownDurable {
+		t.Fatal("own vote not durable after record() returned")
+	}
+
+	// With NoForceOwn the same sequence loses everything to the crash.
+	dir2 := t.TempDir()
+	noForce := lazy
+	noForce.Sync.NoForceOwn = true
+	eng2 := &fakeEngine{}
+	rec2, err := NewRecorder(RecorderConfig{Dir: dir2, Engine: eng2, Options: noForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2.Start(now)
+	eng2.actions = []protocol.Action{protocol.Broadcast{Msg: voteMsg(2)}}
+	rec2.HandleMessage(2, voteMsg(2), now)
+	rec2.Crash()
+	_, recovery2, err := Open(dir2, noForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovery2.Records) != 0 {
+		t.Fatalf("NoForceOwn recovered %d records, want 0", len(recovery2.Records))
+	}
+}
+
+// TestRecorderReplayFiltersActions: replay must surface commits and
+// safety faults to the host and drop sends/timers from rounds long past.
+func TestRecorderReplayFiltersActions(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(100, 0)
+
+	eng := &fakeEngine{}
+	rec, err := NewRecorder(RecorderConfig{Dir: dir, Engine: eng,
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(now)
+	rec.HandleMessage(1, voteMsg(7), now)
+	rec.Crash()
+
+	eng2 := &fakeEngine{}
+	rec2, err := NewRecorder(RecorderConfig{Dir: dir, Engine: eng2,
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	// The replayed inbound message makes the engine emit one of each
+	// action kind; only Commit may pass the filter (plus EndReplay's
+	// live actions, which pass unfiltered).
+	commit := protocol.Commit{Blocks: []*types.Block{types.Genesis()}, Explicit: protocol.FinalizeSlow}
+	eng2.actions = []protocol.Action{
+		protocol.Broadcast{Msg: voteMsg(7)},
+		protocol.Send{To: 2, Msg: voteMsg(7)},
+		protocol.SetTimer{ID: protocol.TimerID{Round: 7}},
+		commit,
+	}
+	acts := rec2.Start(now)
+	var commits, others int
+	for _, a := range acts {
+		if _, ok := a.(protocol.Commit); ok {
+			commits++
+		} else {
+			others++
+		}
+	}
+	if commits != 1 || others != 0 {
+		t.Fatalf("replay actions = %d commits + %d others, want 1 + 0 (%v)", commits, others, acts)
+	}
+}

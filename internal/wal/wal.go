@@ -1,0 +1,442 @@
+// Package wal is a durable write-ahead log for consensus replicas: a
+// segmented, CRC-framed append-only log with group commit, plus a
+// Recorder that wraps any protocol.Engine and journals its inputs and
+// outputs so a crashed replica can rebuild blocktree and protocol state
+// on restart.
+//
+// # Log format
+//
+// A log is a directory of segment files (wal-00000001.seg, ...). Every
+// segment opens with an 8-byte magic; every record is framed as
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// with the payload encoding in record.go. Recovery scans segments in
+// order and stops at the first frame that is truncated, oversized, fails
+// its CRC, or does not decode — everything before it is the durable
+// prefix, everything after it is discarded. A torn write at the tail
+// therefore loses at most the records of the last unsynced group; it can
+// never resurrect garbage, and replay re-verifies every signature a
+// record carries, so a corrupted-but-CRC-valid entry cannot smuggle a
+// forged vote into the engine either.
+//
+// # Group commit
+//
+// Durability cost is amortized the way the verification pipeline
+// amortizes signature checks: appends land in a user-space buffer, and a
+// background syncer flushes + fsyncs the batch once per SyncPolicy
+// window (or earlier when SyncPolicy.Bytes accumulate). Every record of
+// the window shares one fsync. The price is a bounded durability window:
+// a crash loses at most the records appended since the last sync.
+// SyncPolicy.EveryRecord trades that window away for an fsync per append
+// (the cmd/bench "persist" experiment measures the gap).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+var segMagic = [8]byte{'b', 'a', 'n', 'W', 'A', 'L', '0', '1'}
+
+// ErrClosed reports an append to a closed (or crashed) log.
+var ErrClosed = errors.New("wal: log closed")
+
+// maxRecordLen bounds frame payloads so a corrupt length prefix cannot
+// trigger a huge allocation; it matches the types package slice cap.
+const maxRecordLen = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy says when appended records become durable.
+type SyncPolicy struct {
+	// EveryRecord fsyncs after every append (no durability window, no
+	// amortization). When set, Interval and Bytes are ignored.
+	EveryRecord bool
+	// Interval is the group-commit window: buffered records are flushed
+	// and fsynced at least this often. Zero selects 2ms; negative is
+	// equivalent to EveryRecord.
+	Interval time.Duration
+	// Bytes flushes the group early once this much is buffered. Zero
+	// selects 256 KiB.
+	Bytes int
+	// NoForceOwn removes the write-ahead discipline for the replica's
+	// own messages. By default the Recorder forces the group to disk
+	// before handing a message this replica signed to the transport, so
+	// the journal can never under-report a vote the network saw — the
+	// invariant that makes a restarted replica unable to equivocate.
+	// Inbound records still ride the group window (they dominate volume;
+	// own messages are a handful per round), and the forced sync commits
+	// the whole pending group, so amortization survives. Set NoForceOwn
+	// for maximum throughput at the price of a crash window in which a
+	// sent vote is forgotten.
+	NoForceOwn bool
+}
+
+func (p SyncPolicy) normalize() SyncPolicy {
+	if p.Interval < 0 {
+		p.EveryRecord = true
+	}
+	if p.Interval <= 0 {
+		p.Interval = 2 * time.Millisecond
+	}
+	if p.Bytes <= 0 {
+		p.Bytes = 256 << 10
+	}
+	return p
+}
+
+// Options tune a log.
+type Options struct {
+	// Sync is the durability policy (see SyncPolicy).
+	Sync SyncPolicy
+	// SegmentBytes rotates to a fresh segment file once the current one
+	// reaches this size. Zero selects 64 MiB.
+	SegmentBytes int
+}
+
+func (o Options) normalize() Options {
+	o.Sync = o.Sync.normalize()
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Records is the durable record prefix, in append order.
+	Records []Record
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Truncated reports that scanning stopped at an invalid frame (torn
+	// write, bad CRC, or undecodable payload) before the end of the data.
+	Truncated bool
+}
+
+// Log is an append-only write-ahead log over one directory. Append,
+// Sync, Close and Crash are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	segIndex uint64
+	segBytes int
+	pending  int // bytes buffered since the last sync
+	closed   bool
+	err      error // sticky I/O error
+
+	appends int64
+	syncs   int64
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates (or reopens) the log in dir, recovering the durable
+// record prefix of any previous run. Appends go to a fresh segment.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	opts = opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec, lastIndex, err := recoverDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{
+		dir:  dir,
+		opts: opts,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	if err := l.openSegment(lastIndex + 1); err != nil {
+		return nil, nil, err
+	}
+	if !opts.Sync.EveryRecord {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+func segName(index uint64) string { return fmt.Sprintf("wal-%08d.seg", index) }
+
+func segIndex(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	var idx uint64
+	if _, err := fmt.Sscanf(name, "wal-%08d.seg", &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// recover scans existing segments in index order, decoding records until
+// the first invalid frame anywhere (records after a corruption cannot be
+// trusted to be in order, so the scan stops for good).
+func recoverDir(dir string) (*Recovery, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var indexes []uint64
+	for _, e := range entries {
+		if idx, ok := segIndex(e.Name()); ok {
+			indexes = append(indexes, idx)
+		}
+	}
+	sort.Slice(indexes, func(i, j int) bool { return indexes[i] < indexes[j] })
+	rec := &Recovery{}
+	var last uint64
+	for _, idx := range indexes {
+		if idx > last {
+			last = idx
+		}
+		if rec.Truncated {
+			continue // a prior segment was corrupt; later data is untrusted
+		}
+		rec.Segments++
+		data, err := os.ReadFile(filepath.Join(dir, segName(idx)))
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: %w", err)
+		}
+		rec.Truncated = !scanSegment(data, &rec.Records)
+	}
+	return rec, last, nil
+}
+
+// scanSegment appends a segment's valid record prefix to out and reports
+// whether the segment was consumed cleanly to its end.
+func scanSegment(data []byte, out *[]Record) (clean bool) {
+	if len(data) < len(segMagic) || [8]byte(data[:8]) != segMagic {
+		return len(data) == 0
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		if off+8 > len(data) {
+			return false // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecordLen || off+8+int(n) > len(data) {
+			return false // bogus length or torn payload
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return false // bit rot or torn write inside the frame
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return false // CRC-valid but not a record we understand
+		}
+		*out = append(*out, r)
+		off += 8 + int(n)
+	}
+	return true
+}
+
+func (l *Log) openSegment(index uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(index)),
+		os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.segIndex = index
+	l.segBytes = 0
+	if _, err := l.w.Write(segMagic[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Append journals one record. With group commit the record becomes
+// durable within the sync window; with EveryRecord it is durable on
+// return.
+func (l *Log) Append(r Record) error {
+	payload, err := r.encode()
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.segBytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return l.fail(err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return l.fail(err)
+	}
+	size := 8 + len(payload)
+	l.segBytes += size
+	l.pending += size
+	l.appends++
+	if l.opts.Sync.EveryRecord || l.pending >= l.opts.Sync.Bytes {
+		return l.syncLocked()
+	}
+	// Leave the group for the background syncer; nudge it so an idle log
+	// does not sit on a dirty buffer for a full interval after a burst.
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Sync forces the buffered group to disk now.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.pending == 0 {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail(err)
+	}
+	l.pending = 0
+	l.syncs++
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	return l.openSegment(l.segIndex + 1)
+}
+
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %w", err)
+	}
+	return l.err
+}
+
+// Close flushes and fsyncs the tail, then closes the log.
+func (l *Log) Close() error {
+	return l.shutdown(true)
+}
+
+// Crash closes the log abandoning the unsynced group — what a process
+// crash does to the user-space buffer. Tests use it to exercise the
+// recovery path with a realistic torn tail.
+func (l *Log) Crash() {
+	l.shutdown(false)
+}
+
+func (l *Log) shutdown(flush bool) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if flush && l.err == nil && l.pending > 0 {
+		if ferr := l.w.Flush(); ferr != nil {
+			err = ferr
+		} else if serr := l.f.Sync(); serr != nil {
+			err = serr
+		} else {
+			l.syncs++
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	close(l.done)
+	l.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// syncLoop is the group-commit goroutine: it fsyncs the buffered group
+// once per interval while the log is dirty.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	timer := time.NewTimer(l.opts.Sync.Interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.wake:
+			// Dirty: wait out the rest of the window, then sync whatever
+			// accumulated (the group).
+			timer.Reset(l.opts.Sync.Interval)
+			select {
+			case <-l.done:
+				return
+			case <-timer.C:
+			}
+			l.mu.Lock()
+			if !l.closed && l.err == nil {
+				l.syncLocked() //nolint:errcheck // sticky in l.err
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Stats reports append/sync counters (and thereby the amortization
+// ratio: appends per fsync).
+func (l *Log) Stats() (appends, syncs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+var _ io.Closer = (*Log)(nil)

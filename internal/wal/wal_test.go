@@ -1,0 +1,402 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"banyan/internal/types"
+)
+
+// sampleRecords builds a representative record mix: peer messages, own
+// messages, and commit decisions.
+func sampleRecords(n int) []Record {
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			out = append(out, Record{
+				Kind: KindInbound,
+				From: types.ReplicaID(i % 7),
+				Msg: &types.VoteMsg{Votes: []types.Vote{{
+					Kind:      types.VoteNotarize,
+					Round:     types.Round(i + 1),
+					Voter:     types.ReplicaID(i % 7),
+					Signature: bytes.Repeat([]byte{byte(i)}, 64),
+				}}},
+			})
+		case 1:
+			b := types.NewBlock(types.Round(i+1), types.ReplicaID(i%7), 0,
+				types.BlockID{}, types.BytesPayload(bytes.Repeat([]byte{byte(i)}, 100)))
+			b.Signature = bytes.Repeat([]byte{byte(i)}, 64)
+			out = append(out, Record{Kind: KindOwn, Msg: &types.Proposal{Block: b}})
+		default:
+			var id types.BlockID
+			id[0] = byte(i)
+			out = append(out, Record{
+				Kind: KindCommit, Round: types.Round(i + 1), Block: id, Mode: 2, Blocks: 3,
+			})
+		}
+	}
+	return out
+}
+
+func openT(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkPrefix fails unless got is a prefix of want (comparing encodings).
+func checkPrefix(t *testing.T, want, got []Record) {
+	t.Helper()
+	if len(got) > len(want) {
+		t.Fatalf("recovered %d records, only %d were written", len(got), len(want))
+	}
+	for i := range got {
+		we, err1 := want[i].encode()
+		ge, err2 := got[i].encode()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("encode: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(we, ge) {
+			t.Fatalf("record %d differs after recovery", i)
+		}
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(30)
+
+	l, rec := openT(t, dir, Options{})
+	if len(rec.Records) != 0 || rec.Truncated {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if rec2.Truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if len(rec2.Records) != len(recs) {
+		t.Fatalf("recovered %d of %d records", len(rec2.Records), len(recs))
+	}
+	checkPrefix(t, recs, rec2.Records)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(60)
+	l, _ := openT(t, dir, Options{SegmentBytes: 512})
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	l2, rec := openT(t, dir, Options{SegmentBytes: 512})
+	defer l2.Close()
+	if rec.Truncated || len(rec.Records) != len(recs) {
+		t.Fatalf("recovered %d of %d (truncated=%v) across %d segments",
+			len(rec.Records), len(recs), rec.Truncated, rec.Segments)
+	}
+	checkPrefix(t, recs, rec.Records)
+}
+
+// TestCrashDropsUnsyncedTail checks the group-commit durability window:
+// records synced before the crash survive, the unsynced tail is gone,
+// and recovery is a clean prefix either way.
+func TestCrashDropsUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(20)
+	// A huge window and byte threshold: nothing syncs unless asked.
+	l, _ := openT(t, dir, Options{Sync: SyncPolicy{Interval: time.Hour, Bytes: 1 << 30}})
+	appendAll(t, l, recs[:12])
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs[12:])
+	l.Crash()
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 12 {
+		t.Fatalf("recovered %d records, want the 12 synced ones", len(rec.Records))
+	}
+	checkPrefix(t, recs, rec.Records)
+}
+
+func TestSyncEveryRecordDurableWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(9)
+	l, _ := openT(t, dir, Options{Sync: SyncPolicy{EveryRecord: true}})
+	appendAll(t, l, recs)
+	l.Crash() // no flush — but every append already synced
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != len(recs) {
+		t.Fatalf("recovered %d of %d with per-record sync", len(rec.Records), len(recs))
+	}
+}
+
+func TestGroupCommitAmortizesSyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncPolicy{Interval: 50 * time.Millisecond}})
+	appendAll(t, l, sampleRecords(99))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appends, syncs := l.Stats()
+	if appends != 99 {
+		t.Fatalf("appends = %d", appends)
+	}
+	if syncs >= appends/2 {
+		t.Fatalf("group commit did not amortize: %d syncs for %d appends", syncs, appends)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleRecords(1)[0]); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+// lastSegment returns the path of the highest-indexed segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[0]
+	for _, s := range segs[1:] {
+		if s > last {
+			last = s
+		}
+	}
+	return last
+}
+
+// writeSealed writes a log of n records into dir and returns them plus
+// the single sealed segment's path.
+func writeSealed(t *testing.T, dir string, n int) ([]Record, string) {
+	t.Helper()
+	recs := sampleRecords(n)
+	l, _ := openT(t, dir, Options{})
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs, lastSegment(t, dir)
+}
+
+// TestTornWriteProperty is the torn-write property test: truncating the
+// segment at *every* possible byte length must recover a clean prefix of
+// the original records — never an error, never a panic, never a record
+// that was not written.
+func TestTornWriteProperty(t *testing.T) {
+	dir := t.TempDir()
+	recs, seg := writeSealed(t, dir, 12)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevLen := -1
+	for cut := 0; cut <= len(data); cut++ {
+		var got []Record
+		scanSegment(data[:cut], &got)
+		checkPrefix(t, recs, got)
+		if len(got) < prevLen {
+			t.Fatalf("prefix shrank at cut %d: %d -> %d", cut, prevLen, len(got))
+		}
+		prevLen = len(got)
+	}
+	if prevLen != len(recs) {
+		t.Fatalf("full file recovered %d of %d", prevLen, len(recs))
+	}
+}
+
+// TestCorruptionProperty flips every byte of the segment in turn (one
+// mutation at a time): recovery must always yield a prefix of the
+// original records and stop at or before the corrupted frame.
+func TestCorruptionProperty(t *testing.T) {
+	dir := t.TempDir()
+	recs, seg := writeSealed(t, dir, 8)
+	orig, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(orig); pos++ {
+		data := bytes.Clone(orig)
+		data[pos] ^= 0x5a
+		var got []Record
+		scanSegment(data, &got)
+		checkPrefix(t, recs, got)
+	}
+}
+
+// TestCorruptMiddleSegmentStopsRecovery: a corrupt earlier segment must
+// fence off all later segments (ordering after a gap is untrustworthy).
+func TestCorruptMiddleSegmentStopsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(40)
+	l, _ := openT(t, dir, Options{SegmentBytes: 512})
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Corrupt a byte in the middle of the second segment.
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if !rec.Truncated {
+		t.Fatal("corruption not reported")
+	}
+	checkPrefix(t, recs, rec.Records)
+	var firstSeg []Record
+	seg0, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanSegment(seg0, &firstSeg)
+	if len(rec.Records) < len(firstSeg) {
+		t.Fatalf("recovered %d records, fewer than the %d of the intact first segment",
+			len(rec.Records), len(firstSeg))
+	}
+}
+
+// TestBogusLengthPrefix: a frame announcing an absurd length must stop
+// recovery without attempting the allocation.
+func TestBogusLengthPrefix(t *testing.T) {
+	dir := t.TempDir()
+	recs, seg := writeSealed(t, dir, 4)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a frame header claiming 1 GiB.
+	data = append(data, 0, 0, 0, 0x40, 0xde, 0xad, 0xbe, 0xef)
+	var got []Record
+	if clean := scanSegment(data, &got); clean {
+		t.Fatal("bogus frame accepted as clean")
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("recovered %d of %d before the bogus frame", len(got), len(recs))
+	}
+}
+
+// FuzzScanSegment: arbitrary bytes must never panic the scanner and must
+// only ever yield records that re-encode to the bytes the frame carried.
+func FuzzScanSegment(f *testing.F) {
+	dir := f.TempDir()
+	recs := sampleRecords(6)
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	data, err := os.ReadFile(segs[len(segs)-1])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte{})
+	f.Add(segMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got []Record
+		scanSegment(data, &got) // must not panic
+		for _, r := range got {
+			if _, err := r.encode(); err != nil {
+				t.Fatalf("recovered record does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzRecordRoundTrip: decodeRecord must never panic, and whatever it
+// accepts must reach a canonical fixed point — decode(encode(decode(p)))
+// re-encodes identically, so replaying a journaled record cannot drift.
+// (Byte-identity with the input is not required: the wire format accepts
+// non-canonical booleans.)
+func FuzzRecordRoundTrip(f *testing.F) {
+	for _, r := range sampleRecords(6) {
+		payload, err := r.encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return
+		}
+		canon, err := r.encode()
+		if err != nil {
+			t.Fatalf("decoded record does not encode: %v", err)
+		}
+		r2, err := decodeRecord(canon)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		again, err := r2.encode()
+		if err != nil {
+			t.Fatalf("re-decoded record does not encode: %v", err)
+		}
+		if !bytes.Equal(canon, again) {
+			t.Fatalf("record encoding not a fixed point:\n 1st: %x\n 2nd: %x", canon, again)
+		}
+	})
+}

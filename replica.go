@@ -8,10 +8,12 @@ import (
 	"banyan/internal/beacon"
 	"banyan/internal/crypto"
 	"banyan/internal/mempool"
+	"banyan/internal/metrics"
 	"banyan/internal/node"
 	"banyan/internal/protocol"
 	"banyan/internal/transport/tcp"
 	"banyan/internal/types"
+	"banyan/internal/wal"
 )
 
 // ReplicaConfig configures a single TCP-connected replica for
@@ -45,18 +47,56 @@ type ReplicaConfig struct {
 	// VerifyCacheSize caps the verified-signature cache (0 default,
 	// negative disables caching).
 	VerifyCacheSize int
+	// WALDir, when non-empty, enables the write-ahead log: inbound
+	// messages, this replica's own proposals/votes/certificates, and
+	// commit decisions are journaled to the directory, and a restarted
+	// replica (same WALDir) replays the log on Start — rebuilding its
+	// blocktree and voting record, re-delivering the committed chain on
+	// Commits, and rejoining at its pre-crash round without equivocating.
+	WALDir string
+	// WALSyncEveryRecord fsyncs per record instead of group-committing —
+	// no durability window, at a large throughput cost (see cmd/bench
+	// -exp persist).
+	WALSyncEveryRecord bool
+	// WALSyncInterval is the group-commit window (0 = 2ms): a crash loses
+	// at most the records appended within it.
+	WALSyncInterval time.Duration
+	// WALSyncBytes flushes a group early at this many buffered bytes
+	// (0 = 256 KiB).
+	WALSyncBytes int
+	// WALSegmentBytes rotates log segments at this size (0 = 64 MiB).
+	WALSegmentBytes int
+	// WALNoForceOwn drops the force-log-before-send rule for this
+	// replica's own signed messages (see wal.SyncPolicy.NoForceOwn):
+	// faster, but a crash may forget a vote the network already saw.
+	WALNoForceOwn bool
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
 
+// walOptions converts the ReplicaConfig knobs to wal.Options.
+func (cfg ReplicaConfig) walOptions() wal.Options {
+	return wal.Options{
+		Sync: wal.SyncPolicy{
+			EveryRecord: cfg.WALSyncEveryRecord,
+			Interval:    cfg.WALSyncInterval,
+			Bytes:       cfg.WALSyncBytes,
+			NoForceOwn:  cfg.WALNoForceOwn,
+		},
+		SegmentBytes: cfg.WALSegmentBytes,
+	}
+}
+
 // Replica is one consensus replica over TCP.
 type Replica struct {
-	cfg    ReplicaConfig
-	params types.Params
-	node   *node.Node
-	tr     *tcp.Transport
-	pool   *mempool.Pool
-	engine protocol.Engine
+	cfg      ReplicaConfig
+	params   types.Params
+	node     *node.Node
+	tr       *tcp.Transport
+	pool     *mempool.Pool
+	engine   protocol.Engine
+	rec      *wal.Recorder // nil without WALDir
+	counters *metrics.Registry
 
 	commits   chan Commit
 	rawCommit chan node.CommitEvent
@@ -120,11 +160,13 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		// Default to this replica's own entry in the peer list.
 		listenAddr = cfg.Peers[cfg.ID]
 	}
+	counters := metrics.NewRegistry()
 	tr, err := tcp.New(tcp.Config{
 		Self:       types.ReplicaID(cfg.ID),
 		ListenAddr: listenAddr,
 		Peers:      peers,
 		Logf:       cfg.Logf,
+		Drops:      counters.Counter("transport_dropped"),
 	})
 	if err != nil {
 		return nil, err
@@ -135,6 +177,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		params:    params,
 		tr:        tr,
 		pool:      mempool.NewPool(0, cfg.MaxBlockBytes),
+		counters:  counters,
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
@@ -149,8 +192,22 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, err
 	}
 	r.engine = eng
+	hosted := eng
+	if cfg.WALDir != "" {
+		rec, err := wal.NewRecorder(wal.RecorderConfig{
+			Dir:     cfg.WALDir,
+			Engine:  eng,
+			Options: cfg.walOptions(),
+		})
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		r.rec = rec
+		hosted = rec
+	}
 	n, err := node.New(node.Config{
-		Engine:        eng,
+		Engine:        hosted,
 		Transport:     tr,
 		Commits:       r.rawCommit,
 		OnFault:       func(err error) { r.recordFault(err) },
@@ -159,6 +216,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	})
 	if err != nil {
 		tr.Close()
+		if r.rec != nil {
+			r.rec.Close()
+		}
 		return nil, err
 	}
 	r.node = n
@@ -216,11 +276,34 @@ func (r *Replica) Faults() []error {
 	return out
 }
 
-// Metrics returns the engine counters. Only valid after Stop.
-func (r *Replica) Metrics() map[string]int64 { return r.node.Metrics() }
+// Metrics returns the engine counters (plus WAL counters when a WALDir
+// is set, and transport counters such as "transport_dropped"). Only
+// valid after Stop.
+func (r *Replica) Metrics() map[string]int64 {
+	m := r.node.Metrics()
+	if m == nil {
+		return nil
+	}
+	for name, v := range r.counters.Snapshot() {
+		m[name] = v
+	}
+	return m
+}
 
-// Stop shuts the replica down.
+// Stop shuts the replica down gracefully, flushing the WAL tail.
 func (r *Replica) Stop() {
+	r.shutdown(true)
+}
+
+// Crash shuts the replica down abandoning the WAL's unsynced group —
+// what a process crash leaves on disk. A new Replica with the same
+// WALDir recovers the durable prefix and rejoins; see the crash-restart
+// walkthrough in the README.
+func (r *Replica) Crash() {
+	r.shutdown(false)
+}
+
+func (r *Replica) shutdown(flush bool) {
 	r.mu.Lock()
 	if r.stopped {
 		r.mu.Unlock()
@@ -229,6 +312,21 @@ func (r *Replica) Stop() {
 	r.stopped = true
 	r.mu.Unlock()
 	r.node.Stop()
+	if r.rec != nil {
+		// A log that died mid-run means the replica has been running
+		// without durability; surface that as a fault rather than letting
+		// the run report clean.
+		if err := r.rec.Err(); err != nil {
+			r.recordFault(err)
+		}
+		if flush {
+			if err := r.rec.Close(); err != nil {
+				r.recordFault(err)
+			}
+		} else {
+			r.rec.Crash()
+		}
+	}
 	close(r.done)
 }
 

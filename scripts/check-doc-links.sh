@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check-doc-links.sh — verify that every relative markdown link in the
+# given docs points at a file or directory that exists. CI runs it over
+# ARCHITECTURE.md and README.md so code links cannot rot silently.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+docs=("$@")
+if [ ${#docs[@]} -eq 0 ]; then
+  docs=(ARCHITECTURE.md README.md)
+fi
+
+fail=0
+for doc in "${docs[@]}"; do
+  # Extract markdown link targets: [text](target), dropping #fragments
+  # and skipping absolute URLs.
+  while IFS= read -r target; do
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$target" ]; then
+      echo "$doc: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed" >&2
+  exit 1
+fi
+echo "doc links OK: ${docs[*]}"
