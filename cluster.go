@@ -75,6 +75,10 @@ type ClusterConfig struct {
 	// own signed messages (see wal.SyncPolicy.NoForceOwn): faster, but a
 	// crash may forget a vote the network already saw.
 	WALNoForceOwn bool
+	// WALContinueOnError keeps sending own votes after a WAL write error
+	// instead of failing safe by going silent (see
+	// wal.RecorderConfig.ContinueOnError).
+	WALContinueOnError bool
 }
 
 // walOptions converts the ClusterConfig knobs to wal.Options.
@@ -118,6 +122,7 @@ type Cluster struct {
 	started  bool
 	stopped  bool
 	crashed  []bool
+	crashing []bool // teardown in progress: not running, not yet restartable
 
 	done chan struct{}
 }
@@ -188,6 +193,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		signers:   signers,
 		beacon:    bc,
 		crashed:   make([]bool, params.N),
+		crashing:  make([]bool, params.N),
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
@@ -221,9 +227,10 @@ func (c *Cluster) buildReplica(i int) error {
 	hosted := eng
 	if c.cfg.WALDir != "" {
 		rec, err := wal.NewRecorder(wal.RecorderConfig{
-			Dir:     filepath.Join(c.cfg.WALDir, fmt.Sprintf("replica-%d", i)),
-			Engine:  eng,
-			Options: c.cfg.walOptions(),
+			Dir:             filepath.Join(c.cfg.WALDir, fmt.Sprintf("replica-%d", i)),
+			Engine:          eng,
+			Options:         c.cfg.walOptions(),
+			ContinueOnError: c.cfg.WALContinueOnError,
 		})
 		if err != nil {
 			return err
@@ -410,10 +417,14 @@ func (c *Cluster) Faults() []error {
 
 // Metrics returns a replica's protocol counters. Only valid after Stop.
 func (c *Cluster) Metrics(replica int) map[string]int64 {
+	c.mu.Lock()
 	if replica < 0 || replica >= len(c.nodes) {
+		c.mu.Unlock()
 		return nil
 	}
-	return c.nodes[replica].Metrics()
+	n := c.nodes[replica] // RestartReplica swaps this slot under c.mu
+	c.mu.Unlock()
+	return n.Metrics()
 }
 
 // CrashReplica simulates a crash of one replica: its node stops, and its
@@ -426,16 +437,24 @@ func (c *Cluster) CrashReplica(replica int) error {
 		c.mu.Unlock()
 		return fmt.Errorf("banyan: no replica %d", replica)
 	}
-	if !c.started || c.stopped || c.crashed[replica] {
+	if !c.started || c.stopped || c.crashed[replica] || c.crashing[replica] {
 		c.mu.Unlock()
 		return fmt.Errorf("banyan: replica %d is not running", replica)
 	}
-	c.crashed[replica] = true
+	c.crashing[replica] = true
+	n, rec := c.nodes[replica], c.recs[replica]
 	c.mu.Unlock()
-	c.nodes[replica].Stop()
-	if rec := c.recs[replica]; rec != nil {
+	n.Stop()
+	if rec != nil {
 		rec.Crash()
 	}
+	// Flip to crashed only now that the log is closed: RestartReplica's
+	// guard keys on crashed, so recovery can never reopen (and repair) a
+	// directory a still-live Log is appending to.
+	c.mu.Lock()
+	c.crashing[replica] = false
+	c.crashed[replica] = true
+	c.mu.Unlock()
 	return nil
 }
 
@@ -445,6 +464,9 @@ func (c *Cluster) CrashReplica(replica int) error {
 // rejoins the cluster at its recovered round, catching up on whatever
 // finalized while it was down via the sync subprotocol. Requires WALDir;
 // restarting replica 0 re-delivers its recovered chain on Commits.
+// Engines that cannot replay a journal (the hotstuff/streamlet
+// baselines do not implement wal.Replayer) are refused rather than
+// silently restarted fresh, which would risk equivocation.
 func (c *Cluster) RestartReplica(replica int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -503,8 +525,13 @@ func (c *Cluster) Stop() {
 		return
 	}
 	c.stopped = true
+	// A replica mid-CrashReplica (crashing set, crashed not yet) must be
+	// treated as crashed: closing its log here would flush the very tail
+	// the simulated crash is about to abandon.
 	crashed := make([]bool, len(c.crashed))
-	copy(crashed, c.crashed)
+	for i := range crashed {
+		crashed[i] = c.crashed[i] || c.crashing[i]
+	}
 	c.mu.Unlock()
 	for i, n := range c.nodes {
 		n.Stop()

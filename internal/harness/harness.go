@@ -354,8 +354,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	net.Run(cfg.Duration)
 
+	// Dedup by replica: a replica restarted twice appears in two specs,
+	// but its recorder's counter is already cumulative across restarts.
 	var restartReplayed int64
+	counted := make(map[types.ReplicaID]bool, len(cfg.Restart))
 	for _, r := range cfg.Restart {
+		if counted[r.Replica] {
+			continue
+		}
+		counted[r.Replica] = true
 		if m := net.Engine(r.Replica).Metrics(); m != nil {
 			restartReplayed += m["wal_replayed_records"]
 		}

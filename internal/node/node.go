@@ -263,12 +263,25 @@ func (n *Node) preverify(inbound <-chan Inbound, workers int) <-chan Inbound {
 		}()
 	}
 	// Dispatcher: tag each message with a completion signal, keep the
-	// arrival order in `order`, and hand the work to the pool.
+	// arrival order in `order`, and hand the work to the pool. The
+	// receive itself races n.stop: the transport channel may be a shared
+	// hub queue that outlives this node (crash-restart reuses it for the
+	// replacement node), so a stopped dispatcher must detach rather than
+	// keep consuming — and discarding — the successor's messages.
 	go func() {
 		defer close(order)
 		defer close(work)
-		for in := range inbound {
-			p := &pending{in: in, done: make(chan struct{})}
+		for {
+			var p *pending
+			select {
+			case in, ok := <-inbound:
+				if !ok {
+					return
+				}
+				p = &pending{in: in, done: make(chan struct{})}
+			case <-n.stop:
+				return
+			}
 			select {
 			case order <- p:
 			case <-n.stop:

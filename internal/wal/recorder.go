@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"time"
 
 	"banyan/internal/protocol"
@@ -32,11 +33,25 @@ type RecorderConfig struct {
 	// Dir is the log directory (one per replica).
 	Dir string
 	// Engine is the wrapped consensus engine. Required. If it implements
-	// Replayer, a non-empty log is replayed on Start; otherwise recovery
-	// is skipped and the engine starts fresh (the log still records).
+	// Replayer, a non-empty log is replayed on Start. An engine that does
+	// not is only accepted over an empty log (which it still records):
+	// NewRecorder refuses to reopen a non-empty log with it, because
+	// starting fresh would silently discard the journaled voting record
+	// while the network may still hold the pre-crash votes — the
+	// equivocation the WAL exists to prevent.
 	Engine protocol.Engine
 	// Options tune the log (sync policy, segment size).
 	Options Options
+	// ContinueOnError keeps externalizing the replica's own signed
+	// messages after a WAL write error. By default the Recorder fails
+	// safe: once a record carrying this replica's signature cannot be
+	// made durable, the message is suppressed — never handed to the
+	// transport — and the replica goes silent (crash-faulty, which BFT
+	// tolerates) rather than voting without a journal and risking
+	// equivocation after a restart. Set ContinueOnError to trade that
+	// guarantee for availability on a dying disk; the error still
+	// surfaces through Err and the wal_errors metric either way.
+	ContinueOnError bool
 }
 
 // Recorder wraps a protocol.Engine with a write-ahead log. It is itself
@@ -46,25 +61,44 @@ type RecorderConfig struct {
 // outbound messages before the host's transport sends them, and commit
 // decisions as they are emitted.
 type Recorder struct {
-	eng protocol.Engine
-	log *Log
-	rec *Recovery
+	eng           protocol.Engine
+	log           *Log
+	rec           *Recovery
+	continueOnErr bool
 
 	replayedRecords int64
 	replayedCommits int64
 	walErrs         int64
+	suppressed      int64
 }
 
 var _ protocol.Engine = (*Recorder)(nil)
 
 // NewRecorder opens (or reopens) the log and wraps the engine. Recovery
-// happens on Start.
+// happens on Start. Reopening a non-empty log with an engine that
+// cannot replay it is refused (see RecorderConfig.Engine); the check
+// runs against a read-only scan before the log is opened, so a refusal
+// leaves the directory untouched — no repair, no fresh segment, and no
+// file growth when a supervisor retries the same misconfiguration.
 func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if _, canReplay := cfg.Engine.(Replayer); !canReplay {
+		found, err := hasJournaledRecords(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			return nil, fmt.Errorf("wal: %s engine cannot replay the records journaled in %s "+
+				"(it does not implement wal.Replayer); restarting it fresh would discard the "+
+				"pre-crash voting record and risk equivocation — use an empty directory to start over",
+				cfg.Engine.Protocol(), cfg.Dir)
+		}
+	}
 	log, rec, err := Open(cfg.Dir, cfg.Options)
 	if err != nil {
 		return nil, err
 	}
-	return &Recorder{eng: cfg.Engine, log: log, rec: rec}, nil
+	return &Recorder{eng: cfg.Engine, log: log, rec: rec,
+		continueOnErr: cfg.ContinueOnError}, nil
 }
 
 // Recovered reports what Open found on disk (records are released after
@@ -153,6 +187,7 @@ func (r *Recorder) Metrics() map[string]int64 {
 	m["wal_replayed_records"] = r.replayedRecords
 	m["wal_replayed_blocks"] = r.replayedCommits
 	m["wal_errors"] = r.walErrs
+	m["wal_suppressed_sends"] = r.suppressed
 	return m
 }
 
@@ -169,19 +204,24 @@ func (r *Recorder) Crash() { r.log.Crash() }
 // sends them (the node applies actions after this returns, and — unless
 // SyncPolicy.NoForceOwn — the group is forced to disk before any
 // own-signature message is released, the classic force-log-before-
-// externalize rule), commits as decisions.
+// externalize rule), commits as decisions. If an own record cannot be
+// made durable — the append or the forced sync fails — the own-signature
+// messages of the batch are dropped from the returned actions (unless
+// ContinueOnError): a vote the journal never saw must not reach the
+// network, or a restart could re-decide it differently and equivocate.
+// Going silent is ordinary crash-fault behavior the protocol tolerates.
 func (r *Recorder) record(acts []protocol.Action) []protocol.Action {
-	ownAppended := false
+	ownAppended, ownDurable := false, true
 	for _, a := range acts {
 		switch act := a.(type) {
 		case protocol.Broadcast:
 			if loggedOwn(act.Msg) {
-				r.append(Record{Kind: KindOwn, Msg: act.Msg})
+				ownDurable = r.append(Record{Kind: KindOwn, Msg: act.Msg}) && ownDurable
 				ownAppended = true
 			}
 		case protocol.Send:
 			if loggedOwn(act.Msg) {
-				r.append(Record{Kind: KindOwn, Msg: act.Msg})
+				ownDurable = r.append(Record{Kind: KindOwn, Msg: act.Msg}) && ownDurable
 				ownAppended = true
 			}
 		case protocol.Commit:
@@ -203,17 +243,47 @@ func (r *Recorder) record(acts []protocol.Action) []protocol.Action {
 		// whole pending group.
 		if err := r.log.Sync(); err != nil {
 			r.walErrs++
+			ownDurable = false
 		}
+	}
+	if ownAppended && !ownDurable && !r.continueOnErr {
+		return r.suppressOwn(acts)
 	}
 	return acts
 }
 
-func (r *Recorder) append(rec Record) {
-	if err := r.log.Append(rec); err != nil {
-		// The replica keeps running without durability rather than halting
-		// consensus; the error is surfaced through Metrics and Err.
-		r.walErrs++
+// suppressOwn strips own-signature sends from an action batch whose
+// journal write failed; everything else (commits, timers) still reaches
+// the host.
+func (r *Recorder) suppressOwn(acts []protocol.Action) []protocol.Action {
+	kept := make([]protocol.Action, 0, len(acts))
+	for _, a := range acts {
+		switch act := a.(type) {
+		case protocol.Broadcast:
+			if loggedOwn(act.Msg) {
+				r.suppressed++
+				continue
+			}
+		case protocol.Send:
+			if loggedOwn(act.Msg) {
+				r.suppressed++
+				continue
+			}
+		}
+		kept = append(kept, a)
 	}
+	return kept
+}
+
+// append journals one record, reporting whether it is (or will be, under
+// the group-commit window) durable. Errors are counted and left sticky
+// in the log; record() decides whether the batch may still externalize.
+func (r *Recorder) append(rec Record) bool {
+	if err := r.log.Append(rec); err != nil {
+		r.walErrs++
+		return false
+	}
+	return true
 }
 
 // Err returns the log's sticky I/O error, if any.

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"errors"
+	"os"
 	"testing"
 	"time"
 
@@ -164,6 +166,197 @@ func TestRecorderForcesOwnBeforeSend(t *testing.T) {
 	if len(recovery2.Records) != 0 {
 		t.Fatalf("NoForceOwn recovered %d records, want 0", len(recovery2.Records))
 	}
+}
+
+// plainEngine is a protocol.Engine that does NOT implement Replayer —
+// the shape of the baseline engines (hotstuff, streamlet).
+type plainEngine struct{ f *fakeEngine }
+
+func (p *plainEngine) ID() types.ReplicaID { return p.f.ID() }
+func (p *plainEngine) Protocol() string    { return "plain" }
+func (p *plainEngine) Start(now time.Time) []protocol.Action {
+	return p.f.Start(now)
+}
+func (p *plainEngine) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	return p.f.HandleMessage(from, msg, now)
+}
+func (p *plainEngine) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return p.f.HandleTimer(id, now)
+}
+func (p *plainEngine) Metrics() map[string]int64 { return p.f.Metrics() }
+
+// TestRecorderRefusesNonReplayerOverNonEmptyLog: an engine that cannot
+// replay must not silently restart fresh over a journal holding a
+// voting record — the network may still hold the pre-crash votes, so a
+// fresh round 1 can re-vote them differently (equivocation). NewRecorder
+// must refuse; an empty log stays fine; the refused log is untouched.
+func TestRecorderRefusesNonReplayerOverNonEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(100, 0)
+	eng := &fakeEngine{}
+	rec, err := NewRecorder(RecorderConfig{Dir: dir, Engine: eng,
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(now)
+	eng.actions = []protocol.Action{protocol.Broadcast{Msg: voteMsg(1)}}
+	rec.HandleMessage(1, voteMsg(1), now)
+	rec.Crash()
+
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRecorder(RecorderConfig{Dir: dir, Engine: &plainEngine{f: &fakeEngine{}},
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}}); err == nil {
+		t.Fatal("non-Replayer engine accepted over a non-empty log")
+	}
+	// The refusal happens before the log is opened: no repair, no fresh
+	// segment — a supervisor crash-looping on this misconfiguration must
+	// not grow the directory.
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("refused NewRecorder mutated the directory: %d -> %d entries", len(before), len(after))
+	}
+
+	// An empty directory is fine: the plain engine starts fresh and the
+	// log records.
+	rec2, err := NewRecorder(RecorderConfig{Dir: t.TempDir(), Engine: &plainEngine{f: &fakeEngine{}},
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatalf("non-Replayer engine refused over an empty log: %v", err)
+	}
+	rec2.Close()
+
+	// The refusal must not have damaged the journal: a Replayer engine
+	// still recovers everything.
+	rec3, err := NewRecorder(RecorderConfig{Dir: dir, Engine: &fakeEngine{},
+		Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec3.Close()
+	if got := rec3.Recovered(); got.Truncated || len(got.Records) != 2 {
+		t.Fatalf("after refusal recovered %d records (truncated=%v), want 2", len(got.Records), got.Truncated)
+	}
+}
+
+// countSends tallies own-signature Broadcast/Send actions in a batch.
+func countSends(acts []protocol.Action) int {
+	n := 0
+	for _, a := range acts {
+		switch a.(type) {
+		case protocol.Broadcast, protocol.Send:
+			n++
+		}
+	}
+	return n
+}
+
+// TestRecorderSuppressesSendsOnWALError: once the log cannot make an own
+// vote durable, the vote must not reach the transport — the replica goes
+// silent (crash-faulty) instead of running with a journal that
+// under-reports what the network saw, which is the equivocation window
+// the WAL exists to close. Commits still reach the host, the error is
+// visible in metrics, and ContinueOnError opts back into the old
+// behavior.
+func TestRecorderSuppressesSendsOnWALError(t *testing.T) {
+	now := time.Unix(100, 0)
+	batch := func() []protocol.Action {
+		return []protocol.Action{
+			protocol.Broadcast{Msg: voteMsg(2)},
+			protocol.Send{To: 1, Msg: voteMsg(2)},
+			protocol.Commit{Blocks: []*types.Block{types.Genesis()}, Explicit: protocol.FinalizeSlow},
+		}
+	}
+	stick := func(r *Recorder) {
+		r.log.mu.Lock()
+		r.log.err = errors.New("disk gone")
+		r.log.mu.Unlock()
+	}
+
+	t.Run("sticky error drops own sends", func(t *testing.T) {
+		eng := &fakeEngine{}
+		rec, err := NewRecorder(RecorderConfig{Dir: t.TempDir(), Engine: eng,
+			Options: Options{Sync: SyncPolicy{EveryRecord: true}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Crash()
+		rec.Start(now)
+		stick(rec)
+		eng.actions = batch()
+		acts := rec.HandleMessage(1, voteMsg(2), now)
+		if n := countSends(acts); n != 0 {
+			t.Fatalf("%d own sends externalized after WAL error, want 0 (%v)", n, acts)
+		}
+		var commits int
+		for _, a := range acts {
+			if _, ok := a.(protocol.Commit); ok {
+				commits++
+			}
+		}
+		if commits != 1 {
+			t.Fatalf("commit dropped with the sends: %v", acts)
+		}
+		m := rec.Metrics()
+		if m["wal_suppressed_sends"] != 2 || m["wal_errors"] == 0 {
+			t.Fatalf("metrics = suppressed %d, errors %d; want 2 and > 0",
+				m["wal_suppressed_sends"], m["wal_errors"])
+		}
+		if rec.Err() == nil {
+			t.Fatal("sticky error not surfaced through Err")
+		}
+	})
+
+	t.Run("forced group sync failure drops own sends", func(t *testing.T) {
+		eng := &fakeEngine{}
+		rec, err := NewRecorder(RecorderConfig{Dir: t.TempDir(), Engine: eng,
+			Options: Options{Sync: SyncPolicy{Interval: time.Hour, Bytes: 1 << 30}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Crash()
+		rec.Start(now)
+		// Close the segment file underneath the log: the append lands in
+		// the bufio buffer without error, and the failure only surfaces in
+		// the forced pre-send flush+fsync — exactly the path that must not
+		// release the vote.
+		rec.log.f.Close()
+		eng.actions = batch()
+		acts := rec.HandleMessage(1, voteMsg(2), now)
+		if n := countSends(acts); n != 0 {
+			t.Fatalf("%d own sends externalized after failed forced sync, want 0", n)
+		}
+		if rec.Err() == nil {
+			t.Fatal("sync failure not sticky")
+		}
+	})
+
+	t.Run("ContinueOnError keeps sending", func(t *testing.T) {
+		eng := &fakeEngine{}
+		rec, err := NewRecorder(RecorderConfig{Dir: t.TempDir(), Engine: eng,
+			Options:         Options{Sync: SyncPolicy{EveryRecord: true}},
+			ContinueOnError: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Crash()
+		rec.Start(now)
+		stick(rec)
+		eng.actions = batch()
+		acts := rec.HandleMessage(1, voteMsg(2), now)
+		if n := countSends(acts); n != 2 {
+			t.Fatalf("%d own sends with ContinueOnError, want 2", n)
+		}
+		if m := rec.Metrics(); m["wal_errors"] == 0 {
+			t.Fatal("error not counted under ContinueOnError")
+		}
+	})
 }
 
 // TestRecorderReplayFiltersActions: replay must surface commits and

@@ -14,11 +14,17 @@
 // with the payload encoding in record.go. Recovery scans segments in
 // order and stops at the first frame that is truncated, oversized, fails
 // its CRC, or does not decode — everything before it is the durable
-// prefix, everything after it is discarded. A torn write at the tail
-// therefore loses at most the records of the last unsynced group; it can
-// never resurrect garbage, and replay re-verifies every signature a
-// record carries, so a corrupted-but-CRC-valid entry cannot smuggle a
-// forged vote into the engine either.
+// prefix, everything after it is discarded. Open then repairs the log:
+// the damaged segment is truncated to its valid prefix and any later
+// segments are emptied (their bytes kept aside as *.seg.corrupt for
+// forensics), so segments appended
+// by this and subsequent runs extend a clean chain — without the repair,
+// a torn frame left by run 1 would permanently fence off everything run
+// 2 journals after it. A torn write at the tail therefore loses at most
+// the records of the last unsynced group; it can never resurrect
+// garbage, and replay re-verifies every signature a record carries, so a
+// corrupted-but-CRC-valid entry cannot smuggle a forged vote into the
+// engine either.
 //
 // # Group commit
 //
@@ -122,6 +128,10 @@ type Recovery struct {
 	// Truncated reports that scanning stopped at an invalid frame (torn
 	// write, bad CRC, or undecodable payload) before the end of the data.
 	Truncated bool
+	// Repaired reports that Open truncated the damaged segment to its
+	// valid prefix (and emptied any later segments, keeping their bytes
+	// as *.seg.corrupt) so future appends extend a clean chain.
+	Repaired bool
 }
 
 // Log is an append-only write-ahead log over one directory. Append,
@@ -189,7 +199,12 @@ func segIndex(name string) (uint64, bool) {
 
 // recover scans existing segments in index order, decoding records until
 // the first invalid frame anywhere (records after a corruption cannot be
-// trusted to be in order, so the scan stops for good).
+// trusted to be in order, so the scan stops for good). It then repairs
+// the directory: the damaged segment is truncated to its valid prefix
+// and every later segment is quarantined, so the durable prefix on disk
+// matches what was recovered and segments appended by this run remain
+// reachable by the next recovery instead of being fenced off behind the
+// old torn frame.
 func recoverDir(dir string) (*Recovery, uint64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -204,51 +219,175 @@ func recoverDir(dir string) (*Recovery, uint64, error) {
 	sort.Slice(indexes, func(i, j int) bool { return indexes[i] < indexes[j] })
 	rec := &Recovery{}
 	var last uint64
+	var badIndex uint64 // segment holding the first invalid frame
+	var badLen int      // its valid prefix length in bytes
+	var quarantine []uint64
 	for _, idx := range indexes {
 		if idx > last {
 			last = idx
 		}
 		if rec.Truncated {
-			continue // a prior segment was corrupt; later data is untrusted
+			// A prior segment was corrupt; later data is untrusted.
+			quarantine = append(quarantine, idx)
+			continue
 		}
 		rec.Segments++
 		data, err := os.ReadFile(filepath.Join(dir, segName(idx)))
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: %w", err)
 		}
-		rec.Truncated = !scanSegment(data, &rec.Records)
+		validLen, clean := scanSegment(data, &rec.Records)
+		if !clean {
+			rec.Truncated = true
+			badIndex, badLen = idx, validLen
+		}
+	}
+	if rec.Truncated {
+		if err := repairTail(dir, badIndex, badLen, quarantine); err != nil {
+			return nil, 0, err
+		}
+		rec.Repaired = true
 	}
 	return rec, last, nil
 }
 
-// scanSegment appends a segment's valid record prefix to out and reports
-// whether the segment was consumed cleanly to its end.
-func scanSegment(data []byte, out *[]Record) (clean bool) {
+// repairTail quarantines everything after the corruption point, then
+// truncates the damaged segment to its valid record prefix. The bytes
+// being discarded are first copied aside to *.seg.corrupt (best-effort
+// forensics); the live *.seg files themselves are truncated in place —
+// later segments to zero length, which scans clean — rather than
+// renamed, so the repair's correctness rests only on file fsyncs and
+// never on directory fsync, which some filesystems refuse or reorder.
+// Ordering is what makes an interrupted repair safe: the torn frame in
+// the damaged segment is the marker that a repair is owed, so every
+// later segment is durably emptied before that marker is erased. A
+// crash mid-repair leaves the marker in place and the next Open redoes
+// the repair; the reverse order could leave a cleanly-truncated
+// damaged segment followed by discarded-but-CRC-valid segments that
+// the next scan would wrongly accept as the voting record.
+func repairTail(dir string, badIndex uint64, validLen int, later []uint64) error {
+	for _, idx := range later {
+		path := filepath.Join(dir, segName(idx))
+		quarantineCopy(path)
+		if err := truncateSync(path, 0); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(dir, segName(badIndex))
+	quarantineCopy(path)
+	if err := truncateSync(path, int64(validLen)); err != nil {
+		return err
+	}
+	syncDir(dir) // best-effort durability for the forensic copies
+	return nil
+}
+
+// quarantineCopy preserves path's current bytes as path+".corrupt" for
+// forensics before the repair truncates them away. Best-effort on both
+// sides: it never overwrites an earlier copy (a redone repair would
+// only have already-truncated bytes to offer), and failures do not
+// block the repair — the copy plays no role in correctness.
+func quarantineCopy(path string) {
+	dst := path + ".corrupt"
+	if _, err := os.Lstat(dst); err == nil {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	os.WriteFile(dst, data, 0o644) //nolint:errcheck
+}
+
+// truncateSync truncates path to size and forces the change to disk
+// before returning.
+func truncateSync(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: repair: %w", err)
+	}
+	if terr := f.Truncate(size); terr == nil {
+		err = f.Sync()
+	} else {
+		err = terr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: repair: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory. Errors are ignored: some filesystems
+// reject fsync on directories, and nothing correctness-critical depends
+// on it — repair durability rides on per-file fsyncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}
+
+// hasJournaledRecords reports whether any segment in dir holds at least
+// one valid record. Purely read-only — no repair, no segment creation —
+// so callers can probe a directory before deciding to Open it. A
+// missing directory simply has no records.
+func hasJournaledRecords(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		if _, ok := segIndex(e.Name()); !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return false, fmt.Errorf("wal: %w", err)
+		}
+		var recs []Record
+		scanSegment(data, &recs)
+		if len(recs) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// scanSegment appends a segment's valid record prefix to out, returning
+// the prefix's byte length and whether the segment was consumed cleanly
+// to its end.
+func scanSegment(data []byte, out *[]Record) (validLen int, clean bool) {
 	if len(data) < len(segMagic) || [8]byte(data[:8]) != segMagic {
-		return len(data) == 0
+		return 0, len(data) == 0
 	}
 	off := len(segMagic)
 	for off < len(data) {
 		if off+8 > len(data) {
-			return false // torn frame header
+			return off, false // torn frame header
 		}
 		n := binary.LittleEndian.Uint32(data[off : off+4])
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if n == 0 || n > maxRecordLen || off+8+int(n) > len(data) {
-			return false // bogus length or torn payload
+			return off, false // bogus length or torn payload
 		}
 		payload := data[off+8 : off+8+int(n)]
 		if crc32.Checksum(payload, castagnoli) != sum {
-			return false // bit rot or torn write inside the frame
+			return off, false // bit rot or torn write inside the frame
 		}
 		r, err := decodeRecord(payload)
 		if err != nil {
-			return false // CRC-valid but not a record we understand
+			return off, false // CRC-valid but not a record we understand
 		}
 		*out = append(*out, r)
 		off += 8 + int(n)
 	}
-	return true
+	return off, true
 }
 
 func (l *Log) openSegment(index uint64) error {
@@ -404,7 +543,13 @@ func (l *Log) shutdown(flush bool) error {
 // once per interval while the log is dirty.
 func (l *Log) syncLoop() {
 	defer l.wg.Done()
+	// Create the timer pre-drained: under go < 1.23 a Reset on a fired,
+	// undrained timer would leave the stale initial tick in timer.C and
+	// collapse the first group's window to zero.
 	timer := time.NewTimer(l.opts.Sync.Interval)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	defer timer.Stop()
 	for {
 		select {

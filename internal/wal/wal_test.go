@@ -306,6 +306,126 @@ func TestCorruptMiddleSegmentStopsRecovery(t *testing.T) {
 	}
 }
 
+// TestTornTailRepairedAcrossRestarts is the crash→restart→crash→restart
+// scenario: run 1 leaves a torn frame at its tail; run 2 recovers, gets
+// the tail repaired, and journals new records into the next segment; run
+// 3 must recover run 2's records. Without the Open-time repair, run 3's
+// scan would stop at run 1's torn frame and silently skip everything run
+// 2 made durable — forgetting votes the network saw.
+func TestTornTailRepairedAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(20)
+
+	// Run 1: 10 records, then a torn frame at the tail (as a mid-record
+	// buffer flush before a power loss would leave).
+	l1, _ := openT(t, dir, Options{})
+	appendAll(t, l1, recs[:10])
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(bytes.Clone(data), 0x99, 0, 0, 0, 0xde, 0xad) // partial frame header
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: recovery truncates, repair cleans the tail, new records land
+	// in the next segment.
+	l2, rec2 := openT(t, dir, Options{})
+	if !rec2.Truncated || !rec2.Repaired {
+		t.Fatalf("run 2: truncated=%v repaired=%v, want both", rec2.Truncated, rec2.Repaired)
+	}
+	if len(rec2.Records) != 10 {
+		t.Fatalf("run 2 recovered %d records, want 10", len(rec2.Records))
+	}
+	if fixed, err := os.ReadFile(seg); err != nil || !bytes.Equal(fixed, data) {
+		t.Fatalf("damaged segment not truncated to its valid prefix (err=%v)", err)
+	}
+	appendAll(t, l2, recs[10:])
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 3: everything durable so far — run 1's valid prefix AND run 2's
+	// records — must come back, with no truncation report.
+	l3, rec3 := openT(t, dir, Options{})
+	defer l3.Close()
+	if rec3.Truncated || rec3.Repaired {
+		t.Fatalf("run 3: truncated=%v repaired=%v after repair, want clean", rec3.Truncated, rec3.Repaired)
+	}
+	if len(rec3.Records) != len(recs) {
+		t.Fatalf("run 3 recovered %d records, want %d (run 2's records fenced off?)",
+			len(rec3.Records), len(recs))
+	}
+	checkPrefix(t, recs, rec3.Records)
+}
+
+// TestRepairQuarantinesLaterSegments: when corruption sits in a middle
+// segment, repair must empty every later segment (preserving its bytes
+// as *.seg.corrupt) so the next run's appends extend the clean prefix —
+// and the next recovery must be clean and byte-stable.
+func TestRepairQuarantinesLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(40)
+	l, _ := openT(t, dir, Options{SegmentBytes: 512})
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{SegmentBytes: 512})
+	if !rec.Repaired {
+		t.Fatal("repair not reported")
+	}
+	recovered := len(rec.Records)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every discarded byte range leaves a forensic copy: the damaged
+	// segment plus each later segment.
+	quarantined, err := filepath.Glob(filepath.Join(dir, "wal-*.seg.corrupt"))
+	if err != nil || len(quarantined) != len(segs)-1 {
+		t.Fatalf("quarantined %d segments, want %d (err=%v)", len(quarantined), len(segs)-1, err)
+	}
+	// The later live segments themselves are durably empty, which scans
+	// clean; only file fsyncs — no directory rename — back the repair.
+	for _, s := range segs[2:] {
+		fi, err := os.Stat(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != 0 {
+			t.Fatalf("later segment %s not emptied (size=%d)", s, fi.Size())
+		}
+	}
+
+	l3, rec3 := openT(t, dir, Options{SegmentBytes: 512})
+	defer l3.Close()
+	if rec3.Truncated || rec3.Repaired {
+		t.Fatalf("post-repair open: truncated=%v repaired=%v, want clean", rec3.Truncated, rec3.Repaired)
+	}
+	if len(rec3.Records) != recovered {
+		t.Fatalf("post-repair open recovered %d records, want the stable %d", len(rec3.Records), recovered)
+	}
+	checkPrefix(t, recs, rec3.Records)
+}
+
 // TestBogusLengthPrefix: a frame announcing an absurd length must stop
 // recovery without attempting the allocation.
 func TestBogusLengthPrefix(t *testing.T) {
@@ -318,7 +438,7 @@ func TestBogusLengthPrefix(t *testing.T) {
 	// Append a frame header claiming 1 GiB.
 	data = append(data, 0, 0, 0, 0x40, 0xde, 0xad, 0xbe, 0xef)
 	var got []Record
-	if clean := scanSegment(data, &got); clean {
+	if _, clean := scanSegment(data, &got); clean {
 		t.Fatal("bogus frame accepted as clean")
 	}
 	if len(got) != len(recs) {

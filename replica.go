@@ -70,6 +70,10 @@ type ReplicaConfig struct {
 	// replica's own signed messages (see wal.SyncPolicy.NoForceOwn):
 	// faster, but a crash may forget a vote the network already saw.
 	WALNoForceOwn bool
+	// WALContinueOnError keeps sending own votes after a WAL write error
+	// instead of failing safe by going silent (see
+	// wal.RecorderConfig.ContinueOnError).
+	WALContinueOnError bool
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -195,9 +199,10 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	hosted := eng
 	if cfg.WALDir != "" {
 		rec, err := wal.NewRecorder(wal.RecorderConfig{
-			Dir:     cfg.WALDir,
-			Engine:  eng,
-			Options: cfg.walOptions(),
+			Dir:             cfg.WALDir,
+			Engine:          eng,
+			Options:         cfg.walOptions(),
+			ContinueOnError: cfg.WALContinueOnError,
 		})
 		if err != nil {
 			tr.Close()
