@@ -79,6 +79,46 @@ type ClusterConfig struct {
 	// instead of failing safe by going silent (see
 	// wal.RecorderConfig.ContinueOnError).
 	WALContinueOnError bool
+	// WALCheckpointRounds controls WAL checkpointing: every this many
+	// finalized rounds the replica journals an engine snapshot and
+	// truncates the log behind it, so restart replay and disk usage stay
+	// O(window) instead of growing with uptime. Zero selects the default
+	// (16 rounds, matching the engine's pruning window); negative
+	// disables checkpointing (append-only log, full replay). Note that a
+	// replica restarted from a checkpoint re-delivers commits only from
+	// the checkpoint window onward — the application is assumed to have
+	// durably applied (or snapshotted) everything the checkpoint
+	// summarizes.
+	WALCheckpointRounds int
+}
+
+// defaultWALCheckpointRounds matches the engine's default PruneKeep, so
+// replay work after a checkpointed restart is the same order as the
+// engine's own in-memory retention.
+const defaultWALCheckpointRounds = 16
+
+// walCheckpointEvery resolves the WALCheckpointRounds knob.
+func walCheckpointEvery(rounds int) types.Round {
+	switch {
+	case rounds < 0:
+		return 0
+	case rounds == 0:
+		return defaultWALCheckpointRounds
+	default:
+		return types.Round(rounds)
+	}
+}
+
+// checkpointEveryFor gates checkpointing on the engine's capability:
+// only the Banyan core engine implements protocol.Snapshotter; the
+// baseline engines run their WAL append-only.
+func checkpointEveryFor(proto Protocol, rounds int) types.Round {
+	switch proto {
+	case ProtocolBanyan, ProtocolBanyanNoFast:
+		return walCheckpointEvery(rounds)
+	default:
+		return 0
+	}
 }
 
 // walOptions converts the ClusterConfig knobs to wal.Options.
@@ -231,6 +271,7 @@ func (c *Cluster) buildReplica(i int) error {
 			Engine:          eng,
 			Options:         c.cfg.walOptions(),
 			ContinueOnError: c.cfg.WALContinueOnError,
+			CheckpointEvery: checkpointEveryFor(c.cfg.Protocol, c.cfg.WALCheckpointRounds),
 		})
 		if err != nil {
 			return err

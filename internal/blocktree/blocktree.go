@@ -197,6 +197,45 @@ func (t *Tree) Finalize(id types.BlockID) ([]*types.Block, error) {
 	return chain, nil
 }
 
+// RestoreFinalized seeds a fresh tree from a finalized chain window
+// recovered from a WAL checkpoint: blocks in ascending round order,
+// contiguous by parent links. Every block is stored, marked notarized
+// and finalized (finalized blocks are both by definition), and the
+// finalized height advances to the window's tip, so a later Finalize
+// whose chain joins the restored tip succeeds exactly as it would have
+// on the pre-crash tree. The window's oldest parent is allowed to be
+// absent — history below the checkpoint floor is gone by design, and
+// finalizations that would need it surface as ErrMissingAncestor (the
+// sync subprotocol's cue), never as silent acceptance.
+//
+// Restore is only valid on a tree that has seen no blocks beyond genesis;
+// restoring onto a populated tree is a programming error and is refused.
+func (t *Tree) RestoreFinalized(chain []*types.Block) error {
+	if len(t.blocks) > 1 || t.finalizedRound != 0 {
+		return errors.New("blocktree: RestoreFinalized on a non-empty tree")
+	}
+	for i, b := range chain {
+		if b == nil {
+			return fmt.Errorf("blocktree: restore chain has nil block at %d", i)
+		}
+		if i > 0 {
+			prev := chain[i-1]
+			if b.Parent != prev.ID() || b.Round <= prev.Round {
+				return fmt.Errorf("blocktree: restore chain breaks at round %d", b.Round)
+			}
+		}
+		id := b.ID()
+		t.blocks[id] = b
+		t.byRound[b.Round] = append(t.byRound[b.Round], id)
+		t.notarized[id] = true
+		t.finalized[b.Round] = id
+		if b.Round > t.finalizedRound {
+			t.finalizedRound = b.Round
+		}
+	}
+	return nil
+}
+
 // Length returns the number of chain edges from the block to genesis, or
 // -1 if the chain is not fully connected. Used by Streamlet's
 // longest-notarized-chain rule.

@@ -231,11 +231,18 @@ func (w *VoteWithholder) strip(acts []protocol.Action) []protocol.Action {
 		}
 		vm, ok := bc.Msg.(*types.VoteMsg)
 		if !ok {
-			// Strip fast votes riding on own proposals too.
+			// Strip fast votes riding on own proposals too. The copy is
+			// rebuilt field by field rather than by struct assignment so it
+			// cannot inherit the original's memoized wire encoding (which
+			// would still contain the fast vote being stripped).
 			if p, isProp := bc.Msg.(*types.Proposal); isProp && p.FastVote != nil {
-				cp := *p
-				cp.FastVote = nil
-				out = append(out, protocol.Broadcast{Msg: &cp})
+				cp := &types.Proposal{
+					Block:              p.Block,
+					ParentNotarization: p.ParentNotarization,
+					ParentUnlock:       p.ParentUnlock,
+					Relayed:            p.Relayed,
+				}
+				out = append(out, protocol.Broadcast{Msg: cp})
 				continue
 			}
 			out = append(out, a)

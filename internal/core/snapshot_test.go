@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// snapshotRig builds an engine plus a properly signed one-block chain
+// window and matching finalization certificate, so tests can assemble
+// both genuine and doctored snapshots.
+func snapshotRig(t *testing.T) (*rig, *types.Block, *types.Certificate) {
+	t.Helper()
+	params := types.Params{N: 4, F: 1, P: 1}
+	r := newRig(t, params, 0)
+	b := types.NewBlock(1, 1, 0, types.Genesis().ID(), types.BytesPayload([]byte("x")))
+	if err := r.signers[1].SignBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	var votes []types.Vote
+	for i := 0; i < params.FinalizationQuorum(); i++ {
+		votes = append(votes, r.signers[i].SignVote(types.VoteFinalize, 1, b.ID()))
+	}
+	cert, err := types.NewCertificate(types.CertFinalization, 1, b.ID(), votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, b, cert
+}
+
+// TestRestoreSnapshotRequiresFinalizationCert: a chain window of
+// validly proposer-signed blocks must NOT restore as finalized history
+// unless a quorum-verified finalization certificate covers its tip —
+// otherwise a doctored checkpoint could resurrect an abandoned fork as
+// the finalized chain.
+func TestRestoreSnapshotRequiresFinalizationCert(t *testing.T) {
+	r, b, cert := snapshotRig(t)
+
+	// No certificate at all.
+	r.eng.BeginReplay()
+	err := r.eng.RestoreSnapshot(&protocol.Snapshot{
+		Round: 2, FinalizedRound: 1, Chain: []*types.Block{b},
+	})
+	if err == nil || !strings.Contains(err.Error(), "finalization certificate") {
+		t.Fatalf("restore without certificate: got %v", err)
+	}
+
+	// Certificate for a different block at the tip round.
+	other := types.NewBlock(1, 2, 1, types.Genesis().ID(), types.BytesPayload([]byte("y")))
+	if err := r.signers[2].SignBlock(other); err != nil {
+		t.Fatal(err)
+	}
+	var votes []types.Vote
+	for i := 0; i < r.params.FinalizationQuorum(); i++ {
+		votes = append(votes, r.signers[i].SignVote(types.VoteFinalize, 1, other.ID()))
+	}
+	otherCert, err := types.NewCertificate(types.CertFinalization, 1, other.ID(), votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.eng.RestoreSnapshot(&protocol.Snapshot{
+		Round: 2, FinalizedRound: 1, Chain: []*types.Block{b},
+		Own: []types.Message{&types.CertMsg{Cert: otherCert}},
+	})
+	if err == nil {
+		t.Fatal("restore accepted a window whose tip the certificate does not name")
+	}
+
+	// Forged certificate (garbage signatures) naming the right block.
+	forged := &types.Certificate{Kind: types.CertFinalization, Round: 1, Block: b.ID(),
+		Signers: cert.Signers, Sigs: make([][]byte, len(cert.Sigs))}
+	for i := range forged.Sigs {
+		forged.Sigs[i] = []byte("forged")
+	}
+	err = r.eng.RestoreSnapshot(&protocol.Snapshot{
+		Round: 2, FinalizedRound: 1, Chain: []*types.Block{b},
+		Own: []types.Message{&types.CertMsg{Cert: forged}},
+	})
+	if err == nil {
+		t.Fatal("restore accepted a forged finalization certificate")
+	}
+
+	// The genuine snapshot restores.
+	err = r.eng.RestoreSnapshot(&protocol.Snapshot{
+		Round: 2, FinalizedRound: 1, Chain: []*types.Block{b},
+		Own: []types.Message{&types.CertMsg{Cert: cert}},
+	})
+	if err != nil {
+		t.Fatalf("genuine snapshot refused: %v", err)
+	}
+	if got := r.eng.Tree().FinalizedRound(); got != 1 {
+		t.Fatalf("restored finalized round %d, want 1", got)
+	}
+	if r.eng.Round() != 2 {
+		t.Fatalf("restored round %d, want 2", r.eng.Round())
+	}
+}
+
+// TestRestoreSnapshotRefusesBadBlockSignature: window blocks re-verify
+// their proposer signatures on restore.
+func TestRestoreSnapshotRefusesBadBlockSignature(t *testing.T) {
+	r, b, cert := snapshotRig(t)
+	bad := types.NewBlock(b.Round, b.Proposer, b.Rank, b.Parent, b.Payload)
+	bad.Signature = []byte("not a signature")
+	r.eng.BeginReplay()
+	err := r.eng.RestoreSnapshot(&protocol.Snapshot{
+		Round: 2, FinalizedRound: 1, Chain: []*types.Block{bad},
+		Own: []types.Message{&types.CertMsg{Cert: cert}},
+	})
+	if err == nil {
+		t.Fatal("restore accepted a window block with a bad proposer signature")
+	}
+}

@@ -51,14 +51,23 @@ func (s *Synthetic) NextPayload(round types.Round) types.Payload {
 // use: the node runtime calls NextPayload from the engine goroutine while
 // clients Submit from anywhere.
 //
+// Locking is split so client-facing Submit never stalls behind block
+// construction: the ingress mutex guards only the queue (Submit holds it
+// for an append), while NextPayload serializes builders on its own
+// mutex, claims the transactions that fit under a brief ingress
+// critical section (length arithmetic only), and assembles the batch —
+// the memcpy-heavy part — with the ingress lock released.
+//
 // Transactions are length-prefixed when batched into a payload; DecodeBatch
 // recovers them on commit.
 type Pool struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // ingress: guards txs and bytes
 	txs      [][]byte
 	bytes    int
 	maxBytes int // cap on buffered bytes; Submit fails beyond it
 	maxBlock int // cap on bytes drained into one payload
+
+	buildMu sync.Mutex // serializes NextPayload batch construction
 }
 
 var _ protocol.PayloadSource = (*Pool)(nil)
@@ -105,26 +114,38 @@ func (p *Pool) Len() int {
 // maxBlock bytes. An empty pool yields an empty payload (empty blocks keep
 // the chain growing, as in the paper's implementation).
 func (p *Pool) NextPayload(types.Round) types.Payload {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+
+	// Claim phase (ingress lock, O(claimed) integer work): decide how many
+	// transactions fit and detach them from the queue.
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.txs) == 0 {
-		return types.Payload{}
-	}
 	var (
-		batch []byte
-		used  int
+		used int
+		size int
 	)
 	for used < len(p.txs) {
 		tx := p.txs[used]
-		if len(batch)+4+len(tx) > p.maxBlock {
+		if size+4+len(tx) > p.maxBlock {
 			break
 		}
-		batch = binary.LittleEndian.AppendUint32(batch, uint32(len(tx)))
-		batch = append(batch, tx...)
+		size += 4 + len(tx)
 		p.bytes -= len(tx)
 		used++
 	}
+	claimed := p.txs[:used:used]
 	p.txs = p.txs[used:]
+	p.mu.Unlock()
+
+	if used == 0 {
+		return types.Payload{}
+	}
+	// Build phase (no ingress lock): one exact-size allocation, then copy.
+	batch := make([]byte, 0, size)
+	for _, tx := range claimed {
+		batch = binary.LittleEndian.AppendUint32(batch, uint32(len(tx)))
+		batch = append(batch, tx...)
+	}
 	return types.BytesPayload(batch)
 }
 

@@ -18,7 +18,11 @@ import (
 	"banyan/internal/types"
 )
 
-// Inbound is a message received from a peer.
+// Inbound is a message received from a peer. Msg may alias the
+// transport's receive buffer (the TCP transport decodes frames in place)
+// and, on in-process transports, may be the very object another replica
+// sent — both are safe because consensus messages are immutable after
+// construction and carry their own memoized digests and encodings.
 type Inbound struct {
 	From types.ReplicaID
 	Msg  types.Message

@@ -63,6 +63,12 @@ type Transport struct {
 	inbound  chan node.Inbound
 	closedCh chan struct{} // closed on Close; unblocks reader goroutines
 
+	// peerList is the fixed fan-out set, built once in New: Broadcast
+	// iterates it without taking the lock or allocating (the peer set
+	// never changes after construction; only the connections behind the
+	// queues come and go).
+	peerList []*peer
+
 	mu      sync.Mutex
 	peers   map[types.ReplicaID]*peer
 	conns   map[net.Conn]bool // accepted connections, closed on Close
@@ -112,6 +118,7 @@ func New(cfg Config) (*Transport, error) {
 		}
 		p := &peer{id: id, addr: addr, out: make(chan []byte, cfg.QueueLen)}
 		t.peers[id] = p
+		t.peerList = append(t.peerList, p)
 		t.wg.Add(1)
 		go t.dialLoop(p)
 	}
@@ -150,24 +157,17 @@ func (t *Transport) Send(to types.ReplicaID, msg types.Message) error {
 	return nil
 }
 
-// Broadcast implements node.Transport: the message is encoded once and
-// queued to every peer.
+// Broadcast implements node.Transport: the message is encoded into one
+// frame (a single exact-size allocation) shared by every peer queue.
 func (t *Transport) Broadcast(msg types.Message) error {
 	frame, err := encodeFrame(msg)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.isClosed() {
 		return errors.New("tcp: transport closed")
 	}
-	peers := make([]*peer, 0, len(t.peers))
-	for _, p := range t.peers {
-		peers = append(peers, p)
-	}
-	t.mu.Unlock()
-	for _, p := range peers {
+	for _, p := range t.peerList {
 		t.enqueue(p, frame)
 	}
 	return nil
@@ -330,7 +330,12 @@ func (t *Transport) readLoop(conn net.Conn) {
 			t.logf("tcp: read frame from %d: %v", from, err)
 			return
 		}
-		msg, err := types.DecodeMessage(buf)
+		// Zero-copy decode: buf is freshly allocated per frame and handed
+		// to the message outright (never reused by this loop), so decoded
+		// byte fields alias it instead of copying, and the WAL can journal
+		// the received bytes without re-encoding. See DecodeMessageInPlace
+		// for the ownership contract.
+		msg, err := types.DecodeMessageInPlace(buf)
 		if err != nil {
 			t.logf("tcp: decode from %d: %v", from, err)
 			return
@@ -349,14 +354,30 @@ func (t *Transport) readLoop(conn net.Conn) {
 	}
 }
 
+// encodeFrame builds a length-prefixed frame in one exact-size
+// allocation and installs the frame body as the message's cached
+// encoding, so a later consumer of the same message (the WAL journaling
+// an own broadcast, a unicast Send after a Broadcast) reuses the bytes
+// instead of re-encoding. The frame is immutable once built — it is
+// shared by every peer queue — which is what makes the alias safe.
+// Caching is single-writer by construction: frames are only encoded on
+// the goroutine that owns the message (the node's event loop).
 func encodeFrame(msg types.Message) ([]byte, error) {
-	body, err := types.EncodeMessage(msg)
+	size := msg.EncodedSize()
+	frame := make([]byte, 4, 4+size)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(size))
+	frame, err := types.AppendMessage(frame, msg)
 	if err != nil {
 		return nil, err
 	}
-	frame := make([]byte, 4+len(body))
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(body)))
-	copy(frame[4:], body)
+	if len(frame)-4 != size {
+		// The prefix was written from the EncodedSize prediction; if an
+		// implementation ever lets it drift from the appended bytes, fail
+		// the send here rather than ship a mis-framed stream that tears
+		// down the peer connection with no local clue.
+		return nil, fmt.Errorf("tcp: %T EncodedSize %d != encoded length %d", msg, size, len(frame)-4)
+	}
+	types.SetCachedEncoding(msg, frame[4:len(frame):len(frame)])
 	return frame, nil
 }
 

@@ -1,0 +1,157 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEncodedSizeExact checks EncodedSize equals the encoded length for
+// every message kind and payload representation — the property the
+// one-allocation encode path and the pooled frame writers rely on.
+func TestEncodedSizeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	msgs := []Message{
+		&SyncRequest{From: 3, To: 99},
+		&SyncResponse{},
+	}
+	for i := 0; i < 200; i++ {
+		fv := randomVote(r)
+		p := &Proposal{Block: randomBlock(r), Relayed: r.Intn(2) == 0}
+		if r.Intn(2) == 0 {
+			p.ParentNotarization = randomCert(r)
+		}
+		if r.Intn(2) == 0 {
+			p.ParentUnlock = randomUnlock(r)
+		}
+		if r.Intn(2) == 0 {
+			p.FastVote = &fv
+		}
+		msgs = append(msgs,
+			p,
+			&VoteMsg{Votes: []Vote{randomVote(r), randomVote(r)}},
+			&CertMsg{Cert: randomCert(r)},
+			&Advance{Notarization: randomCert(r), Unlock: randomUnlock(r)},
+			&NewView{Round: Round(i), Sender: 1, HighQC: randomCert(r), Signature: []byte("sig")},
+			&SyncResponse{Blocks: []*Block{randomBlock(r)}, Finalization: randomCert(r)},
+		)
+	}
+	for _, m := range msgs {
+		enc, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.EncodedSize(), len(enc); got != want {
+			t.Fatalf("%T: EncodedSize %d != encoded length %d", m, got, want)
+		}
+	}
+}
+
+// TestCachedEncodingStable checks the memoized encoding matches a fresh
+// encode, survives repeated calls, and is installed by the in-place
+// decoder.
+func TestCachedEncodingStable(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m := &VoteMsg{Votes: []Vote{randomVote(r), randomVote(r)}}
+	fresh, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := CachedEncoding(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := CachedEncoding(m)
+	if !bytes.Equal(fresh, c1) || &c1[0] != &c2[0] {
+		t.Fatal("cached encoding not stable or not equal to fresh encode")
+	}
+	// EncodeMessage and AppendMessage must reuse the cache.
+	e, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &e[0] != &c1[0] {
+		t.Fatal("EncodeMessage did not return the cached encoding")
+	}
+	app, err := AppendMessage(make([]byte, 0, len(c1)), m)
+	if err != nil || !bytes.Equal(app, c1) {
+		t.Fatalf("AppendMessage mismatch: %v", err)
+	}
+
+	// In-place decode retains the input as the cache.
+	dec, err := DecodeMessageInPlace(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CachedEncoding(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &fresh[0] {
+		t.Fatal("DecodeMessageInPlace did not install the input as cached encoding")
+	}
+}
+
+// TestDecodeMessageInPlaceAliases checks aliasing mode really is
+// zero-copy (slices point into the input) and still round-trips.
+func TestDecodeMessageInPlaceAliases(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	m := &VoteMsg{Votes: []Vote{randomVote(r)}}
+	enc := mustEncode(m)
+	dec, err := DecodeMessageInPlace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := dec.(*VoteMsg).Votes[0].Signature
+	if len(sig) == 0 {
+		t.Fatal("fixture vote has no signature")
+	}
+	aliased := false
+	for i := range enc {
+		if &enc[i] == &sig[0] {
+			aliased = true
+			break
+		}
+	}
+	if !aliased {
+		t.Fatal("decoded signature does not alias the input buffer")
+	}
+}
+
+// TestAllocRegressionEncode gates the steady-state allocation budget of
+// the encode hot path: one exact-size allocation for a fresh encode,
+// zero for an append into pre-reserved capacity, zero for a cached
+// re-encode. A failure here means the zero-allocation pipeline regressed.
+func TestAllocRegressionEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	m := &VoteMsg{Votes: []Vote{randomVote(r), randomVote(r)}}
+
+	if n := testing.AllocsPerRun(200, func() {
+		m.enc = nil // white-box: force a fresh encode each run
+		if _, err := EncodeMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 { // exactly the one exact-size output buffer
+		t.Errorf("EncodeMessage: %v allocs/op, budget 1", n)
+	}
+
+	buf := make([]byte, 0, m.EncodedSize())
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := AppendMessage(buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("AppendMessage into reserved capacity: %v allocs/op, budget 0", n)
+	}
+
+	if _, err := CachedEncoding(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := EncodeMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("EncodeMessage with cache: %v allocs/op, budget 0", n)
+	}
+}

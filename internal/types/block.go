@@ -70,6 +70,15 @@ func Genesis() *Block {
 // ID returns the block's SHA-256 header digest, computing and caching it on
 // first use. The digest covers round, proposer, rank, parent and the payload
 // digest — not the signature, which signs this digest.
+//
+// Caching contract: blocks are immutable once constructed (NewBlock +
+// SignBlock, or wire decode), and the first ID call must happen-before
+// any concurrent use of the block. Hosts satisfy this by construction —
+// a proposer hashes when signing, and a receiver's preverification stage
+// hashes (off the consensus goroutine, with a happens-before edge on the
+// hand-off) before the engine sees the block — so the engine, encoder,
+// and journal all read a warm cache instead of re-running SHA-256 at
+// propose, vote, certify, encode, and journal time.
 func (b *Block) ID() BlockID {
 	if !b.hashed {
 		b.id = b.computeID()

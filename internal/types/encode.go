@@ -47,10 +47,15 @@ func (e *encoder) bool(v bool) {
 }
 
 // decoder consumes values from a buffer with a sticky error.
+//
+// In aliasing mode (alias true) decoded byte slices point into the input
+// buffer instead of being copied out; see DecodeMessageInPlace for the
+// ownership contract that makes this safe.
 type decoder struct {
-	data []byte
-	off  int
-	err  error
+	data  []byte
+	off   int
+	err   error
+	alias bool
 }
 
 func (d *decoder) fail(err error) {
@@ -137,6 +142,11 @@ func (d *decoder) bytes() []byte {
 	if b == nil {
 		return nil
 	}
+	if d.alias {
+		// Zero-copy: the slice aliases the input buffer, whose lifetime
+		// the caller has tied to the message (DecodeMessageInPlace).
+		return b[:n:n]
+	}
 	out := make([]byte, n)
 	copy(out, b)
 	return out
@@ -155,27 +165,46 @@ func (d *decoder) done() error {
 }
 
 // EncodeMessage serializes any consensus message, prefixed with its kind
-// tag. The inverse is DecodeMessage.
+// tag, in exactly one exact-size allocation (EncodedSize bytes). If the
+// message already carries a cached encoding (CachedEncoding,
+// DecodeMessageInPlace, or a transport frame built from it), that cache is
+// returned directly; treat the result as read-only. The inverse is
+// DecodeMessage.
 func EncodeMessage(m Message) ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, m.WireSize())}
+	if enc := cachedEncoding(m); enc != nil {
+		return enc, nil
+	}
+	return AppendMessage(make([]byte, 0, m.EncodedSize()), m)
+}
+
+// AppendMessage appends the wire encoding of m to buf and returns the
+// extended slice. Reserving EncodedSize() bytes of spare capacity makes
+// the call allocation-free, which is how the TCP frame writer and the
+// WAL's record framing share pooled buffers instead of allocating per
+// message.
+func AppendMessage(buf []byte, m Message) ([]byte, error) {
+	if enc := cachedEncoding(m); enc != nil {
+		return append(buf, enc...), nil
+	}
+	e := encoder{buf: buf}
 	e.u8(uint8(m.Kind()))
 	switch v := m.(type) {
 	case *Proposal:
-		encodeProposal(e, v)
+		encodeProposal(&e, v)
 	case *VoteMsg:
 		e.u16(uint16(len(v.Votes)))
 		for _, vote := range v.Votes {
-			encodeVote(e, vote)
+			encodeVote(&e, vote)
 		}
 	case *CertMsg:
-		encodeOptCert(e, v.Cert)
+		encodeOptCert(&e, v.Cert)
 	case *Advance:
-		encodeOptCert(e, v.Notarization)
-		encodeOptUnlock(e, v.Unlock)
+		encodeOptCert(&e, v.Notarization)
+		encodeOptUnlock(&e, v.Unlock)
 	case *NewView:
 		e.u64(uint64(v.Round))
 		e.u16(uint16(v.Sender))
-		encodeOptCert(e, v.HighQC)
+		encodeOptCert(&e, v.HighQC)
 		e.bytes(v.Signature)
 	case *SyncRequest:
 		e.u64(uint64(v.From))
@@ -183,18 +212,111 @@ func EncodeMessage(m Message) ([]byte, error) {
 	case *SyncResponse:
 		e.u32(uint32(len(v.Blocks)))
 		for _, b := range v.Blocks {
-			encodeBlock(e, b)
+			encodeBlock(&e, b)
 		}
-		encodeOptCert(e, v.Finalization)
+		encodeOptCert(&e, v.Finalization)
 	default:
 		return nil, fmt.Errorf("types: cannot encode message of type %T", m)
 	}
 	return e.buf, nil
 }
 
-// DecodeMessage parses a frame produced by EncodeMessage.
+// CachedEncoding returns the message's wire encoding, computing and
+// memoizing it on first call (messages are immutable once constructed, so
+// the bytes can never go stale). The encode-once fan-out rides on this:
+// the WAL recorder journals the same bytes the TCP transport frames, and
+// a message decoded by DecodeMessageInPlace re-encodes for free. The
+// returned slice is shared — callers must not modify it.
+//
+// Concurrency matches the Block.ID contract: the first call must
+// happen-before any concurrent use, which holds on the hosts' event
+// loops (a message is encoded by the goroutine that created or decoded
+// it before any other goroutine sees it).
+func CachedEncoding(m Message) ([]byte, error) {
+	if enc := cachedEncoding(m); enc != nil {
+		return enc, nil
+	}
+	enc, err := AppendMessage(make([]byte, 0, m.EncodedSize()), m)
+	if err != nil {
+		return nil, err
+	}
+	setCachedEncoding(m, enc)
+	return enc, nil
+}
+
+// cachedEncoding returns the memoized encoding, or nil.
+func cachedEncoding(m Message) []byte {
+	switch v := m.(type) {
+	case *Proposal:
+		return v.enc
+	case *VoteMsg:
+		return v.enc
+	case *CertMsg:
+		return v.enc
+	case *Advance:
+		return v.enc
+	case *NewView:
+		return v.enc
+	case *SyncResponse:
+		return v.enc
+	}
+	return nil
+}
+
+// setCachedEncoding installs a memoized encoding. enc must hold exactly
+// the message's wire bytes and must never be modified afterwards.
+func setCachedEncoding(m Message, enc []byte) {
+	switch v := m.(type) {
+	case *Proposal:
+		v.enc = enc
+	case *VoteMsg:
+		v.enc = enc
+	case *CertMsg:
+		v.enc = enc
+	case *Advance:
+		v.enc = enc
+	case *NewView:
+		v.enc = enc
+	case *SyncResponse:
+		v.enc = enc
+	}
+}
+
+// SetCachedEncoding records enc as m's wire encoding without copying.
+// enc must be exactly the bytes EncodeMessage would produce (typically
+// the body of a frame that was just encoded or received) and must not be
+// modified afterwards. Transports use it to share one encoded frame
+// between consumers.
+func SetCachedEncoding(m Message, enc []byte) { setCachedEncoding(m, enc) }
+
+// DecodeMessage parses a frame produced by EncodeMessage. Decoded byte
+// fields are copied out of data, so the caller keeps ownership of it.
 func DecodeMessage(data []byte) (Message, error) {
-	d := &decoder{data: data}
+	return decodeMessage(data, false)
+}
+
+// DecodeMessageInPlace parses a frame like DecodeMessage but without
+// copying: every byte field of the returned message (signatures, payload
+// data) aliases data, and data is retained as the message's cached
+// encoding.
+//
+// Ownership contract: the caller transfers data to the message. The
+// buffer must not be modified, reused, or returned to a pool afterwards,
+// and it stays reachable as long as the message (or any state derived
+// from its slices, such as vote ledger entries) lives. Receive paths
+// that allocate a fresh buffer per frame — the TCP read loop — satisfy
+// this for free; paths that scan a long-lived mapped region (WAL segment
+// recovery) must keep copying and use DecodeMessage.
+func DecodeMessageInPlace(data []byte) (Message, error) {
+	m, err := decodeMessage(data, true)
+	if err == nil {
+		setCachedEncoding(m, data)
+	}
+	return m, err
+}
+
+func decodeMessage(data []byte, alias bool) (Message, error) {
+	d := &decoder{data: data, alias: alias}
 	kind := MsgKind(d.u8())
 	var m Message
 	switch kind {
@@ -238,6 +360,31 @@ func DecodeMessage(data []byte) (Message, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// AppendBlock appends the wire encoding of a block (the same layout
+// blocks use inside messages) to buf. BlockEncodedSize bytes of spare
+// capacity make the call allocation-free. The WAL's checkpoint records
+// use it to frame finalized-chain windows.
+func AppendBlock(buf []byte, b *Block) []byte {
+	e := encoder{buf: buf}
+	encodeBlock(&e, b)
+	return e.buf
+}
+
+// BlockEncodedSize returns the exact length AppendBlock produces.
+func BlockEncodedSize(b *Block) int { return blockEncodedSize(b) }
+
+// DecodeBlockPrefix decodes one block from the front of data, returning
+// the block and the number of bytes consumed. Byte fields are copied out
+// of data. The inverse of AppendBlock.
+func DecodeBlockPrefix(data []byte) (*Block, int, error) {
+	d := &decoder{data: data}
+	b := decodeBlock(d)
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return b, d.off, nil
 }
 
 func encodeProposal(e *encoder, p *Proposal) {

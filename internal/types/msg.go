@@ -52,12 +52,20 @@ func (k MsgKind) String() string {
 }
 
 // Message is the interface implemented by everything exchanged between
-// replicas. WireSize is the number of bytes the message occupies on the
-// wire; the discrete-event simulator charges it against link bandwidth, and
-// for concrete payloads it matches the length of the binary encoding.
+// replicas.
+//
+// WireSize is the number of bytes the message is charged on the wire: the
+// discrete-event simulator bills it against link bandwidth, and synthetic
+// payloads count at their logical size even though their encoding is a
+// small descriptor.
+//
+// EncodedSize is the exact length of EncodeMessage's output. Encoders use
+// it to make one exact-size allocation (or none, with AppendMessage into
+// a pooled buffer); for concrete payloads it equals WireSize.
 type Message interface {
 	Kind() MsgKind
 	WireSize() int
+	EncodedSize() int
 }
 
 // Proposal carries a block proposal (or a relayed block: Algorithm 1 line
@@ -77,6 +85,8 @@ type Proposal struct {
 	FastVote *Vote
 	// Relayed marks a forwarded copy rather than the original proposal.
 	Relayed bool
+
+	enc []byte // memoized wire encoding (CachedEncoding)
 }
 
 func (*Proposal) Kind() MsgKind { return MsgProposal }
@@ -97,6 +107,8 @@ func (p *Proposal) WireSize() int {
 // VoteMsg carries one or more votes from a single replica.
 type VoteMsg struct {
 	Votes []Vote
+
+	enc []byte // memoized wire encoding (CachedEncoding)
 }
 
 func (*VoteMsg) Kind() MsgKind { return MsgVote }
@@ -112,6 +124,8 @@ func (m *VoteMsg) WireSize() int {
 // CertMsg broadcasts a certificate on its own.
 type CertMsg struct {
 	Cert *Certificate
+
+	enc []byte // memoized wire encoding (CachedEncoding)
 }
 
 func (*CertMsg) Kind() MsgKind { return MsgCert }
@@ -124,6 +138,8 @@ func (m *CertMsg) WireSize() int { return 1 + certWireSize(m.Cert) }
 type Advance struct {
 	Notarization *Certificate
 	Unlock       *UnlockProof
+
+	enc []byte // memoized wire encoding (CachedEncoding)
 }
 
 func (*Advance) Kind() MsgKind { return MsgAdvance }
@@ -139,12 +155,51 @@ type NewView struct {
 	HighQC *Certificate
 	// Signature authenticates the (round, sender) pair.
 	Signature []byte
+
+	enc []byte // memoized wire encoding (CachedEncoding)
 }
 
 func (*NewView) Kind() MsgKind { return MsgNewView }
 
 func (m *NewView) WireSize() int {
 	return 1 + 8 + 2 + certWireSize(m.HighQC) + sliceWireSize(m.Signature)
+}
+
+// EncodedSize implements Message. For synthetic payloads the encoding is
+// a 13-byte descriptor rather than the logical bytes WireSize charges.
+func (p *Proposal) EncodedSize() int {
+	s := 1 + 2 // kind tag + flags
+	s += blockEncodedSize(p.Block)
+	s += certWireSize(p.ParentNotarization)
+	s += unlockWireSize(p.ParentUnlock)
+	if p.FastVote != nil {
+		s += voteWireSize(*p.FastVote)
+	}
+	return s
+}
+
+// EncodedSize implements Message.
+func (m *VoteMsg) EncodedSize() int { return m.WireSize() }
+
+// EncodedSize implements Message.
+func (m *CertMsg) EncodedSize() int { return m.WireSize() }
+
+// EncodedSize implements Message.
+func (m *Advance) EncodedSize() int { return m.WireSize() }
+
+// EncodedSize implements Message.
+func (m *NewView) EncodedSize() int { return m.WireSize() }
+
+// EncodedSize implements Message.
+func (*SyncRequest) EncodedSize() int { return 1 + 8 + 8 }
+
+// EncodedSize implements Message.
+func (m *SyncResponse) EncodedSize() int {
+	s := 1 + 4
+	for _, b := range m.Blocks {
+		s += blockEncodedSize(b)
+	}
+	return s + certWireSize(m.Finalization)
 }
 
 func blockWireSize(b *Block) int {
@@ -155,9 +210,27 @@ func blockWireSize(b *Block) int {
 	return 1 + 8 + 2 + 2 + 32 + payloadWireSize(b.Payload) + sliceWireSize(b.Signature)
 }
 
+// blockEncodedSize is blockWireSize with the payload at its encoded —
+// not logical — size.
+func blockEncodedSize(b *Block) int {
+	if b == nil {
+		return 1
+	}
+	return 1 + 8 + 2 + 2 + 32 + payloadEncodedSize(b.Payload) + sliceWireSize(b.Signature)
+}
+
 func payloadWireSize(p Payload) int {
 	// tag + (length prefix + logical bytes)
 	return 1 + 4 + p.Size()
+}
+
+// payloadEncodedSize is the exact encoding length: synthetic payloads
+// travel as a (size, seed) descriptor.
+func payloadEncodedSize(p Payload) int {
+	if p.IsSynthetic() {
+		return 1 + 4 + 8
+	}
+	return 1 + 4 + len(p.Data)
 }
 
 func voteWireSize(v Vote) int {
@@ -196,6 +269,8 @@ func sliceWireSize(b []byte) int { return 4 + len(b) }
 // replica that detects it is behind (a finalization certificate for a
 // round it cannot connect to its tree) broadcasts one, rate-limited, and
 // repeats until caught up.
+// SyncRequest stays comparable (tests use ==) and is 17 bytes on the
+// wire, so it carries no encoding cache.
 type SyncRequest struct {
 	From Round
 	To   Round
@@ -213,6 +288,8 @@ func (*SyncRequest) WireSize() int { return 1 + 8 + 8 }
 type SyncResponse struct {
 	Blocks       []*Block
 	Finalization *Certificate
+
+	enc []byte // memoized wire encoding (CachedEncoding)
 }
 
 // Kind implements Message.

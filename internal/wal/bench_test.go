@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"banyan/internal/types"
+)
+
+// benchRecord is the dominant journal entry in steady state: an inbound
+// VoteMsg carrying a bundled notarize+fast vote pair.
+func benchRecord() Record {
+	r := rand.New(rand.NewSource(42))
+	vote := func(kind types.VoteKind) types.Vote {
+		v := types.Vote{Kind: kind, Round: 9, Voter: 1}
+		r.Read(v.Block[:])
+		v.Signature = make([]byte, 64)
+		r.Read(v.Signature)
+		return v
+	}
+	return Record{
+		Kind: KindInbound,
+		From: 1,
+		Msg:  &types.VoteMsg{Votes: []types.Vote{vote(types.VoteNotarize), vote(types.VoteFast)}},
+	}
+}
+
+// BenchmarkWALAppend measures the journaling cost per record under group
+// commit (the fsync itself is amortized by the background syncer and a
+// long interval keeps it out of the loop, so the number isolates encode
+// and framing).
+func BenchmarkWALAppend(b *testing.B) {
+	log, _, err := Open(b.TempDir(), Options{
+		Sync:         SyncPolicy{Interval: time.Hour, Bytes: 1 << 30},
+		SegmentBytes: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+
+	rec := benchRecord()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := log.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

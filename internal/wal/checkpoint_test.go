@@ -1,0 +1,257 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// snapFixture builds a small but fully-populated snapshot: a two-block
+// finalized window plus an own-vote bundle and a finalization cert.
+func snapFixture(t *testing.T) *protocol.Snapshot {
+	t.Helper()
+	b1 := types.NewBlock(7, 1, 0, types.Genesis().ID(), types.BytesPayload([]byte("one")))
+	b1.Signature = []byte("sig-1")
+	b2 := types.NewBlock(8, 2, 1, b1.ID(), types.BytesPayload([]byte("two")))
+	b2.Signature = []byte("sig-2")
+	return &protocol.Snapshot{
+		Round:          9,
+		FinalizedRound: 8,
+		Chain:          []*types.Block{b1, b2},
+		Own: []types.Message{
+			&types.VoteMsg{Votes: []types.Vote{{
+				Kind: types.VoteNotarize, Round: 8, Block: b2.ID(), Voter: 3, Signature: []byte("vs"),
+			}}},
+			&types.CertMsg{Cert: &types.Certificate{
+				Kind: types.CertFinalization, Round: 8, Block: b2.ID(),
+				Signers: []types.ReplicaID{0, 1, 2}, Sigs: [][]byte{{1}, {2}, {3}},
+			}},
+		},
+	}
+}
+
+// TestCheckpointRecordRoundTrip checks a checkpoint record survives
+// encode/decode with its snapshot intact.
+func TestCheckpointRecordRoundTrip(t *testing.T) {
+	snap := snapFixture(t)
+	rec := Record{Kind: KindCheckpoint, Round: snap.FinalizedRound, Snapshot: snap}
+	payload, err := rec.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(payload), rec.payloadSize(); got != want {
+		t.Fatalf("payloadSize %d != encoded length %d", want, got)
+	}
+	dec, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != KindCheckpoint || dec.Snapshot == nil {
+		t.Fatalf("decoded %v", dec.Kind)
+	}
+	got := dec.Snapshot
+	if got.Round != snap.Round || got.FinalizedRound != snap.FinalizedRound {
+		t.Fatalf("rounds changed: %+v", got)
+	}
+	if len(got.Chain) != 2 || got.Chain[0].ID() != snap.Chain[0].ID() || got.Chain[1].ID() != snap.Chain[1].ID() {
+		t.Fatal("chain window changed identity")
+	}
+	if len(got.Own) != 2 {
+		t.Fatalf("own messages: got %d, want 2", len(got.Own))
+	}
+	wantVotes := snap.Own[0].(*types.VoteMsg).Votes
+	gotVotes := got.Own[0].(*types.VoteMsg).Votes
+	if !reflect.DeepEqual(gotVotes, wantVotes) {
+		t.Fatalf("own votes changed:\n got %+v\nwant %+v", gotVotes, wantVotes)
+	}
+	// Corrupt every byte position once: must error or decode, never panic.
+	for i := range payload {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0x40
+		decodeRecord(mut) //nolint:errcheck
+	}
+}
+
+func dirSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if _, ok := segIndex(e.Name()); ok {
+			segs = append(segs, e.Name())
+		}
+	}
+	return segs
+}
+
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	for _, name := range dirSegments(t, dir) {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestLogCheckpointTruncates drives the log through several checkpoint
+// cycles and checks (a) recovery replays only from the newest
+// checkpoint, (b) the segments behind it are deleted, and (c) disk usage
+// stays bounded as history grows.
+func TestLogCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	log, rec, err := Open(dir, Options{Sync: SyncPolicy{EveryRecord: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasCheckpoint || rec.Skipped != 0 {
+		t.Fatalf("fresh log claims checkpoint state: %+v", rec)
+	}
+	var peak int64
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 20; i++ {
+			if err := log.Append(Record{Kind: KindOwn, Msg: voteMsg(types.Round(cycle*20 + i + 1))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := snapFixture(t)
+		snap.FinalizedRound = types.Round((cycle + 1) * 20)
+		if err := log.AppendCheckpoint(Record{Kind: KindCheckpoint, Round: snap.FinalizedRound, Snapshot: snap}); err != nil {
+			t.Fatal(err)
+		}
+		if b := dirBytes(t, dir); b > peak {
+			peak = b
+		}
+	}
+	// Tail after the last checkpoint.
+	for i := 0; i < 3; i++ {
+		if err := log.Append(Record{Kind: KindOwn, Msg: voteMsg(types.Round(200 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpoints, removed := log.CheckpointStats()
+	if checkpoints != 5 {
+		t.Fatalf("checkpoints = %d, want 5", checkpoints)
+	}
+	if removed == 0 {
+		t.Fatal("no dead segments were removed")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk usage must be bounded by one checkpoint cycle, not total
+	// history: 5 cycles of 20 records each must not accumulate.
+	if segs := dirSegments(t, dir); len(segs) > 2 {
+		t.Fatalf("expected at most 2 live segments (checkpoint + tail), found %v", segs)
+	}
+
+	_, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec2.HasCheckpoint {
+		t.Fatal("recovery found no checkpoint")
+	}
+	if rec2.Records[0].Kind != KindCheckpoint {
+		t.Fatalf("first replay record is %s, want checkpoint", rec2.Records[0].Kind)
+	}
+	if rec2.Records[0].Snapshot.FinalizedRound != 100 {
+		t.Fatalf("recovered checkpoint at round %d, want 100", rec2.Records[0].Snapshot.FinalizedRound)
+	}
+	// Replay = checkpoint + the 3-record tail, independent of the 100
+	// records of history before it.
+	if got := len(rec2.Records); got != 4 {
+		t.Fatalf("replaying %d records, want 4 (checkpoint + 3 tail)", got)
+	}
+}
+
+// TestOversizedRecordRefused: a record larger than recovery's frame
+// limit must be refused at append time — journaling it would poison the
+// segment for the next Open, and for a checkpoint the truncation that
+// follows would orphan the history it claims to summarize.
+func TestOversizedRecordRefused(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := Open(dir, Options{Sync: SyncPolicy{EveryRecord: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	huge := &types.VoteMsg{Votes: []types.Vote{{
+		Kind: types.VoteNotarize, Round: 1, Voter: 1,
+		Signature: make([]byte, maxRecordLen+1),
+	}}}
+	if err := log.Append(Record{Kind: KindOwn, Msg: huge}); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	snap := snapFixture(t)
+	snap.Own = append(snap.Own, huge)
+	if err := log.AppendCheckpoint(Record{Kind: KindCheckpoint, Round: 8, Snapshot: snap}); err == nil {
+		t.Fatal("oversized checkpoint accepted")
+	}
+	// The refusals must not have poisoned the log.
+	if err := log.Append(Record{Kind: KindOwn, Msg: voteMsg(1)}); err != nil {
+		t.Fatalf("log unusable after refusing oversized records: %v", err)
+	}
+	// A checkpoint record without a snapshot is a caller bug; it must
+	// surface as an error, not a panic in the size probe.
+	if err := log.AppendCheckpoint(Record{Kind: KindCheckpoint}); err == nil {
+		t.Fatal("nil-snapshot checkpoint accepted")
+	}
+	if err := log.Append(Record{Kind: KindCheckpoint}); err == nil {
+		t.Fatal("nil-snapshot checkpoint accepted by Append")
+	}
+}
+
+// TestCheckpointCrashBeforeTruncate simulates the crash window between
+// a durable checkpoint and the deletion of the segments behind it: Open
+// must finish the truncation and still replay from the checkpoint.
+func TestCheckpointCrashBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := Open(dir, Options{Sync: SyncPolicy{EveryRecord: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := log.Append(Record{Kind: KindOwn, Msg: voteMsg(types.Round(i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.AppendCheckpoint(Record{Kind: KindCheckpoint, Round: 10, Snapshot: snapFixture(t)}); err != nil {
+		t.Fatal(err)
+	}
+	log.Crash()
+
+	// Resurrect the pre-checkpoint segment as if deletion had not
+	// happened (crash between fsync and unlink).
+	ckptSegs := dirSegments(t, dir)
+	ghost := filepath.Join(dir, segName(0)) // below every live index
+	data := append([]byte(nil), segMagic[:]...)
+	if err := os.WriteFile(ghost, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasCheckpoint {
+		t.Fatal("recovery lost the checkpoint")
+	}
+	if rec.SegmentsRemoved == 0 {
+		t.Fatal("open did not finish the interrupted truncation")
+	}
+	if _, err := os.Stat(ghost); !os.IsNotExist(err) {
+		t.Fatalf("ghost segment still present (segments at checkpoint: %v)", ckptSegs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
 
@@ -24,6 +25,12 @@ const (
 	// batch. Commit records are bookkeeping for tooling and tests; replay
 	// re-derives commits from the message records.
 	KindCommit
+	// KindCheckpoint is an engine snapshot (protocol.Snapshot): the
+	// finalized chain window plus the replica's own voting record for
+	// live rounds. Recovery replays from the newest checkpoint instead of
+	// the beginning of history, and the log truncates the segments behind
+	// it, bounding both restart replay and disk usage.
+	KindCheckpoint
 )
 
 func (k Kind) String() string {
@@ -34,6 +41,8 @@ func (k Kind) String() string {
 		return "own"
 	case KindCommit:
 		return "commit"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -53,43 +62,96 @@ type Record struct {
 	Block  types.BlockID
 	Mode   uint8
 	Blocks uint32
+	// Snapshot is the engine state a checkpoint journals (KindCheckpoint).
+	Snapshot *protocol.Snapshot
 }
 
-// encode serializes the record payload (the CRC frame is the Log's job).
-func (r Record) encode() ([]byte, error) {
+// payloadSize returns the exact appendPayload length, so callers can
+// reserve capacity (pooled buffers) and skip growth entirely.
+func (r Record) payloadSize() int {
 	switch r.Kind {
 	case KindInbound:
-		body, err := types.EncodeMessage(r.Msg)
-		if err != nil {
-			return nil, fmt.Errorf("wal: %w", err)
-		}
-		out := make([]byte, 3, 3+len(body))
-		out[0] = byte(KindInbound)
-		binary.LittleEndian.PutUint16(out[1:3], uint16(r.From))
-		return append(out, body...), nil
+		return 3 + r.Msg.EncodedSize()
 	case KindOwn:
-		body, err := types.EncodeMessage(r.Msg)
-		if err != nil {
-			return nil, fmt.Errorf("wal: %w", err)
-		}
-		out := make([]byte, 1, 1+len(body))
-		out[0] = byte(KindOwn)
-		return append(out, body...), nil
+		return 1 + r.Msg.EncodedSize()
 	case KindCommit:
-		out := make([]byte, 1+8+32+1+4)
-		out[0] = byte(KindCommit)
-		binary.LittleEndian.PutUint64(out[1:9], uint64(r.Round))
-		copy(out[9:41], r.Block[:])
-		out[41] = r.Mode
-		binary.LittleEndian.PutUint32(out[42:46], r.Blocks)
-		return out, nil
+		return 1 + 8 + 32 + 1 + 4
+	case KindCheckpoint:
+		if r.Snapshot == nil {
+			return 1 // appendPayload reports the real error
+		}
+		s := 1 + 8 + 8 + 4 + 4
+		for _, b := range r.Snapshot.Chain {
+			s += types.BlockEncodedSize(b)
+		}
+		for _, m := range r.Snapshot.Own {
+			s += 4 + m.EncodedSize()
+		}
+		return s
+	default:
+		return 0
+	}
+}
+
+// appendPayload appends the record payload to buf (the CRC frame is the
+// Log's job). Message bodies reuse the message's cached encoding when
+// one exists — the same bytes the transport framed or received — so
+// journaling a message costs a memcpy, not a re-encode, and with a
+// pooled buffer no allocation at all.
+func (r Record) appendPayload(buf []byte) ([]byte, error) {
+	switch r.Kind {
+	case KindInbound:
+		buf = append(buf, byte(KindInbound))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(r.From))
+		return types.AppendMessage(buf, r.Msg)
+	case KindOwn:
+		buf = append(buf, byte(KindOwn))
+		return types.AppendMessage(buf, r.Msg)
+	case KindCommit:
+		buf = append(buf, byte(KindCommit))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Round))
+		buf = append(buf, r.Block[:]...)
+		buf = append(buf, r.Mode)
+		return binary.LittleEndian.AppendUint32(buf, r.Blocks), nil
+	case KindCheckpoint:
+		s := r.Snapshot
+		if s == nil {
+			return nil, fmt.Errorf("wal: checkpoint record without snapshot")
+		}
+		buf = append(buf, byte(KindCheckpoint))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Round))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.FinalizedRound))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Chain)))
+		for _, b := range s.Chain {
+			buf = types.AppendBlock(buf, b)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Own)))
+		for _, m := range s.Own {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(m.EncodedSize()))
+			var err error
+			if buf, err = types.AppendMessage(buf, m); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+		}
+		return buf, nil
 	default:
 		return nil, fmt.Errorf("wal: cannot encode record kind %d", r.Kind)
 	}
 }
 
-// decodeRecord parses a payload produced by encode. Any malformation is
-// an error — recovery treats it as the end of the durable prefix.
+// encode serializes the record payload into a fresh buffer.
+func (r Record) encode() ([]byte, error) {
+	return r.appendPayload(make([]byte, 0, r.payloadSize()))
+}
+
+// maxCheckpointItems bounds the chain and message counts a checkpoint
+// claims, so a corrupt length prefix cannot drive a huge allocation.
+const maxCheckpointItems = 1 << 20
+
+// decodeRecord parses a payload produced by appendPayload. Any
+// malformation is an error — recovery treats it as the end of the
+// durable prefix. Byte fields are copied out of payload (recovery scans
+// whole segments; aliasing would pin them in memory).
 func decodeRecord(payload []byte) (Record, error) {
 	if len(payload) == 0 {
 		return Record{}, fmt.Errorf("wal: empty record")
@@ -129,7 +191,68 @@ func decodeRecord(payload []byte) (Record, error) {
 		}
 		copy(r.Block[:], payload[9:41])
 		return r, nil
+	case KindCheckpoint:
+		return decodeCheckpoint(payload)
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record kind %d", payload[0])
 	}
+}
+
+func decodeCheckpoint(payload []byte) (Record, error) {
+	fail := func(what string) (Record, error) {
+		return Record{}, fmt.Errorf("wal: truncated checkpoint record (%s)", what)
+	}
+	off := 1
+	if len(payload) < off+8+8+4 {
+		return fail("header")
+	}
+	s := &protocol.Snapshot{
+		Round:          types.Round(binary.LittleEndian.Uint64(payload[off : off+8])),
+		FinalizedRound: types.Round(binary.LittleEndian.Uint64(payload[off+8 : off+16])),
+	}
+	off += 16
+	nChain := binary.LittleEndian.Uint32(payload[off : off+4])
+	off += 4
+	if nChain > maxCheckpointItems {
+		return fail("chain count")
+	}
+	for i := uint32(0); i < nChain; i++ {
+		b, n, err := types.DecodeBlockPrefix(payload[off:])
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: checkpoint chain block %d: %w", i, err)
+		}
+		if b == nil {
+			return fail("nil chain block")
+		}
+		s.Chain = append(s.Chain, b)
+		off += n
+	}
+	if len(payload) < off+4 {
+		return fail("message count")
+	}
+	nOwn := binary.LittleEndian.Uint32(payload[off : off+4])
+	off += 4
+	if nOwn > maxCheckpointItems {
+		return fail("message count")
+	}
+	for i := uint32(0); i < nOwn; i++ {
+		if len(payload) < off+4 {
+			return fail("message length")
+		}
+		n := int(binary.LittleEndian.Uint32(payload[off : off+4]))
+		off += 4
+		if n <= 0 || len(payload) < off+n {
+			return fail("message body")
+		}
+		m, err := types.DecodeMessage(payload[off : off+n])
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: checkpoint message %d: %w", i, err)
+		}
+		s.Own = append(s.Own, m)
+		off += n
+	}
+	if off != len(payload) {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes in checkpoint record", len(payload)-off)
+	}
+	return Record{Kind: KindCheckpoint, Round: s.FinalizedRound, Snapshot: s}, nil
 }

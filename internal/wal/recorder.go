@@ -52,6 +52,15 @@ type RecorderConfig struct {
 	// guarantee for availability on a dying disk; the error still
 	// surfaces through Err and the wal_errors metric either way.
 	ContinueOnError bool
+	// CheckpointEvery, when positive, checkpoints the log each time the
+	// finalized round advances by that many rounds: the engine's
+	// protocol.Snapshot is journaled, the log rotates, and the segments
+	// behind the checkpoint are deleted, bounding restart replay and disk
+	// usage by the checkpoint window instead of uptime. Requires an
+	// engine that implements protocol.Snapshotter (in addition to
+	// Replayer). Zero disables checkpointing; existing checkpoints in the
+	// log are still honored on recovery.
+	CheckpointEvery types.Round
 }
 
 // Recorder wraps a protocol.Engine with a write-ahead log. It is itself
@@ -66,8 +75,14 @@ type Recorder struct {
 	rec           *Recovery
 	continueOnErr bool
 
+	// Checkpoint cadence: every checkpointEvery finalized rounds past
+	// lastCheckpoint (0 = disabled).
+	checkpointEvery types.Round
+	lastCheckpoint  types.Round
+
 	replayedRecords int64
 	replayedCommits int64
+	replaySkipped   int64
 	walErrs         int64
 	suppressed      int64
 }
@@ -81,24 +96,40 @@ var _ protocol.Engine = (*Recorder)(nil)
 // leaves the directory untouched — no repair, no fresh segment, and no
 // file growth when a supervisor retries the same misconfiguration.
 func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
-	if _, canReplay := cfg.Engine.(Replayer); !canReplay {
-		found, err := hasJournaledRecords(cfg.Dir)
+	_, canReplay := cfg.Engine.(Replayer)
+	_, canSnapshot := cfg.Engine.(protocol.Snapshotter)
+	if !canReplay || !canSnapshot {
+		records, checkpoints, err := probeDir(cfg.Dir)
 		if err != nil {
 			return nil, err
 		}
-		if found {
+		if records && !canReplay {
 			return nil, fmt.Errorf("wal: %s engine cannot replay the records journaled in %s "+
 				"(it does not implement wal.Replayer); restarting it fresh would discard the "+
 				"pre-crash voting record and risk equivocation — use an empty directory to start over",
 				cfg.Engine.Protocol(), cfg.Dir)
 		}
+		if checkpoints && !canSnapshot {
+			return nil, fmt.Errorf("wal: %s engine cannot restore the checkpoint journaled in %s "+
+				"(it does not implement protocol.Snapshotter); the records the checkpoint summarizes "+
+				"were truncated away, so replaying without it would lose the pre-crash voting record",
+				cfg.Engine.Protocol(), cfg.Dir)
+		}
+	}
+	if cfg.CheckpointEvery > 0 && !canSnapshot {
+		return nil, fmt.Errorf("wal: CheckpointEvery requires an engine implementing protocol.Snapshotter, %s does not",
+			cfg.Engine.Protocol())
 	}
 	log, rec, err := Open(cfg.Dir, cfg.Options)
 	if err != nil {
 		return nil, err
 	}
-	return &Recorder{eng: cfg.Engine, log: log, rec: rec,
-		continueOnErr: cfg.ContinueOnError}, nil
+	r := &Recorder{eng: cfg.Engine, log: log, rec: rec,
+		continueOnErr:   cfg.ContinueOnError,
+		checkpointEvery: cfg.CheckpointEvery,
+		replaySkipped:   int64(rec.Skipped),
+	}
+	return r, nil
 }
 
 // Recovered reports what Open found on disk (records are released after
@@ -120,6 +151,13 @@ func (r *Recorder) Protocol() string { return r.eng.Protocol() }
 // certificates re-formed, commits re-derived), own messages restore the
 // voting record, and the host receives the recovered chain as ordinary
 // Commit actions followed by the actions that resume live operation.
+//
+// When the log was checkpointed, replay is two-phase: the checkpoint's
+// snapshot re-anchors the block tree and its own-message bundle restores
+// the pre-checkpoint voting record (through the same ReplayOwn path as
+// journaled records, so signatures re-verify), then only the records
+// journaled after the checkpoint replay — O(checkpoint window) work
+// regardless of uptime.
 func (r *Recorder) Start(now time.Time) []protocol.Action {
 	records := r.rec.Records
 	r.rec.Records = nil
@@ -129,6 +167,26 @@ func (r *Recorder) Start(now time.Time) []protocol.Action {
 	}
 	rep.BeginReplay()
 	acts := keepReplayActions(nil, rep.Start(now))
+	if records[0].Kind == KindCheckpoint {
+		snap := records[0].Snapshot
+		// NewRecorder refuses checkpointed logs unless the engine is a
+		// Snapshotter, so the assertion cannot fail here.
+		sn := r.eng.(protocol.Snapshotter)
+		if err := sn.RestoreSnapshot(snap); err != nil {
+			// A checkpoint that does not restore is local state corruption
+			// beyond repair-by-replay (the summarized records are gone);
+			// halting beats rejoining with a hole in the voting record.
+			return append(acts, protocol.SafetyFault{
+				Err: fmt.Errorf("wal: checkpoint restore failed: %w", err),
+			})
+		}
+		for _, m := range snap.Own {
+			acts = keepReplayActions(acts, rep.ReplayOwn(m, now))
+		}
+		r.lastCheckpoint = snap.FinalizedRound
+		r.replayedRecords++
+		records = records[1:]
+	}
 	for _, rec := range records {
 		switch rec.Kind {
 		case KindInbound:
@@ -182,12 +240,16 @@ func (r *Recorder) Metrics() map[string]int64 {
 		m = make(map[string]int64)
 	}
 	appends, syncs := r.log.Stats()
+	checkpoints, segsRemoved := r.log.CheckpointStats()
 	m["wal_appends"] = appends
 	m["wal_syncs"] = syncs
 	m["wal_replayed_records"] = r.replayedRecords
 	m["wal_replayed_blocks"] = r.replayedCommits
+	m["wal_replay_skipped"] = r.replaySkipped
 	m["wal_errors"] = r.walErrs
 	m["wal_suppressed_sends"] = r.suppressed
+	m["wal_checkpoints"] = checkpoints
+	m["wal_segments_removed"] = segsRemoved
 	return m
 }
 
@@ -212,16 +274,17 @@ func (r *Recorder) Crash() { r.log.Crash() }
 // Going silent is ordinary crash-fault behavior the protocol tolerates.
 func (r *Recorder) record(acts []protocol.Action) []protocol.Action {
 	ownAppended, ownDurable := false, true
+	var commitTip types.Round
 	for _, a := range acts {
 		switch act := a.(type) {
 		case protocol.Broadcast:
 			if loggedOwn(act.Msg) {
-				ownDurable = r.append(Record{Kind: KindOwn, Msg: act.Msg}) && ownDurable
+				ownDurable = r.appendOwn(act.Msg) && ownDurable
 				ownAppended = true
 			}
 		case protocol.Send:
 			if loggedOwn(act.Msg) {
-				ownDurable = r.append(Record{Kind: KindOwn, Msg: act.Msg}) && ownDurable
+				ownDurable = r.appendOwn(act.Msg) && ownDurable
 				ownAppended = true
 			}
 		case protocol.Commit:
@@ -229,6 +292,9 @@ func (r *Recorder) record(acts []protocol.Action) []protocol.Action {
 				continue
 			}
 			tip := act.Blocks[len(act.Blocks)-1]
+			if tip.Round > commitTip {
+				commitTip = tip.Round
+			}
 			r.append(Record{
 				Kind:   KindCommit,
 				Round:  tip.Round,
@@ -246,10 +312,38 @@ func (r *Recorder) record(acts []protocol.Action) []protocol.Action {
 			ownDurable = false
 		}
 	}
+	if r.checkpointEvery > 0 && commitTip >= r.lastCheckpoint+r.checkpointEvery {
+		r.checkpoint()
+	}
 	if ownAppended && !ownDurable && !r.continueOnErr {
 		return r.suppressOwn(acts)
 	}
 	return acts
+}
+
+// checkpoint snapshots the engine and journals it, truncating the log
+// behind the checkpoint. Failures are counted but non-fatal: a missed
+// checkpoint only means the next restart replays more records (the
+// ordinary append path still provides durability), and if the log is
+// truly dying its sticky error fails the own-record path anyway.
+func (r *Recorder) checkpoint() {
+	snap := r.eng.(protocol.Snapshotter).Snapshot()
+	if err := r.log.AppendCheckpoint(Record{Kind: KindCheckpoint, Round: snap.FinalizedRound, Snapshot: snap}); err != nil {
+		r.walErrs++
+		return
+	}
+	r.lastCheckpoint = snap.FinalizedRound
+}
+
+// appendOwn journals one of the replica's own messages. The message's
+// canonical encoding is memoized first (the recorder runs on the node
+// loop, before the transport sees the message, so it is the single
+// writer the cache contract requires): the WAL writes those bytes here
+// and the transport frames the very same bytes afterwards — encode once,
+// fan out everywhere.
+func (r *Recorder) appendOwn(msg types.Message) bool {
+	types.CachedEncoding(msg) //nolint:errcheck // append re-derives the error below
+	return r.append(Record{Kind: KindOwn, Msg: msg})
 }
 
 // suppressOwn strips own-signature sends from an action batch whose

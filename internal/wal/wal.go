@@ -51,6 +51,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"banyan/internal/types"
 )
 
 var segMagic = [8]byte{'b', 'a', 'n', 'W', 'A', 'L', '0', '1'}
@@ -121,10 +123,21 @@ func (o Options) normalize() Options {
 
 // Recovery reports what Open found on disk.
 type Recovery struct {
-	// Records is the durable record prefix, in append order.
+	// Records is the durable record suffix to replay, in append order.
+	// When the log holds checkpoints it starts at the newest checkpoint
+	// record; everything before it is summarized by that checkpoint and
+	// skipped (Skipped counts it).
 	Records []Record
+	// Skipped is the number of durable records before the newest
+	// checkpoint that replay does not need.
+	Skipped int
+	// HasCheckpoint reports that Records starts with a checkpoint record.
+	HasCheckpoint bool
 	// Segments is the number of segment files scanned.
 	Segments int
+	// SegmentsRemoved counts dead pre-checkpoint segment files Open
+	// deleted (checkpoint truncation that a crash interrupted).
+	SegmentsRemoved int
 	// Truncated reports that scanning stopped at an invalid frame (torn
 	// write, bad CRC, or undecodable payload) before the end of the data.
 	Truncated bool
@@ -149,8 +162,10 @@ type Log struct {
 	closed   bool
 	err      error // sticky I/O error
 
-	appends int64
-	syncs   int64
+	appends     int64
+	syncs       int64
+	checkpoints int64
+	segsRemoved int64
 
 	wake chan struct{}
 	done chan struct{}
@@ -205,6 +220,14 @@ func segIndex(name string) (uint64, bool) {
 // matches what was recovered and segments appended by this run remain
 // reachable by the next recovery instead of being fenced off behind the
 // old torn frame.
+//
+// With checkpoints in the log, the replayable suffix starts at the
+// newest checkpoint record: everything before it is state that
+// checkpoint summarizes. Segments wholly before the checkpoint's segment
+// are dead weight — normally AppendCheckpoint removes them right after
+// the checkpoint fsync, but a crash in between leaves them behind, so
+// Open finishes the job (the checkpoint is durable first in both paths,
+// which is what makes the deletion safe in any order after it).
 func recoverDir(dir string) (*Recovery, uint64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -222,6 +245,7 @@ func recoverDir(dir string) (*Recovery, uint64, error) {
 	var badIndex uint64 // segment holding the first invalid frame
 	var badLen int      // its valid prefix length in bytes
 	var quarantine []uint64
+	segOf := make([]uint64, 0, 64) // segment index per recovered record
 	for _, idx := range indexes {
 		if idx > last {
 			last = idx
@@ -236,7 +260,11 @@ func recoverDir(dir string) (*Recovery, uint64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: %w", err)
 		}
+		before := len(rec.Records)
 		validLen, clean := scanSegment(data, &rec.Records)
+		for i := before; i < len(rec.Records); i++ {
+			segOf = append(segOf, idx)
+		}
 		if !clean {
 			rec.Truncated = true
 			badIndex, badLen = idx, validLen
@@ -248,7 +276,44 @@ func recoverDir(dir string) (*Recovery, uint64, error) {
 		}
 		rec.Repaired = true
 	}
+	// Replay from the newest checkpoint.
+	ckpt := -1
+	for i, r := range rec.Records {
+		if r.Kind == KindCheckpoint {
+			ckpt = i
+		}
+	}
+	if ckpt >= 0 {
+		rec.Skipped = ckpt
+		rec.HasCheckpoint = true
+		rec.Records = rec.Records[ckpt:]
+		// Finish an interrupted truncation: segments wholly before the
+		// checkpoint's segment hold only summarized records.
+		rec.SegmentsRemoved = removeSegmentsBelow(dir, segOf[ckpt])
+	}
 	return rec, last, nil
+}
+
+// removeSegmentsBelow deletes segment files with index < floor,
+// returning how many were removed. Best-effort: a segment that cannot be
+// removed is simply re-scanned (and re-skipped) on the next Open.
+func removeSegmentsBelow(dir string, floor uint64) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range entries {
+		if idx, ok := segIndex(e.Name()); ok && idx < floor {
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	if removed > 0 {
+		syncDir(dir)
+	}
+	return removed
 }
 
 // repairTail quarantines everything after the corruption point, then
@@ -330,33 +395,41 @@ func syncDir(dir string) {
 	}
 }
 
-// hasJournaledRecords reports whether any segment in dir holds at least
-// one valid record. Purely read-only — no repair, no segment creation —
-// so callers can probe a directory before deciding to Open it. A
-// missing directory simply has no records.
-func hasJournaledRecords(dir string) (bool, error) {
+// probeDir reports whether any segment in dir holds at least one valid
+// record, and whether any of those records is a checkpoint. Purely
+// read-only — no repair, no segment creation — so callers can probe a
+// directory before deciding to Open it. A missing directory simply has
+// no records.
+func probeDir(dir string) (records, checkpoints bool, err error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
-		return false, nil
+		return false, false, nil
 	}
 	if err != nil {
-		return false, fmt.Errorf("wal: %w", err)
+		return false, false, fmt.Errorf("wal: %w", err)
 	}
 	for _, e := range entries {
+		if records && checkpoints {
+			break // both answers known; skip the remaining I/O
+		}
 		if _, ok := segIndex(e.Name()); !ok {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return false, fmt.Errorf("wal: %w", err)
+			return false, false, fmt.Errorf("wal: %w", err)
 		}
 		var recs []Record
 		scanSegment(data, &recs)
-		if len(recs) > 0 {
-			return true, nil
+		for _, r := range recs {
+			records = true
+			if r.Kind == KindCheckpoint {
+				checkpoints = true
+				break
+			}
 		}
 	}
-	return false, nil
+	return records, checkpoints, nil
 }
 
 // scanSegment appends a segment's valid record prefix to out, returning
@@ -408,11 +481,26 @@ func (l *Log) openSegment(index uint64) error {
 
 // Append journals one record. With group commit the record becomes
 // durable within the sync window; with EveryRecord it is durable on
-// return.
+// return. The payload is framed in a pooled scratch buffer (the record's
+// exact size is known up front), so steady-state appends allocate
+// nothing.
 func (l *Log) Append(r Record) error {
-	payload, err := r.encode()
+	bp := types.GetBuffer()
+	defer types.PutBuffer(bp)
+	buf := *bp
+	if need := r.payloadSize(); cap(buf) < need {
+		buf = make([]byte, 0, need)
+		*bp = buf // let the pool keep the grown buffer
+	}
+	payload, err := r.appendPayload(buf[:0])
 	if err != nil {
 		return err
+	}
+	*bp = payload[:0]
+	if len(payload) > maxRecordLen {
+		// Recovery rejects frames above maxRecordLen as corruption;
+		// journaling one would poison the segment for the next Open.
+		return fmt.Errorf("wal: record payload %d bytes exceeds limit %d", len(payload), maxRecordLen)
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
@@ -420,6 +508,10 @@ func (l *Log) Append(r Record) error {
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(hdr, payload)
+}
+
+func (l *Log) appendLocked(hdr [8]byte, payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -450,6 +542,66 @@ func (l *Log) Append(r Record) error {
 	case l.wake <- struct{}{}:
 	default:
 	}
+	return nil
+}
+
+// AppendCheckpoint journals a checkpoint record and truncates the log
+// behind it: the log rotates so the checkpoint opens a fresh segment,
+// the checkpoint (and every record before it) is forced to disk, and
+// only then are the now-dead earlier segments deleted. A crash anywhere
+// in between leaves either the old segments plus a durable checkpoint
+// (Open finishes the deletion) or no checkpoint and the old segments
+// intact (full replay) — never a gap.
+func (l *Log) AppendCheckpoint(r Record) error {
+	if r.Kind != KindCheckpoint {
+		return fmt.Errorf("wal: AppendCheckpoint with record kind %s", r.Kind)
+	}
+	payload, err := r.encode()
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxRecordLen {
+		// A checkpoint recovery would reject as corrupt must never be
+		// written — the deletion that follows it would orphan the history
+		// it claims to summarize. Refusing here keeps the old segments,
+		// so the failure costs replay time, not the voting record.
+		return fmt.Errorf("wal: checkpoint payload %d bytes exceeds limit %d", len(payload), maxRecordLen)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	// Rotate so the checkpoint is the first record of its segment; every
+	// earlier segment then holds only pre-checkpoint records. A segment
+	// that is still empty already satisfies that.
+	if l.segBytes > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.appendLocked(hdr, payload); err != nil {
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	// Make the checkpoint segment's directory entry durable before
+	// unlinking anything: file fsync persists the data but not the
+	// dirent, and without this barrier a metadata-reordering power loss
+	// could apply the unlinks while losing the create — an empty log.
+	// syncDir is best-effort on filesystems that refuse directory fsync;
+	// on those, Open's finish-the-truncation path is the recovery story.
+	syncDir(l.dir)
+	l.checkpoints++
+	l.segsRemoved += int64(removeSegmentsBelow(l.dir, l.segIndex))
 	return nil
 }
 
@@ -579,6 +731,14 @@ func (l *Log) Stats() (appends, syncs int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appends, l.syncs
+}
+
+// CheckpointStats reports how many checkpoints were written and how many
+// dead segments truncation removed over the log's lifetime.
+func (l *Log) CheckpointStats() (checkpoints, segmentsRemoved int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkpoints, l.segsRemoved
 }
 
 // Dir returns the log directory.

@@ -74,6 +74,10 @@ type ReplicaConfig struct {
 	// instead of failing safe by going silent (see
 	// wal.RecorderConfig.ContinueOnError).
 	WALContinueOnError bool
+	// WALCheckpointRounds checkpoints and truncates the WAL every this
+	// many finalized rounds (0 = default 16, negative = disabled); see
+	// ClusterConfig.WALCheckpointRounds.
+	WALCheckpointRounds int
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -203,6 +207,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 			Engine:          eng,
 			Options:         cfg.walOptions(),
 			ContinueOnError: cfg.WALContinueOnError,
+			CheckpointEvery: checkpointEveryFor(cfg.Protocol, cfg.WALCheckpointRounds),
 		})
 		if err != nil {
 			tr.Close()

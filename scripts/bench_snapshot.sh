@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — run the hot-path benchmarks and record the numbers
+# as JSON, so the perf trajectory is tracked across PRs.
+#
+# Usage: scripts/bench_snapshot.sh [output.json] [benchtime]
+#
+#   output.json  where to write the snapshot (default BENCH_PR3.json)
+#   benchtime    passed to -benchtime (default 20000x; use e.g. 2000x in CI)
+#
+# The snapshot holds one entry per benchmark with ns/op, B/op and
+# allocs/op. A "baseline" object already present in the output file is
+# preserved, so before/after comparisons survive regeneration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+BENCHTIME="${2:-20000x}"
+PKGS="./internal/types ./internal/wal ./internal/transport/tcp"
+PATTERN='BenchmarkEncodeDecode|BenchmarkWALAppend|BenchmarkEncodeFrame|BenchmarkBroadcast$'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem $PKGS | tee "$RAW" >&2
+
+BASELINE="null"
+RESTART="null"
+if [ -f "$OUT" ]; then
+    BASELINE="$(go run ./scripts/benchjson -extract-baseline "$OUT" 2>/dev/null || echo null)"
+    RESTART="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key restart_replay 2>/dev/null || echo null)"
+fi
+
+{
+    printf '{\n'
+    printf '  "pr": 3,\n'
+    printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "benchmarks": {\n'
+    awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = b = allocs = "null"
+            for (i = 2; i <= NF; i++) {
+                if ($i == "ns/op")     ns = $(i-1)
+                if ($i == "B/op")      b = $(i-1)
+                if ($i == "allocs/op") allocs = $(i-1)
+            }
+            if (out != "") out = out ",\n"
+            out = out sprintf("    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, ns, b, allocs)
+        }
+        END { print out }
+    ' "$RAW"
+    printf '  },\n'
+    printf '  "restart_replay": %s,\n' "$RESTART"
+    printf '  "baseline": %s\n' "$BASELINE"
+    printf '}\n'
+} > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+echo "wrote $OUT" >&2

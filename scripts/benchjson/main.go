@@ -1,0 +1,33 @@
+// Command benchjson is a tiny helper for scripts/bench_snapshot.sh:
+// with -extract-baseline it prints the "baseline" object of an existing
+// snapshot file (or null), so regenerating a snapshot preserves the
+// recorded before-numbers without needing jq in the environment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	extract := flag.String("extract-baseline", "", "snapshot file to read from")
+	key := flag.String("key", "baseline", "top-level key to print")
+	flag.Parse()
+	if *extract == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -extract-baseline FILE [-key NAME]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*extract)
+	if err != nil {
+		fmt.Println("null")
+		return
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(data, &snap); err != nil || len(snap[*key]) == 0 {
+		fmt.Println("null")
+		return
+	}
+	fmt.Println(string(snap[*key]))
+}
