@@ -2,6 +2,7 @@ package banyan
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -90,6 +91,19 @@ type ClusterConfig struct {
 	// durably applied (or snapshotted) everything the checkpoint
 	// summarizes.
 	WALCheckpointRounds int
+	// DeepPrune evicts finalized block bodies below the Banyan engines'
+	// prune floor. Replicas then hold (and can serve catch-up from) only
+	// a bounded window of the chain; peers that fall behind that window —
+	// fresh joiners, disk-loss restarts — recover via peer snapshot state
+	// sync instead of block-by-block replay.
+	DeepPrune bool
+	// PruneKeep / PruneInterval override the Banyan engines' pruning
+	// cadence in rounds (0 = engine defaults: keep 16, prune every 64).
+	PruneKeep, PruneInterval int
+	// HoldStart lists replicas excluded from Start. A held replica boots
+	// later via JoinReplica, cold, having observed nothing — the
+	// fresh-join scenario.
+	HoldStart []int
 }
 
 // defaultWALCheckpointRounds matches the engine's default PruneKeep, so
@@ -163,6 +177,7 @@ type Cluster struct {
 	stopped  bool
 	crashed  []bool
 	crashing []bool // teardown in progress: not running, not yet restartable
+	held     []bool // excluded from Start, waiting for JoinReplica
 
 	done chan struct{}
 }
@@ -234,9 +249,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		beacon:    bc,
 		crashed:   make([]bool, params.N),
 		crashing:  make([]bool, params.N),
+		held:      make([]bool, params.N),
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
+	}
+	for _, h := range cfg.HoldStart {
+		if h < 0 || h >= params.N {
+			return nil, fmt.Errorf("banyan: HoldStart replica %d out of range (n=%d)", h, params.N)
+		}
+		c.held[h] = true
 	}
 	for i := 0; i < params.N; i++ {
 		c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
@@ -259,7 +281,12 @@ func (c *Cluster) buildReplica(i int) error {
 	// directly, so building one for them would be dead weight.
 	verifier := newVerifierFor(c.cfg.Protocol, c.keyring, verifyCfg)
 	eng, err := buildEngine(c.cfg.Protocol, c.params, id, c.keyring, verifier,
-		c.signers[i], c.beacon, c.pools[i], c.cfg.Delta)
+		c.signers[i], c.beacon, c.pools[i], engineTuning{
+			delta:         c.cfg.Delta,
+			deepPrune:     c.cfg.DeepPrune,
+			pruneKeep:     types.Round(c.cfg.PruneKeep),
+			pruneInterval: types.Round(c.cfg.PruneInterval),
+		})
 	if err != nil {
 		return err
 	}
@@ -319,9 +346,19 @@ func preverifierFor(verifier *crypto.Verifier) node.Preverifier {
 	return verifier
 }
 
+// engineTuning bundles the per-deployment engine knobs shared by
+// Cluster and Replica construction.
+type engineTuning struct {
+	delta         time.Duration
+	deepPrune     bool
+	pruneKeep     types.Round
+	pruneInterval types.Round
+}
+
 func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 	keyring *crypto.Keyring, verifier *crypto.Verifier, signer *crypto.Signer, bc beacon.Beacon,
-	payloads protocol.PayloadSource, delta time.Duration) (protocol.Engine, error) {
+	payloads protocol.PayloadSource, tune engineTuning) (protocol.Engine, error) {
+	delta := tune.delta
 	switch proto {
 	case ProtocolBanyan, ProtocolBanyanNoFast:
 		return core.New(core.Config{
@@ -334,6 +371,9 @@ func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 			Payloads:        payloads,
 			Delta:           delta,
 			DisableFastPath: proto == ProtocolBanyanNoFast,
+			DeepPrune:       tune.deepPrune,
+			PruneKeep:       tune.pruneKeep,
+			PruneInterval:   tune.pruneInterval,
 		})
 	case ProtocolICC:
 		return icc.New(icc.Config{
@@ -380,11 +420,43 @@ func (c *Cluster) Start() error {
 	c.started = true
 	c.mu.Unlock()
 	go c.pump()
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
+		if c.held[i] {
+			continue
+		}
 		if err := n.Start(); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// JoinReplica starts a replica that was held out of Start (see
+// ClusterConfig.HoldStart): it boots cold, with no chain and no voting
+// record, and catches up from its peers — over the sync subprotocol
+// when they still hold the needed blocks, or by fetching a
+// quorum-certified snapshot of the finalized window when they have
+// pruned past its position (snapshot state sync).
+func (c *Cluster) JoinReplica(replica int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if replica < 0 || replica >= len(c.nodes) {
+		return fmt.Errorf("banyan: no replica %d", replica)
+	}
+	if !c.started || c.stopped {
+		return fmt.Errorf("banyan: cluster is not running")
+	}
+	if !c.held[replica] {
+		return fmt.Errorf("banyan: replica %d was not held out of Start", replica)
+	}
+	// A joiner's transport exists from join time: the traffic the hub
+	// queued for its slot while it was held predates the replica and is
+	// discarded, exactly as a real deployment would never have seen it.
+	c.hub.Drain(types.ReplicaID(replica))
+	if err := c.nodes[replica].Start(); err != nil {
+		return err
+	}
+	c.held[replica] = false
 	return nil
 }
 
@@ -530,6 +602,41 @@ func (c *Cluster) RestartReplica(replica int) error {
 	return nil
 }
 
+// RestartReplicaFresh simulates recovery from total disk loss: the
+// crashed replica's write-ahead log directory is deleted and the
+// replica restarts with no durable state at all. It cannot replay — it
+// rebuilds its chain from peers instead, through sync responses while
+// peers still hold the blocks and through quorum-certified snapshot
+// state sync once they have pruned past its position. The replica's
+// voting record is gone with the disk, so unlike RestartReplica this is
+// only crash-safe when the replica did not vote in any round still
+// undecided — the same caveat any real deployment restoring from
+// backup carries. Requires WALDir and a crashed replica.
+func (c *Cluster) RestartReplicaFresh(replica int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if replica < 0 || replica >= len(c.nodes) {
+		return fmt.Errorf("banyan: no replica %d", replica)
+	}
+	if c.cfg.WALDir == "" {
+		return fmt.Errorf("banyan: RestartReplicaFresh requires WALDir")
+	}
+	if !c.started || c.stopped || !c.crashed[replica] {
+		return fmt.Errorf("banyan: replica %d is not crashed", replica)
+	}
+	if err := os.RemoveAll(filepath.Join(c.cfg.WALDir, fmt.Sprintf("replica-%d", replica))); err != nil {
+		return fmt.Errorf("banyan: wiping replica %d log: %w", replica, err)
+	}
+	if err := c.buildReplica(replica); err != nil {
+		return err
+	}
+	if err := c.nodes[replica].Start(); err != nil {
+		return err
+	}
+	c.crashed[replica] = false
+	return nil
+}
+
 // FinalizedChain returns a replica's finalized block IDs (hex, round
 // order). Only valid after Stop; integration tests use it to assert
 // byte-identical chains across live and restarted replicas.
@@ -573,8 +680,20 @@ func (c *Cluster) Stop() {
 	for i := range crashed {
 		crashed[i] = c.crashed[i] || c.crashing[i]
 	}
+	held := make([]bool, len(c.held))
+	copy(held, c.held)
 	c.mu.Unlock()
 	for i, n := range c.nodes {
+		if held[i] {
+			// Still held out of Start: its node loop never ran, so Stop
+			// would wait forever; its log (if any) has nothing buffered.
+			if rec := c.recs[i]; rec != nil {
+				if err := rec.Close(); err != nil {
+					c.recordFault(err)
+				}
+			}
+			continue
+		}
 		n.Stop()
 		if rec := c.recs[i]; rec != nil && !crashed[i] {
 			// A log that died mid-run means the replica ran without

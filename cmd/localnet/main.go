@@ -12,6 +12,12 @@
 // crash-restart smoke test:
 //
 //	localnet -duration 10s -wal-dir /tmp/wal -crash 1 -crash-at 3s -restart-at 5s
+//
+// Adding -disk-loss wipes the victim's log before the restart and runs
+// the cluster deep-pruned, so the replica comes back with no durable
+// state against peers holding only a bounded window — it must recover
+// via peer-to-peer snapshot state sync. CI runs this as the
+// disk-loss-rejoin smoke test.
 package main
 
 import (
@@ -51,6 +57,7 @@ func run(args []string) error {
 		crashID   = fs.Int("crash", -1, "replica to kill mid-run (requires -wal-dir; must not be 0, the observer)")
 		crashAt   = fs.Duration("crash-at", 0, "when to kill it (0 = duration/3)")
 		restartAt = fs.Duration("restart-at", 0, "when to restart it from its WAL (0 = 2*duration/3)")
+		diskLoss  = fs.Bool("disk-loss", false, "wipe the crashed replica's WAL before restarting: it returns with no durable state and must recover its chain from peers via snapshot state sync (runs all replicas deep-pruned so only a bounded window is serveable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +69,9 @@ func run(args []string) error {
 		if *crashID == 0 || *crashID >= *n {
 			return fmt.Errorf("-crash %d out of range (observer 0 cannot be crashed)", *crashID)
 		}
+	}
+	if *diskLoss && *crashID < 0 {
+		return fmt.Errorf("-disk-loss requires -crash (it scripts the restart)")
 	}
 	if *crashAt == 0 {
 		*crashAt = *duration / 3
@@ -97,6 +107,14 @@ func run(args []string) error {
 			Delta:              *delta,
 			WALSyncInterval:    *walSync,
 			WALSyncEveryRecord: *walEvery,
+		}
+		if *diskLoss {
+			// Deep-pruned, tight windows: peers can only serve their last
+			// few rounds, so the wiped replica is forced through the
+			// snapshot state-sync path rather than block-by-block catch-up.
+			cfg.DeepPrune = true
+			cfg.PruneKeep = 8
+			cfg.PruneInterval = 8
 		}
 		if *walDir != "" {
 			cfg.WALDir = filepath.Join(*walDir, fmt.Sprintf("replica-%d", i))
@@ -192,6 +210,11 @@ loop:
 				time.Since(start).Seconds(), *crashID)
 		case <-restartC:
 			restartC = nil
+			if *diskLoss {
+				if err := os.RemoveAll(filepath.Join(*walDir, fmt.Sprintf("replica-%d", *crashID))); err != nil {
+					return fmt.Errorf("wiping replica %d WAL: %w", *crashID, err)
+				}
+			}
 			r, err := mkReplica(*crashID)
 			if err != nil {
 				return fmt.Errorf("restart replica %d: %w", *crashID, err)
@@ -208,8 +231,13 @@ loop:
 					victimRound.Store(c.Round)
 				}
 			}()
-			fmt.Printf("  t=%4.0fs restarted replica %d from its WAL\n",
-				time.Since(start).Seconds(), *crashID)
+			if *diskLoss {
+				fmt.Printf("  t=%4.0fs restarted replica %d with a wiped WAL (peer state sync only)\n",
+					time.Since(start).Seconds(), *crashID)
+			} else {
+				fmt.Printf("  t=%4.0fs restarted replica %d from its WAL\n",
+					time.Since(start).Seconds(), *crashID)
+			}
 		case <-progress.C:
 			fmt.Printf("  t=%4.0fs round=%-6d blocks=%-6d txs=%-7d %.2f MB committed (fast=%d slow=%d)\n",
 				time.Since(start).Seconds(), lastRound, blocks, txs, float64(bytes)/1e6, fast, slow)

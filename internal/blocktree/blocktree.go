@@ -236,6 +236,70 @@ func (t *Tree) RestoreFinalized(chain []*types.Block) error {
 	return nil
 }
 
+// AdoptFinalized grafts a finalized chain window received from a peer
+// (state sync) onto a live tree. Unlike RestoreFinalized it works on a
+// populated tree: the window replaces whatever unfinalized guesswork the
+// tree held for those rounds as the canonical finalized chain. The caller
+// has already verified the window cryptographically (block signatures plus
+// a quorum finalization certificate covering the tip); this method checks
+// only structure and consistency:
+//
+//   - blocks ascend in contiguous parent-linked order (like RestoreFinalized);
+//   - any overlap with the already-finalized prefix must agree block for
+//     block, otherwise ErrSafetyViolation (a quorum-certified chain that
+//     contradicts our finalized prefix is the protocol's fatal condition);
+//   - a window whose tip is at or below the current finalized round is
+//     stale and adopts to nothing.
+//
+// Like a checkpoint restore, the window's oldest parent may be absent:
+// history below the window floor stays unknown, which is fine because the
+// finalized prefix is append-only from here on.
+//
+// It returns the newly finalized blocks (rounds strictly above the old
+// finalized round) in chain order, for the host's Commit stream.
+func (t *Tree) AdoptFinalized(chain []*types.Block) ([]*types.Block, error) {
+	for i, b := range chain {
+		if b == nil {
+			return nil, fmt.Errorf("blocktree: adopt chain has nil block at %d", i)
+		}
+		if i > 0 {
+			prev := chain[i-1]
+			if b.Parent != prev.ID() || b.Round <= prev.Round {
+				return nil, fmt.Errorf("blocktree: adopt chain breaks at round %d", b.Round)
+			}
+		}
+	}
+	if len(chain) == 0 || chain[len(chain)-1].Round <= t.finalizedRound {
+		return nil, nil
+	}
+	// Overlap with the finalized prefix must agree before anything mutates.
+	for _, b := range chain {
+		if b.Round > t.finalizedRound {
+			continue
+		}
+		if fid, ok := t.finalized[b.Round]; ok && fid != b.ID() {
+			return nil, fmt.Errorf("%w: adopted chain disagrees at round %d",
+				ErrSafetyViolation, b.Round)
+		}
+	}
+	prevFinal := t.finalizedRound
+	var added []*types.Block
+	for _, b := range chain {
+		id := b.ID()
+		if _, ok := t.blocks[id]; !ok {
+			t.blocks[id] = b
+			t.byRound[b.Round] = append(t.byRound[b.Round], id)
+		}
+		t.notarized[id] = true
+		t.finalized[b.Round] = id
+		if b.Round > prevFinal {
+			added = append(added, t.blocks[id])
+		}
+	}
+	t.finalizedRound = chain[len(chain)-1].Round
+	return added, nil
+}
+
 // Length returns the number of chain edges from the block to genesis, or
 // -1 if the chain is not fully connected. Used by Streamlet's
 // longest-notarized-chain rule.
@@ -301,6 +365,29 @@ func (t *Tree) Prune(keepFrom types.Round) {
 		} else {
 			t.byRound[round] = kept
 		}
+	}
+}
+
+// PruneDeep is Prune plus eviction of finalized *blocks* below keepFrom:
+// only the finalized ID map survives (so FinalizedChain, FinalizedAt and
+// conflict detection stay exact) while the block bodies are dropped.
+// Genesis is always kept. After a deep prune the tree can no longer serve
+// chain-suffix sync below keepFrom — peers that far behind recover via
+// snapshot state sync instead, which is exactly the trade that bounds a
+// long-running replica's memory by the window size rather than by chain
+// length.
+func (t *Tree) PruneDeep(keepFrom types.Round) {
+	t.Prune(keepFrom)
+	for round, ids := range t.byRound {
+		if round >= keepFrom || round == 0 {
+			continue
+		}
+		for _, id := range ids {
+			delete(t.blocks, id)
+			delete(t.notarized, id)
+			delete(t.lengths, id)
+		}
+		delete(t.byRound, round)
 	}
 }
 

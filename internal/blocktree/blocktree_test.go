@@ -342,3 +342,125 @@ func TestRandomForestInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestAdoptFinalizedFreshTree: a snapshot window grafts onto a tree that
+// has only genesis, even though the window floor's parent is absent.
+func TestAdoptFinalizedFreshTree(t *testing.T) {
+	tr := New()
+	blocks := chainBlocks(20, 3)
+	window := blocks[12:] // rounds 13..20; parent of 13 unknown to tr
+	added, err := tr.AdoptFinalized(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != len(window) {
+		t.Fatalf("added %d blocks, want %d", len(added), len(window))
+	}
+	if tr.FinalizedRound() != 20 {
+		t.Fatalf("FinalizedRound = %d, want 20", tr.FinalizedRound())
+	}
+	for _, b := range window {
+		if !tr.IsFinalized(b.ID()) || !tr.IsNotarized(b.ID()) {
+			t.Fatalf("round %d not finalized+notarized after adopt", b.Round)
+		}
+	}
+	// A later Finalize joining the adopted tip works as usual.
+	next := types.NewBlock(21, 0, 0, window[len(window)-1].ID(), types.BytesPayload([]byte{9}))
+	tr.Add(next)
+	chain, err := tr.Finalize(next.ID())
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("Finalize after adopt: chain=%d err=%v", len(chain), err)
+	}
+}
+
+// TestAdoptFinalizedOnPopulatedTree: adoption on a live tree returns only
+// the rounds above the old finalized height and tolerates overlap that
+// agrees with the prefix.
+func TestAdoptFinalizedOnPopulatedTree(t *testing.T) {
+	tr := New()
+	blocks := chainBlocks(10, 4)
+	for _, b := range blocks[:6] {
+		tr.Add(b)
+	}
+	if _, err := tr.Finalize(blocks[3].ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Window overlaps rounds 3..4 (finalized) and extends to 10.
+	added, err := tr.AdoptFinalized(blocks[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 6 {
+		t.Fatalf("added %d blocks, want 6 (rounds 5..10)", len(added))
+	}
+	if added[0].Round != 5 || tr.FinalizedRound() != 10 {
+		t.Fatalf("adopt result wrong: first=%d fin=%d", added[0].Round, tr.FinalizedRound())
+	}
+}
+
+// TestAdoptFinalizedRejections: stale windows adopt to nothing; broken or
+// conflicting windows are refused.
+func TestAdoptFinalizedRejections(t *testing.T) {
+	tr := New()
+	blocks := chainBlocks(8, 5)
+	if _, err := tr.AdoptFinalized(blocks); err != nil {
+		t.Fatal(err)
+	}
+	// Stale: tip at or below the finalized round.
+	added, err := tr.AdoptFinalized(blocks[2:5])
+	if err != nil || added != nil {
+		t.Fatalf("stale window: added=%v err=%v", added, err)
+	}
+	// Broken parent links.
+	fork := chainBlocks(12, 6)
+	if _, err := tr.AdoptFinalized([]*types.Block{fork[9], fork[11]}); err == nil {
+		t.Fatal("discontiguous window accepted")
+	}
+	// Conflicting overlap with the finalized prefix.
+	if _, err := tr.AdoptFinalized(fork[5:]); !errors.Is(err, ErrSafetyViolation) {
+		t.Fatalf("conflicting window: err=%v, want safety violation", err)
+	}
+	// Nil block.
+	if _, err := tr.AdoptFinalized([]*types.Block{nil}); err == nil {
+		t.Fatal("nil block accepted")
+	}
+}
+
+// TestPruneDeep: block bodies below the floor are dropped while the
+// finalized ID map (conflict detection, FinalizedChain) survives.
+func TestPruneDeep(t *testing.T) {
+	tr := New()
+	blocks := chainBlocks(30, 7)
+	for _, b := range blocks {
+		tr.Add(b)
+	}
+	if _, err := tr.Finalize(blocks[len(blocks)-1].ID()); err != nil {
+		t.Fatal(err)
+	}
+	tr.PruneDeep(21)
+	for _, b := range blocks[:20] {
+		if tr.Contains(b.ID()) {
+			t.Fatalf("round %d block survived deep prune", b.Round)
+		}
+		if id, ok := tr.FinalizedAt(b.Round); !ok || id != b.ID() {
+			t.Fatalf("round %d finalized ID lost by deep prune", b.Round)
+		}
+	}
+	for _, b := range blocks[20:] {
+		if !tr.Contains(b.ID()) || !tr.IsFinalized(b.ID()) {
+			t.Fatalf("round %d inside window damaged by deep prune", b.Round)
+		}
+	}
+	if !tr.Contains(types.Genesis().ID()) {
+		t.Fatal("genesis dropped by deep prune")
+	}
+	if got := len(tr.FinalizedChain()); got != 30 {
+		t.Fatalf("FinalizedChain has %d entries after deep prune, want 30", got)
+	}
+	// Conflict detection below the floor still works: a divergent window
+	// overlapping deep-pruned rounds must be refused.
+	evil := chainBlocks(40, 8)
+	if _, err := tr.AdoptFinalized(evil[2:]); !errors.Is(err, ErrSafetyViolation) {
+		t.Fatalf("conflict below deep-pruned floor: err=%v", err)
+	}
+}

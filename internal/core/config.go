@@ -71,11 +71,26 @@ type Config struct {
 	// PruneKeep is how many rounds below the finalized height are retained.
 	// Zero selects the default.
 	PruneKeep types.Round
+	// DeepPrune additionally evicts finalized block bodies below the prune
+	// floor (Tree.PruneDeep), bounding memory by the window size instead of
+	// chain length. A deep-pruned replica cannot serve chain-suffix sync
+	// below its window; peers that far behind recover via snapshot state
+	// sync, which this option therefore depends on for cluster liveness.
+	DeepPrune bool
+	// StateSyncStalls is how many consecutive sync stalls on the first
+	// missing round (an unserveable prefix: no peer holds it) escalate to a
+	// snapshot fetch. Zero selects the default; negative disables
+	// escalation, leaving only chain-suffix sync.
+	StateSyncStalls int
+	// StateSyncTimeout is the per-peer silence budget of a snapshot fetch
+	// before the fetcher rotates to the next peer. Zero selects 8Δ.
+	StateSyncTimeout time.Duration
 }
 
 const (
-	defaultPruneInterval = 64
-	defaultPruneKeep     = 16
+	defaultPruneInterval   = 64
+	defaultPruneKeep       = 16
+	defaultStateSyncStalls = 3
 )
 
 func (c *Config) validate() error {
@@ -114,6 +129,12 @@ func (c *Config) validate() error {
 	}
 	if c.PruneKeep == 0 {
 		c.PruneKeep = defaultPruneKeep
+	}
+	if c.StateSyncStalls == 0 {
+		c.StateSyncStalls = defaultStateSyncStalls
+	}
+	if c.StateSyncTimeout == 0 {
+		c.StateSyncTimeout = 8 * c.Delta
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"banyan/internal/blocktree"
 	"banyan/internal/protocol"
+	"banyan/internal/statesync"
 	"banyan/internal/types"
 )
 
@@ -41,6 +42,18 @@ type Engine struct {
 	lastSyncFrom types.Round
 	syncStalls   int
 
+	// Snapshot state sync: syncPeers rotates the unicast target of both
+	// the suffix subprotocol and snapshot fetches; fetcher schedules the
+	// latter; syncProbe marks that the resend timer wants a pull for
+	// possibly-missed finalizations even though no certificate proves this
+	// replica behind; prefixStalls counts consecutive stalls on the first
+	// missing round — the unserveable-prefix livelock signature that
+	// escalates to a snapshot fetch.
+	syncPeers    *statesync.Ring
+	fetcher      *statesync.Fetcher
+	syncProbe    bool
+	prefixStalls int
+
 	stopped bool
 	fault   error
 
@@ -64,6 +77,10 @@ type Engine struct {
 		bytesCommit   int64
 		rejected      int64
 		resends       int64
+		ssFetches     int64
+		ssServed      int64
+		ssRejected    int64
+		ssBytes       int64
 	}
 }
 
@@ -80,6 +97,8 @@ func New(cfg Config) (*Engine, error) {
 		rounds:        make(map[types.Round]*roundState),
 		extFinal:      make(map[types.Round]*types.Certificate),
 		pendingCommit: make(map[types.BlockID]protocol.FinalizationMode),
+		syncPeers:     statesync.NewRing(cfg.Self, cfg.Params.N),
+		fetcher:       statesync.NewFetcher(cfg.Self, cfg.Params.N, cfg.StateSyncTimeout),
 	}, nil
 }
 
@@ -131,6 +150,10 @@ func (e *Engine) HandleMessage(from types.ReplicaID, msg types.Message, now time
 		return e.onSyncRequest(from, m)
 	case *types.SyncResponse:
 		e.onSyncResponse(m)
+	case *types.SnapshotRequest:
+		return e.onSnapshotRequest(from, m)
+	case *types.SnapshotResponse:
+		return e.progress(now, e.onSnapshotResponse(m))
 	default:
 		e.met.rejected++
 		return nil
@@ -148,6 +171,9 @@ func (e *Engine) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Acti
 	var acts []protocol.Action
 	if id.Kind == protocol.TimerResend && id.Round == e.round {
 		acts = e.resendRound(now, acts)
+	}
+	if id.Kind == protocol.TimerStateSync {
+		acts = e.pollFetch(now, acts)
 	}
 	return e.progress(now, acts)
 }
@@ -191,11 +217,11 @@ func (e *Engine) resendRound(now time.Time, acts []protocol.Action) []protocol.A
 	for _, cert := range rs.notarizations {
 		acts = append(acts, protocol.Broadcast{Msg: &types.CertMsg{Cert: cert}})
 	}
-	// Pull finalizations we may have missed.
-	acts = append(acts, protocol.Broadcast{Msg: &types.SyncRequest{
-		From: e.tree.FinalizedRound() + 1,
-		To:   e.tree.FinalizedRound() + types.MaxSyncBlocks,
-	}})
+	// Pull finalizations we may have missed: flag a probe for maybeSync,
+	// which owns the unicast target, the 2Δ rate limit, and the
+	// high-water-mark bookkeeping — a direct request from here would
+	// bypass all three and re-fetch segments already in flight.
+	e.syncProbe = true
 	// Re-arm with the same interval.
 	acts = append(acts, protocol.SetTimer{
 		ID: protocol.TimerID{Round: e.round, Kind: protocol.TimerResend},
@@ -232,18 +258,22 @@ func (e *Engine) resendInterval() time.Duration {
 // Metrics implements protocol.Engine.
 func (e *Engine) Metrics() map[string]int64 {
 	return map[string]int64{
-		"rounds":         e.met.roundsStarted,
-		"proposals":      e.met.proposals,
-		"relays":         e.met.relays,
-		"votes_sent":     e.met.votesSent,
-		"advances":       e.met.advances,
-		"final_fast":     e.met.fastFinal,
-		"final_slow":     e.met.slowFinal,
-		"final_indirect": e.met.indirectFinal,
-		"blocks_commit":  e.met.blocksCommit,
-		"bytes_commit":   e.met.bytesCommit,
-		"rejected":       e.met.rejected,
-		"resends":        e.met.resends,
+		"rounds":             e.met.roundsStarted,
+		"proposals":          e.met.proposals,
+		"relays":             e.met.relays,
+		"votes_sent":         e.met.votesSent,
+		"advances":           e.met.advances,
+		"final_fast":         e.met.fastFinal,
+		"final_slow":         e.met.slowFinal,
+		"final_indirect":     e.met.indirectFinal,
+		"blocks_commit":      e.met.blocksCommit,
+		"bytes_commit":       e.met.bytesCommit,
+		"rejected":           e.met.rejected,
+		"resends":            e.met.resends,
+		"statesync_fetches":  e.met.ssFetches,
+		"statesync_served":   e.met.ssServed,
+		"statesync_rejected": e.met.ssRejected,
+		"statesync_bytes":    e.met.ssBytes,
 	}
 }
 
@@ -487,54 +517,284 @@ func (e *Engine) tryJump(now time.Time, acts []protocol.Action) (bool, []protoco
 // maybeSync drives the catch-up subprotocol: when a finalization
 // certificate proves the cluster is ahead, try to commit through it and —
 // while blocks are still missing — request the next contiguous chain
-// segment from peers, rate-limited to one request per 2Δ.
+// segment, rate-limited to one request per 2Δ. Requests are unicast to a
+// rotating peer (a broadcast would draw up to n−1 full-segment responses
+// for one missing segment); a stalled request rotates to the next peer.
+// The resend timer's periodic pull for possibly-missed finalizations
+// (syncProbe) shares this path so it inherits the same rate limit and
+// high-water-mark bookkeeping.
+//
+// When the stall is pinned at the first missing round — the prefix itself
+// is unserveable because every peer has pruned past it (fresh join, disk
+// loss, deep-pruned cluster) — suffix requests can never make progress;
+// after StateSyncStalls consecutive prefix stalls the engine escalates to
+// a snapshot fetch (beginFetch) and the suffix subprotocol stands down
+// until the fetch resolves.
 func (e *Engine) maybeSync(now time.Time, acts []protocol.Action) []protocol.Action {
-	if !e.catchupDirty || e.latestFinal == nil {
+	probe := e.syncProbe
+	e.syncProbe = false
+	if !e.catchupDirty && !probe {
 		return acts
 	}
 	e.catchupDirty = false
 	fin := e.tree.FinalizedRound()
-	if e.latestFinal.Round <= fin {
+	behind := e.latestFinal != nil && e.latestFinal.Round > fin
+	if !behind && !probe {
 		return acts
 	}
-	// Try to commit through the certificate with what we have.
-	var done bool
-	acts, done = e.commitChain(e.latestFinal.Block, protocol.FinalizeIndirect, acts)
-	if done {
-		// Caught up: fast-forward the current round immediately.
-		if c, a := e.tryJump(now, acts); c {
-			acts = a
+	if behind {
+		// Try to commit through the certificate with what we have.
+		var done bool
+		acts, done = e.commitChain(e.latestFinal.Block, protocol.FinalizeIndirect, acts)
+		if done {
+			// Caught up: fast-forward the current round immediately.
+			if c, a := e.tryJump(now, acts); c {
+				acts = a
+			}
+			return acts
+		}
+	}
+	if e.fetcher.Fetching() {
+		// A snapshot fetch is in flight; it lands above anything a suffix
+		// request could return. Stay dirty so sync resumes for the tail.
+		if behind {
+			e.catchupDirty = true
 		}
 		return acts
 	}
-	// Still missing blocks: ask for the next segment.
 	if !e.lastSyncReq.IsZero() && now.Sub(e.lastSyncReq) < 2*e.cfg.Delta {
-		e.catchupDirty = true // revisit after the rate-limit window
+		if behind {
+			e.catchupDirty = true // revisit after the rate-limit window
+		}
 		return acts
 	}
 	from := fin + 1
 	if e.syncHigh >= from {
 		from = e.syncHigh + 1
 	}
-	if from == e.lastSyncFrom {
-		// No progress since the last request (lost response, or a poisoned
-		// syncHigh from a bogus segment): retry, and after repeated stalls
-		// restart the fetch from the finalized prefix.
-		e.syncStalls++
-		if e.syncStalls > 3 {
-			e.syncHigh = fin
-			e.syncStalls = 0
-			from = fin + 1
+	to := from + types.MaxSyncBlocks - 1
+	if behind {
+		if e.latestFinal.Round > to {
+			to = e.latestFinal.Round // the serving peer caps per response
 		}
-	} else {
-		e.syncStalls = 0
+		if from == e.lastSyncFrom {
+			// No progress since the last request (lost response, a peer that
+			// cannot serve the segment, or a poisoned syncHigh from a bogus
+			// segment): rotate peers and retry; after repeated stalls restart
+			// the fetch from the finalized prefix.
+			e.syncStalls++
+			e.syncPeers.Advance()
+			if from == fin+1 {
+				e.prefixStalls++
+			}
+			if e.syncStalls > 3 {
+				e.syncHigh = fin
+				e.syncStalls = 0
+				from = fin + 1
+			}
+		} else {
+			e.syncStalls = 0
+			e.prefixStalls = 0
+		}
+		if e.cfg.StateSyncStalls > 0 && e.prefixStalls >= e.cfg.StateSyncStalls {
+			e.prefixStalls = 0
+			return e.beginFetch(now, acts)
+		}
 	}
 	e.lastSyncReq = now
 	e.lastSyncFrom = from
-	return append(acts, protocol.Broadcast{Msg: &types.SyncRequest{
-		From: from,
-		To:   e.latestFinal.Round,
-	}})
+	return append(acts, protocol.Send{
+		To:  e.syncPeers.Current(),
+		Msg: &types.SyncRequest{From: from, To: to},
+	})
+}
+
+// beginFetch escalates catch-up to a snapshot fetch: the highest known
+// finalization certificate becomes the fetch target and a SnapshotRequest
+// goes to the rotation's current peer, with a timer to rotate away from a
+// silent one. While the fetch is in flight maybeSync sends no suffix
+// requests.
+func (e *Engine) beginFetch(now time.Time, acts []protocol.Action) []protocol.Action {
+	e.fetcher.AddTarget(e.latestFinal)
+	if !e.fetcher.Begin(now) {
+		return acts
+	}
+	e.met.ssFetches++
+	acts = append(acts, protocol.Send{
+		To:  e.fetcher.Peer(),
+		Msg: &types.SnapshotRequest{Have: e.tree.FinalizedRound()},
+	})
+	return append(acts, protocol.SetTimer{
+		ID: protocol.TimerID{Kind: protocol.TimerStateSync},
+		At: e.fetcher.Deadline(),
+	})
+}
+
+// pollFetch handles a TimerStateSync fire: if the in-flight snapshot
+// fetch has been overtaken by suffix sync it is completed silently;
+// otherwise a request past its per-peer deadline is retried against the
+// next peer in rotation.
+func (e *Engine) pollFetch(now time.Time, acts []protocol.Action) []protocol.Action {
+	if !e.fetcher.Fetching() {
+		return acts
+	}
+	fin := e.tree.FinalizedRound()
+	if fin >= e.fetcher.Target().Round {
+		e.fetcher.Done(fin)
+		return acts
+	}
+	rearm := protocol.SetTimer{
+		ID: protocol.TimerID{Kind: protocol.TimerStateSync},
+		At: e.fetcher.Deadline(),
+	}
+	if !e.fetcher.Expired(now) {
+		return append(acts, rearm)
+	}
+	peer := e.fetcher.Retry(now)
+	e.met.ssFetches++
+	acts = append(acts, protocol.Send{To: peer, Msg: &types.SnapshotRequest{Have: fin}})
+	rearm.At = e.fetcher.Deadline()
+	return append(acts, rearm)
+}
+
+// onSnapshotRequest serves this replica's finalized window to a peer that
+// cannot catch up via chain-suffix sync. The response is only useful — and
+// only sent — when the window tip is strictly ahead of the requester and
+// this replica holds a finalization certificate naming the tip exactly
+// (the anchor the requester's trust gate demands).
+func (e *Engine) onSnapshotRequest(from types.ReplicaID, m *types.SnapshotRequest) []protocol.Action {
+	fin := e.tree.FinalizedRound()
+	if fin < 1 || fin <= m.Have {
+		return nil
+	}
+	if e.latestFinal == nil || e.latestFinal.Round != fin {
+		return nil // mid-catch-up ourselves; cannot anchor our own tip
+	}
+	tipID, ok := e.tree.FinalizedAt(fin)
+	if !ok || e.latestFinal.Block != tipID {
+		return nil
+	}
+	// Walk tip-to-floor along parent links, like Snapshot(): contiguous by
+	// construction.
+	floor := types.Round(1)
+	if fin > e.cfg.PruneKeep {
+		floor = fin - e.cfg.PruneKeep + 1
+	}
+	var chain []*types.Block
+	b, ok := e.tree.Block(tipID)
+	for ok && b.Round >= floor && !b.IsGenesis() {
+		chain = append(chain, b)
+		b, ok = e.tree.Block(b.Parent)
+	}
+	if len(chain) == 0 {
+		return nil
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	e.met.ssServed++
+	return []protocol.Action{protocol.Send{To: from, Msg: &types.SnapshotResponse{
+		Chain:        chain,
+		Finalization: e.latestFinal,
+	}}}
+}
+
+// onSnapshotResponse ingests a snapshot window. Nothing in the message is
+// trusted until it passes the same quorum-certificate gate that guards
+// WAL checkpoint restores (RestoreSnapshot): every block signature is
+// verified, ranks must match the beacon, the chain must be contiguous,
+// and the finalization certificate must carry a verified quorum naming
+// the window tip exactly — tip-exact because a peer, unlike local disk,
+// is an adversarial channel. A valid window is grafted onto the tree as
+// finalized history (Tree.AdoptFinalized) and committed; the certificate
+// then drives ordinary suffix sync for the tail.
+func (e *Engine) onSnapshotResponse(m *types.SnapshotResponse) []protocol.Action {
+	if !e.replaying && !e.fetcher.Fetching() {
+		// Unsolicited: only a replica that escalated to a snapshot fetch
+		// (or is replaying one from its WAL) ingests state this way.
+		e.met.ssRejected++
+		return nil
+	}
+	n := len(m.Chain)
+	if n == 0 || n > types.MaxSnapshotBlocks || m.Finalization == nil {
+		e.met.ssRejected++
+		return nil
+	}
+	fin := e.tree.FinalizedRound()
+	tip := m.Chain[n-1]
+	if tip == nil {
+		e.met.ssRejected++
+		return nil
+	}
+	if tip.Round <= fin {
+		// Stale: suffix sync or another snapshot got there first.
+		e.fetcher.Done(fin)
+		return nil
+	}
+	for i, b := range m.Chain {
+		if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Params.N ||
+			b.Rank != e.cfg.Beacon.RankOf(b.Round, b.Proposer) {
+			e.met.ssRejected++
+			return nil
+		}
+		if i > 0 && (b.Parent != m.Chain[i-1].ID() || b.Round <= m.Chain[i-1].Round) {
+			e.met.ssRejected++
+			return nil
+		}
+		if err := e.cfg.Verifier.VerifyBlock(b); err != nil {
+			e.met.ssRejected++
+			return nil
+		}
+	}
+	c := m.Finalization
+	quorum, ok := finalizationQuorum(e.cfg.Params, c.Kind)
+	if !ok || c.Round != tip.Round || c.Block != tip.ID() {
+		e.met.ssRejected++
+		return nil
+	}
+	if err := e.cfg.Verifier.VerifyCert(c, quorum); err != nil {
+		e.met.ssRejected++
+		return nil
+	}
+	added, err := e.tree.AdoptFinalized(m.Chain)
+	if err != nil {
+		// A quorum-certified window contradicting our finalized prefix is
+		// the protocol's fatal condition.
+		e.stop(err)
+		return nil
+	}
+	e.met.ssBytes += int64(m.WireSize())
+	newFin := e.tree.FinalizedRound()
+	rs := e.getRound(newFin)
+	rs.finalized = true
+	rs.finalizedBlock = tip.ID()
+	var acts []protocol.Action
+	if len(added) > 0 {
+		for _, b := range added {
+			e.met.blocksCommit++
+			e.met.bytesCommit += int64(b.Payload.Size())
+		}
+		e.met.indirectFinal++
+		acts = append(acts, protocol.Commit{Blocks: added, Explicit: protocol.FinalizeIndirect})
+	}
+	// Pending commits at or below the adopted tip are obsolete: the window
+	// is the canonical finalized history now, and anything it skipped is
+	// below every peer's horizon (that is why the fetch escalated).
+	for id := range e.pendingCommit {
+		if b, ok := e.tree.Block(id); !ok || b.Round <= newFin {
+			delete(e.pendingCommit, id)
+		}
+	}
+	// Reset the suffix subprotocol's bookkeeping: it resumes above the
+	// window for the tail between the snapshot and the live tip.
+	e.syncHigh = newFin
+	e.syncStalls = 0
+	e.prefixStalls = 0
+	e.lastSyncFrom = 0
+	e.catchupDirty = true
+	e.fetcher.Done(newFin)
+	e.noteFinalCert(c)
+	return acts
 }
 
 // onSyncRequest serves a catch-up request from this replica's finalized
@@ -1132,5 +1392,9 @@ func (e *Engine) maybePrune() {
 			delete(e.extFinal, r)
 		}
 	}
-	e.tree.Prune(floor)
+	if e.cfg.DeepPrune {
+		e.tree.PruneDeep(floor)
+	} else {
+		e.tree.Prune(floor)
+	}
 }

@@ -141,6 +141,20 @@ func broadcasts[T types.Message](r *rig) []T {
 	return out
 }
 
+// sends collects unicast messages of one type from the recorded actions,
+// paired with their destination.
+func sends[T types.Message](r *rig) []protocol.Send {
+	var out []protocol.Send
+	for _, a := range r.acts {
+		if s, ok := a.(protocol.Send); ok {
+			if _, ok := s.Msg.(T); ok {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
 func (r *rig) clearActs() { r.acts = nil }
 
 var p411 = types.Params{N: 4, F: 1, P: 1}

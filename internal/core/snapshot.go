@@ -156,6 +156,21 @@ func (e *Engine) RestoreSnapshot(s *protocol.Snapshot) error {
 	return nil
 }
 
+// finalizationQuorum is the quorum-certificate trust gate shared by WAL
+// checkpoint restores (verifySnapshotFinalization) and peer snapshot
+// ingestion (onSnapshotResponse): the quorum a finalization certificate
+// of the given kind must clear, or false for kinds that finalize nothing.
+func finalizationQuorum(p types.Params, kind types.CertKind) (int, bool) {
+	switch kind {
+	case types.CertFinalization:
+		return p.FinalizationQuorum(), true
+	case types.CertFastFinalization:
+		return p.FastQuorum(), true
+	default:
+		return 0, false
+	}
+}
+
 // verifySnapshotFinalization checks the snapshot carries a
 // quorum-verified finalization certificate covering its chain window
 // (see RestoreSnapshot). Snapshot always embeds the engine's newest
@@ -168,13 +183,8 @@ func (e *Engine) verifySnapshotFinalization(s *protocol.Snapshot) error {
 			continue
 		}
 		c := cm.Cert
-		var quorum int
-		switch c.Kind {
-		case types.CertFinalization:
-			quorum = e.cfg.Params.FinalizationQuorum()
-		case types.CertFastFinalization:
-			quorum = e.cfg.Params.FastQuorum()
-		default:
+		quorum, ok := finalizationQuorum(e.cfg.Params, c.Kind)
+		if !ok {
 			continue
 		}
 		if c.Round < tip.Round {

@@ -117,17 +117,17 @@ func TestLaggingReplicaCatchesUpViaSync(t *testing.T) {
 	}
 	lag.clearActs()
 	lag.deliver(leader, &types.CertMsg{Cert: fullEng.latestFinal})
-	var req *types.SyncRequest
-	for _, a := range lag.acts {
-		if b, ok := a.(protocol.Broadcast); ok {
-			if m, ok := b.Msg.(*types.SyncRequest); ok {
-				req = m
-			}
-		}
+	if n := len(broadcasts[*types.SyncRequest](lag)); n != 0 {
+		t.Fatalf("sync request broadcast %d times; catch-up must be unicast", n)
 	}
-	if req == nil {
+	reqs := sends[*types.SyncRequest](lag)
+	if len(reqs) != 1 {
 		t.Fatal("lagging replica did not request a sync")
 	}
+	if reqs[0].To == lag.eng.ID() {
+		t.Fatal("sync request sent to self")
+	}
+	req := reqs[0].Msg.(*types.SyncRequest)
 	if req.From != 1 {
 		t.Fatalf("sync request From = %d, want 1", req.From)
 	}
@@ -214,7 +214,10 @@ func TestResendAfterStall(t *testing.T) {
 	if relays < 1 {
 		t.Fatal("resend did not relay the best known block")
 	}
-	if len(broadcasts[*types.SyncRequest](r)) != 1 {
+	if n := len(broadcasts[*types.SyncRequest](r)); n != 0 {
+		t.Fatalf("resend broadcast %d sync requests; the probe must be unicast", n)
+	}
+	if len(sends[*types.SyncRequest](r)) != 1 {
 		t.Fatal("resend did not probe for missed finalizations")
 	}
 	// The timer re-arms itself.

@@ -303,6 +303,16 @@ func (v *Verifier) gather(b *sigBatch, msg types.Message) {
 			}
 		}
 		v.gatherCert(b, m.Finalization)
+	case *types.SnapshotResponse:
+		for _, blk := range m.Chain {
+			if b.full() {
+				return
+			}
+			if blk != nil && !blk.IsGenesis() {
+				b.add(0, blk.Proposer, blockDigest(blk.ID()), blk.Signature)
+			}
+		}
+		v.gatherCert(b, m.Finalization)
 	}
 }
 

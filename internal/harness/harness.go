@@ -20,6 +20,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -92,8 +93,13 @@ type Config struct {
 	Crash []CrashSpec
 	// Restart lists crash-restarts: at the given time the replica is
 	// rebuilt from its write-ahead log and rejoins (crash it first via
-	// Crash). Requires WALDir.
+	// Crash). Requires WALDir. A spec with DiskLoss wipes the replica's
+	// log directory first, so it restarts with no durable state and must
+	// recover its chain entirely from peers (snapshot state sync).
 	Restart []CrashSpec
+	// Join lists replicas held out of the initial start that boot cold at
+	// the given time, having observed nothing — the fresh-join scenario.
+	Join []CrashSpec
 	// WALDir, when non-empty, runs every replica behind a write-ahead
 	// log (one subdirectory per replica) with per-record fsync, so
 	// executions stay deterministic and Restart can replay. The WAL is a
@@ -103,6 +109,15 @@ type Config struct {
 	// NoForwarding disables tip forwarding in the Banyan/ICC engines (the
 	// forwarding ablation; see DESIGN.md section 6).
 	NoForwarding bool
+	// DeepPrune evicts finalized block bodies below the Banyan engines'
+	// prune floor, leaving each replica holding only a bounded window of
+	// the chain — the shape that forces rejoining replicas through
+	// snapshot state sync rather than block-by-block catch-up.
+	DeepPrune bool
+	// PruneKeep / PruneInterval override the Banyan engines' pruning
+	// cadence (zero keeps the engine defaults).
+	PruneKeep     types.Round
+	PruneInterval types.Round
 	// Scheme selects the signature scheme ("hmac" default, "ed25519").
 	Scheme string
 	// Verify tunes the Banyan engines' signature-verification pipeline
@@ -112,10 +127,12 @@ type Config struct {
 	Verify crypto.VerifyConfig
 }
 
-// CrashSpec crashes a replica at a point in virtual time.
+// CrashSpec crashes a replica at a point in virtual time. In a Restart
+// spec, DiskLoss wipes the replica's WAL directory before the rebuild.
 type CrashSpec struct {
-	Replica types.ReplicaID
-	At      time.Duration
+	Replica  types.ReplicaID
+	At       time.Duration
+	DiskLoss bool
 }
 
 // Result aggregates one run's measurements.
@@ -271,9 +288,15 @@ func Run(cfg Config) (*Result, error) {
 		engines[i] = e
 	}
 
-	crashedSet := make(map[types.ReplicaID]bool, len(cfg.Crash))
+	// The observer must be a replica with the full run's history: not
+	// crashed, and not a late joiner (whose commit stream starts at its
+	// adopted snapshot, mid-run).
+	crashedSet := make(map[types.ReplicaID]bool, len(cfg.Crash)+len(cfg.Join))
 	for _, c := range cfg.Crash {
 		crashedSet[c.Replica] = true
+	}
+	for _, j := range cfg.Join {
+		crashedSet[j.Replica] = true
 	}
 	observer := types.ReplicaID(0)
 	for crashedSet[observer] {
@@ -332,13 +355,24 @@ func Run(cfg Config) (*Result, error) {
 	for _, c := range cfg.Crash {
 		net.CrashAt(c.Replica, c.At)
 	}
+	for _, j := range cfg.Join {
+		net.JoinAt(j.Replica, j.At)
+	}
 	for _, r := range cfg.Restart {
-		id := r.Replica
+		id, diskLoss := r.Replica, r.DiskLoss
 		net.RestartAt(id, r.At, func(time.Time) protocol.Engine {
 			// Crash the old recorder (dropping any unsynced tail — none
 			// under per-record fsync), then recover from its directory.
 			if rec, ok := net.Engine(id).(*wal.Recorder); ok {
 				rec.Crash()
+			}
+			if diskLoss {
+				// The disk died with the process: the replica comes back
+				// with an empty log and must resync its chain from peers.
+				if err := os.RemoveAll(filepath.Join(cfg.WALDir, fmt.Sprintf("replica-%d", id))); err != nil {
+					faultErrors = append(faultErrors, fmt.Errorf("replica %d disk wipe: %w", id, err))
+					return nil
+				}
 			}
 			e, err := mkEngine(id)
 			if err != nil {
@@ -406,6 +440,9 @@ func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 			Delta:             cfg.Delta,
 			DisableFastPath:   cfg.Protocol == BanyanNoFast,
 			DisableForwarding: cfg.NoForwarding,
+			DeepPrune:         cfg.DeepPrune,
+			PruneKeep:         cfg.PruneKeep,
+			PruneInterval:     cfg.PruneInterval,
 		})
 	case ICC:
 		return icc.New(icc.Config{

@@ -39,6 +39,10 @@ const (
 	// reliable links, but deployments see reconnects and drops — this is
 	// the standard liveness hardening.
 	TimerResend
+	// TimerStateSync fires while a snapshot fetch is in flight; the engine
+	// checks the per-peer deadline and retries the request against the next
+	// peer in rotation if the current one went silent.
+	TimerStateSync
 )
 
 func (k TimerKind) String() string {
@@ -51,6 +55,8 @@ func (k TimerKind) String() string {
 		return "view"
 	case TimerResend:
 		return "resend"
+	case TimerStateSync:
+		return "state-sync"
 	default:
 		return fmt.Sprintf("TimerKind(%d)", uint8(k))
 	}

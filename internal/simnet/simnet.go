@@ -236,6 +236,15 @@ func (s *Network) RestartAt(id types.ReplicaID, t time.Duration, rebuild func(no
 	s.push(&event{at: Epoch.Add(t), kind: evRestart, node: id, rebuild: rebuild})
 }
 
+// JoinAt schedules a replica to join the network at time t: it is held
+// out of the initial Start (it neither receives nor emits before t) and
+// boots cold at t having observed nothing — the fresh-join scenario
+// that exercises peer snapshot state sync. Must be called before Start.
+func (s *Network) JoinAt(id types.ReplicaID, t time.Duration) {
+	s.crashed[id] = true
+	s.push(&event{at: Epoch.Add(t), kind: evRestart, node: id})
+}
+
 // Start boots every engine at the epoch. Must be called once before Run.
 func (s *Network) Start() {
 	if s.started {

@@ -1,0 +1,160 @@
+// Package statesync schedules snapshot fetches for replicas whose missing
+// chain prefix no peer can serve: fresh joiners, disk-loss restarts, and
+// laggards that fell below every peer's pruned window. The engine detects
+// the condition (repeated sync stalls on the same unserveable prefix) and
+// hands the target — the finalization certificate it cannot connect — to a
+// Fetcher, which unicasts one SnapshotRequest at a time and rotates to the
+// next peer when one times out. The scheduler holds no crypto: the engine
+// verifies every response through the same quorum-certificate trust gate
+// that guards WAL checkpoint restores, so a malicious peer can waste one
+// timeout but never inject state.
+package statesync
+
+import (
+	"time"
+
+	"banyan/internal/types"
+)
+
+// Ring iterates over the peers of one replica in a fixed rotation,
+// skipping the replica itself. Both the snapshot fetcher and the engine's
+// unicast chain-suffix sync draw peers from a Ring so retry traffic
+// spreads over the cluster instead of hammering one replica.
+type Ring struct {
+	self   types.ReplicaID
+	n      int
+	cursor int
+}
+
+// NewRing creates a rotation over the n-1 peers of self. n must be >= 2.
+func NewRing(self types.ReplicaID, n int) *Ring {
+	return &Ring{self: self, n: n}
+}
+
+// Current returns the peer the rotation points at.
+func (r *Ring) Current() types.ReplicaID {
+	id := (int(r.self) + 1 + r.cursor%(r.n-1)) % r.n
+	return types.ReplicaID(id)
+}
+
+// Advance moves to the next peer and returns it.
+func (r *Ring) Advance() types.ReplicaID {
+	r.cursor = (r.cursor + 1) % (r.n - 1)
+	return r.Current()
+}
+
+// Target is one snapshot the fetcher wants: the finalization certificate
+// the engine could not connect to its tree. The certificate is carried so
+// diagnostics can name the block, but the request itself only tells the
+// peer what the requester already has — the peer serves its own window.
+type Target struct {
+	Round types.Round
+	Block types.BlockID
+	Cert  *types.Certificate
+}
+
+// Fetcher schedules snapshot fetches: a height-ordered deduplicated
+// target queue, at most one in-flight unicast request, and a per-peer
+// deadline after which the request is retried against the next peer in
+// rotation. The fetcher is passive like the engine that owns it — the
+// engine calls Begin/Expired/Retry/Done from its event handlers and turns
+// the returned peer choices into Send actions.
+type Fetcher struct {
+	ring    *Ring
+	timeout time.Duration
+
+	targets []Target // height-descending; [0] is the next to fetch
+
+	inflight bool
+	target   Target
+	peer     types.ReplicaID
+	deadline time.Time
+}
+
+// NewFetcher creates a fetcher for replica self in a cluster of n.
+// timeout is the per-peer silence budget before rotating.
+func NewFetcher(self types.ReplicaID, n int, timeout time.Duration) *Fetcher {
+	return &Fetcher{ring: NewRing(self, n), timeout: timeout}
+}
+
+// AddTarget queues a fetch target, deduplicating by round: a certificate
+// for a round already queued (or currently being fetched at or above it)
+// is dropped, and a higher round supersedes lower queued ones — one
+// snapshot at the highest height covers everything below it. Reports
+// whether the queue changed.
+func (f *Fetcher) AddTarget(c *types.Certificate) bool {
+	if c == nil {
+		return false
+	}
+	if f.inflight && f.target.Round >= c.Round {
+		return false
+	}
+	for _, t := range f.targets {
+		if t.Round >= c.Round {
+			return false
+		}
+	}
+	// c is higher than everything queued: it supersedes the queue.
+	f.targets = append(f.targets[:0], Target{Round: c.Round, Block: c.Block, Cert: c})
+	return true
+}
+
+// Fetching reports whether a request is in flight.
+func (f *Fetcher) Fetching() bool { return f.inflight }
+
+// Pending reports whether targets are queued (not counting in-flight).
+func (f *Fetcher) Pending() bool { return len(f.targets) > 0 }
+
+// Target returns the in-flight target; only valid while Fetching.
+func (f *Fetcher) Target() Target { return f.target }
+
+// Peer returns the peer currently being asked; only valid while Fetching.
+func (f *Fetcher) Peer() types.ReplicaID { return f.peer }
+
+// Deadline returns the in-flight request's retry deadline; only valid
+// while Fetching.
+func (f *Fetcher) Deadline() time.Time { return f.deadline }
+
+// Begin pops the highest queued target and starts a fetch against the
+// rotation's current peer. Returns false when nothing is queued or a
+// fetch is already in flight.
+func (f *Fetcher) Begin(now time.Time) bool {
+	if f.inflight || len(f.targets) == 0 {
+		return false
+	}
+	f.target = f.targets[0]
+	f.targets = f.targets[:0]
+	f.inflight = true
+	f.peer = f.ring.Current()
+	f.deadline = now.Add(f.timeout)
+	return true
+}
+
+// Expired reports whether the in-flight request's deadline has passed.
+func (f *Fetcher) Expired(now time.Time) bool {
+	return f.inflight && !now.Before(f.deadline)
+}
+
+// Retry rotates to the next peer and re-arms the deadline; the caller
+// resends the request to the returned peer. Only valid while Fetching.
+func (f *Fetcher) Retry(now time.Time) types.ReplicaID {
+	f.peer = f.ring.Advance()
+	f.deadline = now.Add(f.timeout)
+	return f.peer
+}
+
+// Done completes the fetch cycle at the given finalized round: the
+// in-flight request (if any) is cleared and queued targets at or below
+// the round are dropped — a snapshot at that height covered them.
+func (f *Fetcher) Done(round types.Round) {
+	if f.inflight && f.target.Round <= round {
+		f.inflight = false
+	}
+	kept := f.targets[:0]
+	for _, t := range f.targets {
+		if t.Round > round {
+			kept = append(kept, t)
+		}
+	}
+	f.targets = kept
+}

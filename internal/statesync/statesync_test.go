@@ -1,0 +1,132 @@
+package statesync
+
+import (
+	"testing"
+	"time"
+
+	"banyan/internal/types"
+)
+
+func cert(r types.Round) *types.Certificate {
+	return &types.Certificate{Kind: types.CertFinalization, Round: r}
+}
+
+func TestRingSkipsSelf(t *testing.T) {
+	r := NewRing(2, 4)
+	seen := map[types.ReplicaID]int{}
+	for i := 0; i < 9; i++ {
+		p := r.Current()
+		if p == 2 {
+			t.Fatal("ring returned self")
+		}
+		seen[p]++
+		r.Advance()
+	}
+	// 9 draws over 3 peers: each peer exactly 3 times.
+	for _, id := range []types.ReplicaID{0, 1, 3} {
+		if seen[id] != 3 {
+			t.Fatalf("peer %d drawn %d times, want 3", id, seen[id])
+		}
+	}
+}
+
+func TestFetcherDedupsByHeight(t *testing.T) {
+	f := NewFetcher(0, 4, time.Second)
+	if !f.AddTarget(cert(10)) {
+		t.Fatal("first target rejected")
+	}
+	if f.AddTarget(cert(8)) {
+		t.Fatal("lower target accepted")
+	}
+	if f.AddTarget(cert(10)) {
+		t.Fatal("duplicate target accepted")
+	}
+	if !f.AddTarget(cert(12)) {
+		t.Fatal("higher target rejected")
+	}
+	now := time.Unix(0, 0)
+	if !f.Begin(now) {
+		t.Fatal("begin failed")
+	}
+	if f.Target().Round != 12 {
+		t.Fatalf("fetching round %d, want 12 (highest supersedes)", f.Target().Round)
+	}
+	// In-flight at 12: anything at or below is a duplicate.
+	if f.AddTarget(cert(12)) || f.AddTarget(cert(5)) {
+		t.Fatal("target at or below in-flight accepted")
+	}
+	if !f.AddTarget(cert(20)) {
+		t.Fatal("target above in-flight rejected")
+	}
+}
+
+func TestFetcherTimeoutRotation(t *testing.T) {
+	f := NewFetcher(1, 4, time.Second)
+	f.AddTarget(cert(7))
+	now := time.Unix(100, 0)
+	f.Begin(now)
+	first := f.Peer()
+	if first == 1 {
+		t.Fatal("fetching from self")
+	}
+	if f.Expired(now.Add(999 * time.Millisecond)) {
+		t.Fatal("expired before deadline")
+	}
+	if !f.Expired(now.Add(time.Second)) {
+		t.Fatal("not expired at deadline")
+	}
+	second := f.Retry(now.Add(time.Second))
+	if second == first || second == 1 {
+		t.Fatalf("retry peer %d after %d", second, first)
+	}
+	if f.Expired(now.Add(1500 * time.Millisecond)) {
+		t.Fatal("deadline not re-armed on retry")
+	}
+	// Full rotation returns to the first peer.
+	p := second
+	for i := 0; i < 2; i++ {
+		p = f.Retry(now)
+	}
+	if p != first {
+		t.Fatalf("rotation did not wrap: got %d, want %d", p, first)
+	}
+}
+
+func TestFetcherDone(t *testing.T) {
+	f := NewFetcher(0, 4, time.Second)
+	f.AddTarget(cert(9))
+	now := time.Unix(0, 0)
+	f.Begin(now)
+	f.AddTarget(cert(15)) // queued behind the in-flight fetch
+
+	// Completing at 9 clears the in-flight fetch but keeps the higher target.
+	f.Done(9)
+	if f.Fetching() {
+		t.Fatal("still fetching after Done")
+	}
+	if !f.Pending() {
+		t.Fatal("higher target dropped")
+	}
+	if !f.Begin(now) || f.Target().Round != 15 {
+		t.Fatal("queued target not fetchable")
+	}
+	// Completing above the in-flight round clears everything.
+	f.Done(20)
+	if f.Fetching() || f.Pending() {
+		t.Fatal("Done above target left state behind")
+	}
+	if f.Begin(now) {
+		t.Fatal("Begin succeeded with empty queue")
+	}
+}
+
+func TestFetcherStaleDoneKeepsFetch(t *testing.T) {
+	f := NewFetcher(0, 4, time.Second)
+	f.AddTarget(cert(30))
+	f.Begin(time.Unix(0, 0))
+	// Suffix sync advancing to 12 does not cover the round-30 fetch.
+	f.Done(12)
+	if !f.Fetching() {
+		t.Fatal("in-flight fetch cleared by lower Done")
+	}
+}

@@ -114,6 +114,21 @@ func (h *Hub) Rejoin(id types.ReplicaID) {
 	}
 }
 
+// Drain discards everything queued for a replica. A replica provisioned
+// mid-run (Cluster.JoinReplica) connects its transport at join time and
+// must not inherit the backlog addressed to its slot before it existed —
+// replaying that history would let it catch up through a channel no
+// real deployment has.
+func (h *Hub) Drain(id types.ReplicaID) {
+	for {
+		select {
+		case <-h.queues[id]:
+		default:
+			return
+		}
+	}
+}
+
 // Dropped returns the number of messages dropped (loss, partitions, full
 // queues).
 func (h *Hub) Dropped() int64 {

@@ -14,6 +14,8 @@ func TestEncodedSizeExact(t *testing.T) {
 	msgs := []Message{
 		&SyncRequest{From: 3, To: 99},
 		&SyncResponse{},
+		&SnapshotRequest{Have: 42},
+		&SnapshotResponse{},
 	}
 	for i := 0; i < 200; i++ {
 		fv := randomVote(r)
@@ -34,6 +36,7 @@ func TestEncodedSizeExact(t *testing.T) {
 			&Advance{Notarization: randomCert(r), Unlock: randomUnlock(r)},
 			&NewView{Round: Round(i), Sender: 1, HighQC: randomCert(r), Signature: []byte("sig")},
 			&SyncResponse{Blocks: []*Block{randomBlock(r)}, Finalization: randomCert(r)},
+			&SnapshotResponse{Chain: []*Block{randomBlock(r)}, Finalization: randomCert(r)},
 		)
 	}
 	for _, m := range msgs {

@@ -215,6 +215,14 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 			encodeBlock(&e, b)
 		}
 		encodeOptCert(&e, v.Finalization)
+	case *SnapshotRequest:
+		e.u64(uint64(v.Have))
+	case *SnapshotResponse:
+		e.u32(uint32(len(v.Chain)))
+		for _, b := range v.Chain {
+			encodeBlock(&e, b)
+		}
+		encodeOptCert(&e, v.Finalization)
 	default:
 		return nil, fmt.Errorf("types: cannot encode message of type %T", m)
 	}
@@ -259,6 +267,8 @@ func cachedEncoding(m Message) []byte {
 		return v.enc
 	case *SyncResponse:
 		return v.enc
+	case *SnapshotResponse:
+		return v.enc
 	}
 	return nil
 }
@@ -278,6 +288,8 @@ func setCachedEncoding(m Message, enc []byte) {
 	case *NewView:
 		v.enc = enc
 	case *SyncResponse:
+		v.enc = enc
+	case *SnapshotResponse:
 		v.enc = enc
 	}
 }
@@ -345,11 +357,26 @@ func decodeMessage(data []byte, alias bool) (Message, error) {
 	case MsgSyncResponse:
 		sr := &SyncResponse{}
 		n := d.u32()
-		if d.err == nil && n > 2*MaxSyncBlocks {
+		// Same bound onSyncResponse enforces — an oversized response must
+		// die in the decoder, not survive to be half-trusted upstream.
+		if d.err == nil && n > MaxSyncBlocks {
 			d.fail(fmt.Errorf("types: sync response with %d blocks exceeds limit", n))
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
 			sr.Blocks = append(sr.Blocks, decodeBlock(d))
+		}
+		sr.Finalization = decodeOptCert(d)
+		m = sr
+	case MsgSnapshotRequest:
+		m = &SnapshotRequest{Have: Round(d.u64())}
+	case MsgSnapshotResponse:
+		sr := &SnapshotResponse{}
+		n := d.u32()
+		if d.err == nil && n > MaxSnapshotBlocks {
+			d.fail(fmt.Errorf("types: snapshot response with %d blocks exceeds limit", n))
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			sr.Chain = append(sr.Chain, decodeBlock(d))
 		}
 		sr.Finalization = decodeOptCert(d)
 		m = sr

@@ -389,15 +389,65 @@ func TestSyncMessagesRoundTrip(t *testing.T) {
 }
 
 func TestSyncResponseBlockLimitEnforced(t *testing.T) {
-	resp := &SyncResponse{}
-	for i := 0; i < 2*MaxSyncBlocks+1; i++ {
-		resp.Blocks = append(resp.Blocks, NewBlock(Round(i+1), 0, 0, BlockID{}, Payload{}))
+	// The decoder bound must match the MaxSyncBlocks limit onSyncResponse
+	// enforces: exactly MaxSyncBlocks decodes, one more is rejected.
+	mk := func(n int) []byte {
+		resp := &SyncResponse{}
+		for i := 0; i < n; i++ {
+			resp.Blocks = append(resp.Blocks, NewBlock(Round(i+1), 0, 0, BlockID{}, Payload{}))
+		}
+		enc, err := EncodeMessage(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	if _, err := DecodeMessage(mk(MaxSyncBlocks)); err != nil {
+		t.Fatalf("full sync response rejected: %v", err)
+	}
+	if _, err := DecodeMessage(mk(MaxSyncBlocks + 1)); err == nil {
+		t.Fatal("oversized sync response decoded")
+	}
+}
+
+func TestSnapshotMessagesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		req := &SnapshotRequest{Have: Round(r.Uint64() >> 16)}
+		got := roundTrip(t, req).(*SnapshotRequest)
+		if *got != *req {
+			t.Fatalf("snapshot request mismatch: %+v vs %+v", got, req)
+		}
+
+		resp := &SnapshotResponse{Finalization: randomCert(r)}
+		for j := 0; j < r.Intn(4); j++ {
+			resp.Chain = append(resp.Chain, randomBlock(r))
+		}
+		gotResp := roundTrip(t, resp).(*SnapshotResponse)
+		if len(gotResp.Chain) != len(resp.Chain) {
+			t.Fatalf("chain length %d vs %d", len(gotResp.Chain), len(resp.Chain))
+		}
+		for j := range resp.Chain {
+			if gotResp.Chain[j].ID() != resp.Chain[j].ID() {
+				t.Fatalf("block %d identity changed", j)
+			}
+		}
+		if !reflect.DeepEqual(gotResp.Finalization, resp.Finalization) {
+			t.Fatal("finalization certificate changed")
+		}
+	}
+}
+
+func TestSnapshotResponseBlockLimitEnforced(t *testing.T) {
+	resp := &SnapshotResponse{}
+	for i := 0; i < MaxSnapshotBlocks+1; i++ {
+		resp.Chain = append(resp.Chain, NewBlock(Round(i+1), 0, 0, BlockID{}, Payload{}))
 	}
 	enc, err := EncodeMessage(resp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := DecodeMessage(enc); err == nil {
-		t.Fatal("oversized sync response decoded")
+		t.Fatal("oversized snapshot response decoded")
 	}
 }

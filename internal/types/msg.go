@@ -28,6 +28,14 @@ const (
 	// MsgSyncResponse returns finalized blocks plus a finalization
 	// certificate proving the segment.
 	MsgSyncResponse
+	// MsgSnapshotRequest asks one peer for its finalized-window snapshot;
+	// sent by a replica whose missing prefix no peer can serve via
+	// MsgSyncRequest (fresh join, disk loss, or a deep-pruned cluster).
+	MsgSnapshotRequest
+	// MsgSnapshotResponse returns a finalized chain window plus the
+	// finalization certificate that anchors it; the requester trusts
+	// nothing in it until the certificate passes quorum verification.
+	MsgSnapshotResponse
 )
 
 func (k MsgKind) String() string {
@@ -46,6 +54,10 @@ func (k MsgKind) String() string {
 		return "sync-request"
 	case MsgSyncResponse:
 		return "sync-response"
+	case MsgSnapshotRequest:
+		return "snapshot-request"
+	case MsgSnapshotResponse:
+		return "snapshot-response"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -307,6 +319,64 @@ func (m *SyncResponse) WireSize() int {
 // MaxSyncBlocks bounds the blocks in one SyncResponse; requesters iterate.
 const MaxSyncBlocks = 64
 
+// SnapshotRequest asks a single peer for its finalized-window snapshot.
+// Have is the requester's finalized round; a peer replies only when its
+// window tip is strictly ahead. Unlike SyncRequest it is always unicast —
+// the fetch scheduler (internal/statesync) rotates peers on timeout
+// instead of fanning out.
+// SnapshotRequest stays comparable (tests use ==) and is 9 bytes on the
+// wire, so it carries no encoding cache.
+type SnapshotRequest struct {
+	Have Round
+}
+
+// Kind implements Message.
+func (*SnapshotRequest) Kind() MsgKind { return MsgSnapshotRequest }
+
+// WireSize implements Message.
+func (*SnapshotRequest) WireSize() int { return 1 + 8 }
+
+// EncodedSize implements Message.
+func (*SnapshotRequest) EncodedSize() int { return 1 + 8 }
+
+// SnapshotResponse carries the responder's finalized chain window
+// (ascending, contiguous rounds ending at its window tip) and a
+// finalization certificate at or above the tip. The requester verifies
+// the certificate against the quorum before adopting anything — the
+// certificate, not the sender, is the trust anchor.
+type SnapshotResponse struct {
+	Chain        []*Block
+	Finalization *Certificate
+
+	enc []byte // memoized wire encoding (CachedEncoding)
+}
+
+// Kind implements Message.
+func (*SnapshotResponse) Kind() MsgKind { return MsgSnapshotResponse }
+
+// WireSize implements Message.
+func (m *SnapshotResponse) WireSize() int {
+	s := 1 + 4
+	for _, b := range m.Chain {
+		s += blockWireSize(b)
+	}
+	return s + certWireSize(m.Finalization)
+}
+
+// EncodedSize implements Message.
+func (m *SnapshotResponse) EncodedSize() int {
+	s := 1 + 4
+	for _, b := range m.Chain {
+		s += blockEncodedSize(b)
+	}
+	return s + certWireSize(m.Finalization)
+}
+
+// MaxSnapshotBlocks bounds the window in one SnapshotResponse. Windows
+// are PruneKeep-sized (default 16), so this is generous headroom rather
+// than a pagination unit.
+const MaxSnapshotBlocks = 1024
+
 // Compile-time interface checks.
 var (
 	_ Message = (*Proposal)(nil)
@@ -316,4 +386,6 @@ var (
 	_ Message = (*NewView)(nil)
 	_ Message = (*SyncRequest)(nil)
 	_ Message = (*SyncResponse)(nil)
+	_ Message = (*SnapshotRequest)(nil)
+	_ Message = (*SnapshotResponse)(nil)
 )

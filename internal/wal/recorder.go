@@ -387,22 +387,28 @@ func (r *Recorder) Err() error {
 	return r.log.err
 }
 
-// loggedInbound says which peer messages are journaled. Sync requests
-// are stateless (served from the tree) and skipped; everything else —
-// including sync responses, whose blocks feed catch-up state — is
-// recorded.
+// loggedInbound says which peer messages are journaled. Sync and
+// snapshot requests are stateless (served from the tree) and skipped;
+// everything else — including sync and snapshot responses, whose blocks
+// feed catch-up state and must be re-adopted on replay — is recorded.
 func loggedInbound(msg types.Message) bool {
-	_, isReq := msg.(*types.SyncRequest)
-	return !isReq
+	switch msg.(type) {
+	case *types.SyncRequest, *types.SnapshotRequest:
+		return false
+	default:
+		return true
+	}
 }
 
 // loggedOwn says which of the replica's own messages are journaled. Sync
-// traffic is derived state (requests are stateless, responses are read
-// from the finalized tree) and would bloat the log; every message that
-// carries this replica's signatures or certificates is recorded.
+// and snapshot traffic is derived state (requests are stateless,
+// responses are read from the finalized tree) and would bloat the log;
+// every message that carries this replica's signatures or certificates
+// is recorded.
 func loggedOwn(msg types.Message) bool {
 	switch msg.(type) {
-	case *types.SyncRequest, *types.SyncResponse:
+	case *types.SyncRequest, *types.SyncResponse,
+		*types.SnapshotRequest, *types.SnapshotResponse:
 		return false
 	default:
 		return true

@@ -78,6 +78,15 @@ type ReplicaConfig struct {
 	// many finalized rounds (0 = default 16, negative = disabled); see
 	// ClusterConfig.WALCheckpointRounds.
 	WALCheckpointRounds int
+	// DeepPrune evicts finalized block bodies below the engine's prune
+	// floor; see ClusterConfig.DeepPrune. A deployment running DeepPrune
+	// serves catch-up from a bounded window, and replicas that lose
+	// their disk rejoin via peer snapshot state sync (point a fresh
+	// Replica at an empty WALDir and Start it).
+	DeepPrune bool
+	// PruneKeep / PruneInterval override the engine's pruning cadence in
+	// rounds (0 = engine defaults).
+	PruneKeep, PruneInterval int
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -194,7 +203,12 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		Workers: cfg.VerifyWorkers, CacheSize: cfg.VerifyCacheSize,
 	})
 	eng, err := buildEngine(cfg.Protocol, params, types.ReplicaID(cfg.ID),
-		keyring, verifier, signers[cfg.ID], bc, r.pool, cfg.Delta)
+		keyring, verifier, signers[cfg.ID], bc, r.pool, engineTuning{
+			delta:         cfg.Delta,
+			deepPrune:     cfg.DeepPrune,
+			pruneKeep:     types.Round(cfg.PruneKeep),
+			pruneInterval: types.Round(cfg.PruneInterval),
+		})
 	if err != nil {
 		tr.Close()
 		return nil, err
