@@ -100,6 +100,13 @@ type ClusterConfig struct {
 	// PruneKeep / PruneInterval override the Banyan engines' pruning
 	// cadence in rounds (0 = engine defaults: keep 16, prune every 64).
 	PruneKeep, PruneInterval int
+	// OptimisticProposals enables Moonshot-style proposal pipelining in
+	// the Banyan engines: the next leader signs and broadcasts its block
+	// on the expected parent before the round certifies, confirming it
+	// with its fast vote or withdrawing it on a parent mismatch (see
+	// core.Config.OptimisticProposals). Requires ProtocolBanyan (the fast
+	// path). Keep the knob stable across restarts of a WAL-backed cluster.
+	OptimisticProposals bool
 	// HoldStart lists replicas excluded from Start. A held replica boots
 	// later via JoinReplica, cold, having observed nothing — the
 	// fresh-join scenario.
@@ -286,6 +293,7 @@ func (c *Cluster) buildReplica(i int) error {
 			deepPrune:     c.cfg.DeepPrune,
 			pruneKeep:     types.Round(c.cfg.PruneKeep),
 			pruneInterval: types.Round(c.cfg.PruneInterval),
+			optimistic:    c.cfg.OptimisticProposals,
 		})
 	if err != nil {
 		return err
@@ -353,6 +361,7 @@ type engineTuning struct {
 	deepPrune     bool
 	pruneKeep     types.Round
 	pruneInterval types.Round
+	optimistic    bool
 }
 
 func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
@@ -362,18 +371,19 @@ func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 	switch proto {
 	case ProtocolBanyan, ProtocolBanyanNoFast:
 		return core.New(core.Config{
-			Params:          params,
-			Self:            id,
-			Keyring:         keyring,
-			Verifier:        verifier,
-			Signer:          signer,
-			Beacon:          bc,
-			Payloads:        payloads,
-			Delta:           delta,
-			DisableFastPath: proto == ProtocolBanyanNoFast,
-			DeepPrune:       tune.deepPrune,
-			PruneKeep:       tune.pruneKeep,
-			PruneInterval:   tune.pruneInterval,
+			Params:              params,
+			Self:                id,
+			Keyring:             keyring,
+			Verifier:            verifier,
+			Signer:              signer,
+			Beacon:              bc,
+			Payloads:            payloads,
+			Delta:               delta,
+			DisableFastPath:     proto == ProtocolBanyanNoFast,
+			OptimisticProposals: tune.optimistic,
+			DeepPrune:           tune.deepPrune,
+			PruneKeep:           tune.pruneKeep,
+			PruneInterval:       tune.pruneInterval,
 		})
 	case ProtocolICC:
 		return icc.New(icc.Config{

@@ -43,21 +43,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("localnet", flag.ContinueOnError)
 	var (
-		n         = fs.Int("n", 4, "number of replicas")
-		proto     = fs.String("protocol", "banyan", "protocol: banyan, banyan-nofast, icc, hotstuff, streamlet")
-		pFlag     = fs.Int("p", 1, "Banyan fast-path slack p")
-		delta     = fs.Duration("delta", 20*time.Millisecond, "message-delay bound Δ")
-		duration  = fs.Duration("duration", 15*time.Second, "run time")
-		load      = fs.Int("load", 200, "transactions per second submitted across the cluster")
-		txSize    = fs.Int("tx-size", 512, "bytes per transaction")
-		basePort  = fs.Int("base-port", 0, "first TCP port (0 = ephemeral ports)")
-		walDir    = fs.String("wal-dir", "", "write-ahead log root (one subdirectory per replica; empty = no WAL)")
-		walSync   = fs.Duration("wal-sync", 0, "WAL group-commit window (0 = 2ms default)")
-		walEvery  = fs.Bool("wal-sync-every-record", false, "fsync the WAL per record instead of group-committing")
-		crashID   = fs.Int("crash", -1, "replica to kill mid-run (requires -wal-dir; must not be 0, the observer)")
-		crashAt   = fs.Duration("crash-at", 0, "when to kill it (0 = duration/3)")
-		restartAt = fs.Duration("restart-at", 0, "when to restart it from its WAL (0 = 2*duration/3)")
-		diskLoss  = fs.Bool("disk-loss", false, "wipe the crashed replica's WAL before restarting: it returns with no durable state and must recover its chain from peers via snapshot state sync (runs all replicas deep-pruned so only a bounded window is serveable)")
+		n          = fs.Int("n", 4, "number of replicas")
+		proto      = fs.String("protocol", "banyan", "protocol: banyan, banyan-nofast, icc, hotstuff, streamlet")
+		pFlag      = fs.Int("p", 1, "Banyan fast-path slack p")
+		delta      = fs.Duration("delta", 20*time.Millisecond, "message-delay bound Δ")
+		duration   = fs.Duration("duration", 15*time.Second, "run time")
+		load       = fs.Int("load", 200, "transactions per second submitted across the cluster")
+		txSize     = fs.Int("tx-size", 512, "bytes per transaction")
+		basePort   = fs.Int("base-port", 0, "first TCP port (0 = ephemeral ports)")
+		walDir     = fs.String("wal-dir", "", "write-ahead log root (one subdirectory per replica; empty = no WAL)")
+		walSync    = fs.Duration("wal-sync", 0, "WAL group-commit window (0 = 2ms default)")
+		walEvery   = fs.Bool("wal-sync-every-record", false, "fsync the WAL per record instead of group-committing")
+		crashID    = fs.Int("crash", -1, "replica to kill mid-run (requires -wal-dir; must not be 0, the observer)")
+		crashAt    = fs.Duration("crash-at", 0, "when to kill it (0 = duration/3)")
+		restartAt  = fs.Duration("restart-at", 0, "when to restart it from its WAL (0 = 2*duration/3)")
+		diskLoss   = fs.Bool("disk-loss", false, "wipe the crashed replica's WAL before restarting: it returns with no durable state and must recover its chain from peers via snapshot state sync (runs all replicas deep-pruned so only a bounded window is serveable)")
+		optimistic = fs.Bool("optimistic", false, "enable optimistic proposal pipelining (Moonshot mode): the next leader broadcasts its block on the expected parent before the round certifies (banyan protocol only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,14 +100,15 @@ func run(args []string) error {
 
 	mkReplica := func(i int) (*banyan.Replica, error) {
 		cfg := banyan.ReplicaConfig{
-			ID:                 i,
-			N:                  *n,
-			P:                  *pFlag,
-			Protocol:           banyan.Protocol(*proto),
-			Peers:              peers,
-			Delta:              *delta,
-			WALSyncInterval:    *walSync,
-			WALSyncEveryRecord: *walEvery,
+			ID:                  i,
+			N:                   *n,
+			P:                   *pFlag,
+			Protocol:            banyan.Protocol(*proto),
+			Peers:               peers,
+			Delta:               *delta,
+			WALSyncInterval:     *walSync,
+			WALSyncEveryRecord:  *walEvery,
+			OptimisticProposals: *optimistic,
 		}
 		if *diskLoss {
 			// Deep-pruned, tight windows: peers can only serve their last

@@ -124,6 +124,306 @@ func (e *EquivocatingLeader) split(prop *types.Proposal) []protocol.Action {
 	return acts
 }
 
+// OptimisticEquivocator attacks the optimistic proposal pipeline: every
+// own proposal — including the credential-less optimistic body broadcast
+// — is split into conflicting twins sent to different cluster halves,
+// and every own vote for a split block is equivocated to match (each
+// half sees the leader fast-voting "its" twin). An honest cluster must
+// never fast-commit either twin: the fast quorum n-p forces any two
+// commit quorums to share an honest replica, and honest replicas vote
+// for at most one rank-0 block per round.
+type OptimisticEquivocator struct {
+	inner  protocol.Engine
+	signer *crypto.Signer
+	n      int
+	twins  map[types.BlockID]*types.Block // original block ID → forged twin
+}
+
+var _ protocol.Engine = (*OptimisticEquivocator)(nil)
+
+// NewOptimisticEquivocator wraps an engine (the adversary's own replica)
+// with its signer; n is the cluster size.
+func NewOptimisticEquivocator(inner protocol.Engine, signer *crypto.Signer, n int) *OptimisticEquivocator {
+	return &OptimisticEquivocator{inner: inner, signer: signer, n: n, twins: make(map[types.BlockID]*types.Block)}
+}
+
+// ID implements protocol.Engine.
+func (e *OptimisticEquivocator) ID() types.ReplicaID { return e.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (e *OptimisticEquivocator) Protocol() string { return e.inner.Protocol() + "-opt-equivocator" }
+
+// Metrics implements protocol.Engine.
+func (e *OptimisticEquivocator) Metrics() map[string]int64 { return e.inner.Metrics() }
+
+// Pairs returns the equivocated (original, twin) block-ID pairs produced
+// so far, keyed by the original's ID. Tests use it to assert at most one
+// of each pair ever commits.
+func (e *OptimisticEquivocator) Pairs() map[types.BlockID]types.BlockID {
+	out := make(map[types.BlockID]types.BlockID, len(e.twins))
+	for orig, twin := range e.twins {
+		out[orig] = twin.ID()
+	}
+	return out
+}
+
+// Start implements protocol.Engine.
+func (e *OptimisticEquivocator) Start(now time.Time) []protocol.Action {
+	return e.rewrite(e.inner.Start(now))
+}
+
+// HandleMessage implements protocol.Engine.
+func (e *OptimisticEquivocator) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	return e.rewrite(e.inner.HandleMessage(from, msg, now))
+}
+
+// HandleTimer implements protocol.Engine.
+func (e *OptimisticEquivocator) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return e.rewrite(e.inner.HandleTimer(id, now))
+}
+
+func (e *OptimisticEquivocator) rewrite(acts []protocol.Action) []protocol.Action {
+	out := make([]protocol.Action, 0, len(acts))
+	for _, a := range acts {
+		bc, ok := a.(protocol.Broadcast)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		switch m := bc.Msg.(type) {
+		case *types.Proposal:
+			if m.Relayed || m.Block == nil || m.Block.Proposer != e.ID() {
+				out = append(out, a)
+				continue
+			}
+			out = append(out, e.splitProposal(m)...)
+		case *types.VoteMsg:
+			out = append(out, e.splitVotes(m)...)
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// splitProposal forges a twin of an own proposal and sends the original
+// to the even half, the twin to the odd half. A bare (optimistic)
+// original yields a bare twin — the confirmation votes are equivocated
+// later by splitVotes.
+func (e *OptimisticEquivocator) splitProposal(prop *types.Proposal) []protocol.Action {
+	b := prop.Block
+	twin, ok := e.twins[b.ID()]
+	if !ok {
+		twinPayload := types.SyntheticPayload(b.Payload.Size()+1, uint64(b.Round)^0xEC0EC0)
+		twin = types.NewBlock(b.Round, b.Proposer, b.Rank, b.Parent, twinPayload)
+		if err := e.signer.SignBlock(twin); err != nil {
+			return []protocol.Action{protocol.Broadcast{Msg: prop}}
+		}
+		e.twins[b.ID()] = twin
+	}
+	twinProp := &types.Proposal{
+		Block:              twin,
+		ParentNotarization: prop.ParentNotarization,
+		ParentUnlock:       prop.ParentUnlock,
+	}
+	if prop.FastVote != nil {
+		fv := e.signer.SignVote(types.VoteFast, twin.Round, twin.ID())
+		twinProp.FastVote = &fv
+	}
+	var acts []protocol.Action
+	for i := 0; i < e.n; i++ {
+		id := types.ReplicaID(i)
+		if id == e.ID() {
+			continue
+		}
+		if i%2 == 0 {
+			acts = append(acts, protocol.Send{To: id, Msg: prop})
+		} else {
+			acts = append(acts, protocol.Send{To: id, Msg: twinProp})
+		}
+	}
+	return acts
+}
+
+// splitVotes rewrites an own vote message: votes for a split block go
+// out twice — the original to the even half, a re-signed vote for the
+// twin to the odd half — so each half sees a consistent leader. This is
+// what turns the optimistic confirmation fast vote into equivocation.
+func (e *OptimisticEquivocator) splitVotes(vm *types.VoteMsg) []protocol.Action {
+	split := false
+	for _, v := range vm.Votes {
+		if _, ok := e.twins[v.Block]; ok && v.Voter == e.ID() {
+			split = true
+			break
+		}
+	}
+	if !split {
+		return []protocol.Action{protocol.Broadcast{Msg: vm}}
+	}
+	odd := make([]types.Vote, 0, len(vm.Votes))
+	for _, v := range vm.Votes {
+		if twin, ok := e.twins[v.Block]; ok && v.Voter == e.ID() {
+			odd = append(odd, e.signer.SignVote(v.Kind, v.Round, twin.ID()))
+		} else {
+			odd = append(odd, v)
+		}
+	}
+	evenMsg, oddMsg := vm, &types.VoteMsg{Votes: odd}
+	var acts []protocol.Action
+	for i := 0; i < e.n; i++ {
+		id := types.ReplicaID(i)
+		if id == e.ID() {
+			continue
+		}
+		if i%2 == 0 {
+			acts = append(acts, protocol.Send{To: id, Msg: evenMsg})
+		} else {
+			acts = append(acts, protocol.Send{To: id, Msg: oddMsg})
+		}
+	}
+	return acts
+}
+
+// StaleParentLeader attacks the parent-extension rule the optimistic
+// path leans on: whenever it leads, it re-targets its rank-0 proposal at
+// the *grandparent* — a finalized-but-superseded extension point — and
+// re-signs its credentials for the forged block. Honest replicas must
+// refuse to vote for it (a rank-0 block must extend the previous round's
+// tip), costing the adversary its round but never safety.
+type StaleParentLeader struct {
+	inner  protocol.Engine
+	signer *crypto.Signer
+	seen   map[types.BlockID]*types.Block // every block observed, for ancestry lookups
+	forged map[types.BlockID]*types.Block // original block ID → stale-parent forgery
+}
+
+var _ protocol.Engine = (*StaleParentLeader)(nil)
+
+// NewStaleParentLeader wraps an engine (the adversary's own replica)
+// with its signer.
+func NewStaleParentLeader(inner protocol.Engine, signer *crypto.Signer) *StaleParentLeader {
+	return &StaleParentLeader{
+		inner:  inner,
+		signer: signer,
+		seen:   make(map[types.BlockID]*types.Block),
+		forged: make(map[types.BlockID]*types.Block),
+	}
+}
+
+// ID implements protocol.Engine.
+func (s *StaleParentLeader) ID() types.ReplicaID { return s.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (s *StaleParentLeader) Protocol() string { return s.inner.Protocol() + "-stale-parent" }
+
+// Metrics implements protocol.Engine.
+func (s *StaleParentLeader) Metrics() map[string]int64 { return s.inner.Metrics() }
+
+// ForgedIDs returns the stale-parent blocks broadcast so far. Tests use
+// it to assert none ever commits.
+func (s *StaleParentLeader) ForgedIDs() []types.BlockID {
+	out := make([]types.BlockID, 0, len(s.forged))
+	for _, b := range s.forged {
+		out = append(out, b.ID())
+	}
+	return out
+}
+
+// Start implements protocol.Engine.
+func (s *StaleParentLeader) Start(now time.Time) []protocol.Action {
+	return s.rewrite(s.inner.Start(now))
+}
+
+// HandleMessage implements protocol.Engine.
+func (s *StaleParentLeader) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	if p, ok := msg.(*types.Proposal); ok && p.Block != nil {
+		s.seen[p.Block.ID()] = p.Block
+	}
+	return s.rewrite(s.inner.HandleMessage(from, msg, now))
+}
+
+// HandleTimer implements protocol.Engine.
+func (s *StaleParentLeader) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return s.rewrite(s.inner.HandleTimer(id, now))
+}
+
+func (s *StaleParentLeader) rewrite(acts []protocol.Action) []protocol.Action {
+	out := make([]protocol.Action, 0, len(acts))
+	for _, a := range acts {
+		bc, ok := a.(protocol.Broadcast)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		switch m := bc.Msg.(type) {
+		case *types.Proposal:
+			if m.Block != nil {
+				s.seen[m.Block.ID()] = m.Block
+			}
+			if m.Relayed || m.Block == nil || m.Block.Proposer != s.ID() || m.Block.Rank != 0 {
+				out = append(out, a)
+				continue
+			}
+			out = append(out, s.retarget(m))
+		case *types.VoteMsg:
+			out = append(out, protocol.Broadcast{Msg: s.resign(m)})
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// retarget rebuilds an own rank-0 proposal on the grandparent. If the
+// parent's ancestry is unknown (round 1, or the parent arrived bare and
+// was pruned) the proposal passes through honestly.
+func (s *StaleParentLeader) retarget(prop *types.Proposal) protocol.Action {
+	b := prop.Block
+	parent, ok := s.seen[b.Parent]
+	if !ok || parent.Round < 1 {
+		return protocol.Broadcast{Msg: prop}
+	}
+	forged, done := s.forged[b.ID()]
+	if !done {
+		forged = types.NewBlock(b.Round, b.Proposer, 0, parent.Parent, b.Payload)
+		if err := s.signer.SignBlock(forged); err != nil {
+			return protocol.Broadcast{Msg: prop}
+		}
+		s.forged[b.ID()] = forged
+	}
+	fp := &types.Proposal{
+		Block:              forged,
+		ParentNotarization: prop.ParentNotarization,
+		ParentUnlock:       prop.ParentUnlock,
+	}
+	if prop.FastVote != nil {
+		fv := s.signer.SignVote(types.VoteFast, forged.Round, forged.ID())
+		fp.FastVote = &fv
+	}
+	return protocol.Broadcast{Msg: fp}
+}
+
+// resign redirects own votes for a retargeted block to the forgery, so
+// the stale proposal arrives with the proposer's fast vote attached —
+// honest replicas must reject it on the extension rule alone, not
+// because its credentials are missing.
+func (s *StaleParentLeader) resign(vm *types.VoteMsg) *types.VoteMsg {
+	changed := false
+	votes := make([]types.Vote, len(vm.Votes))
+	for i, v := range vm.Votes {
+		if forged, ok := s.forged[v.Block]; ok && v.Voter == s.ID() {
+			votes[i] = s.signer.SignVote(v.Kind, v.Round, forged.ID())
+			changed = true
+		} else {
+			votes[i] = v
+		}
+	}
+	if !changed {
+		return vm
+	}
+	return &types.VoteMsg{Votes: votes}
+}
+
 // Silent is a crash-like adversary: it participates normally until
 // SilenceAfter, then emits nothing (but keeps consuming messages, unlike a
 // crash — a "mute" fault).

@@ -62,6 +62,16 @@ type Engine struct {
 	// only come from the journal itself.
 	replaying bool
 
+	// opt is the in-flight optimistic proposal (Config.OptimisticProposals):
+	// a signed block for round opt.round, broadcast while this replica was
+	// still in round opt.round-1, extending the parent it expected that
+	// round to certify. It is deliberately NOT in rounds[opt.round].blocks
+	// or the tree — it becomes this replica's proposal only when tryPropose
+	// confirms it (certified parent matched) and fast-votes it; a mismatch
+	// withdraws it, and the block, lacking its proposer's fast vote, can
+	// never satisfy validBlock anywhere.
+	opt *optimisticProposal
+
 	lastPrune types.Round
 
 	met struct {
@@ -81,7 +91,18 @@ type Engine struct {
 		ssServed      int64
 		ssRejected    int64
 		ssBytes       int64
+		optProposed   int64
+		optConfirmed  int64
+		optWithdrawn  int64
 	}
+}
+
+// optimisticProposal is a proposal signed and broadcast before its
+// parent round certified, pending confirmation or withdrawal.
+type optimisticProposal struct {
+	round  types.Round
+	parent types.BlockID
+	block  *types.Block
 }
 
 var _ protocol.Engine = (*Engine)(nil)
@@ -274,6 +295,9 @@ func (e *Engine) Metrics() map[string]int64 {
 		"statesync_served":   e.met.ssServed,
 		"statesync_rejected": e.met.ssRejected,
 		"statesync_bytes":    e.met.ssBytes,
+		"opt_proposed":       e.met.optProposed,
+		"opt_confirmed":      e.met.optConfirmed,
+		"opt_withdrawn":      e.met.optWithdrawn,
 	}
 }
 
@@ -447,6 +471,9 @@ func (e *Engine) progress(now time.Time, acts []protocol.Action) []protocol.Acti
 			changed, acts = true, a
 		}
 		if c, a := e.tryPropose(now, acts); c {
+			changed, acts = true, a
+		}
+		if c, a := e.tryOptimisticPropose(acts); c {
 			changed, acts = true, a
 		}
 		if c, a := e.tryVote(now, acts); c {
@@ -962,7 +989,13 @@ func (e *Engine) parentOK(b *types.Block) bool {
 		return b.Parent == e.tree.Genesis().ID()
 	}
 	if e.tree.IsFinalized(b.Parent) {
-		return true // finalized: notarized and unlocked by definition
+		// Finalized: notarized and unlocked by definition — but only a
+		// round-(k-1) parent is a legal extension point. A finalized parent
+		// from an older round is a superseded fork point: voting for such a
+		// block could notarize a chain that contradicts the finalized block
+		// at round k-1 and halt the cluster with a safety fault.
+		pb, ok := e.tree.Block(b.Parent)
+		return ok && pb.Round == b.Round-1
 	}
 	prev, ok := e.rounds[b.Round-1]
 	if !ok {
@@ -979,10 +1012,23 @@ func (e *Engine) parentOK(b *types.Block) bool {
 }
 
 // tryPropose implements Algorithm 1 line 23: propose once the proposal
-// delay for this replica's rank has elapsed.
+// delay for this replica's rank has elapsed. In OptimisticProposals mode
+// it is also where an in-flight optimistic proposal resolves: confirmed
+// (adopted and fast-voted) when the certified parent matches the
+// expected one, withdrawn otherwise.
 func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
 	rs := e.getRound(e.round)
-	if e.replaying || !rs.started || rs.proposed || rs.advanced {
+	if e.replaying || !rs.started {
+		return false, acts
+	}
+	if e.opt != nil && e.opt.round < e.round {
+		// The chain advanced past the optimistic target without this
+		// replica proposing (catch-up jump): the never-fast-voted block is
+		// inert everywhere; drop it.
+		e.opt = nil
+		e.met.optWithdrawn++
+	}
+	if rs.proposed || rs.advanced {
 		return false, acts
 	}
 	rank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self)
@@ -990,7 +1036,21 @@ func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []prot
 		return false, acts
 	}
 	parentID, parentNotar, parentProof := e.parentCreds(e.round)
-	payload := e.cfg.Payloads.NextPayload(e.round)
+	var payload types.Payload
+	if opt := e.opt; opt != nil && opt.round == e.round {
+		e.opt = nil
+		if opt.parent == parentID {
+			return true, e.confirmOptimistic(rs, opt, acts)
+		}
+		// Withdrawn: the round certified a different parent. Re-propose on
+		// the real parent, reusing the optimistic payload — NextPayload
+		// drains queued transactions, so drawing a fresh batch here would
+		// lose the withdrawn one.
+		e.met.optWithdrawn++
+		payload = opt.block.Payload
+	} else {
+		payload = e.cfg.Payloads.NextPayload(e.round)
+	}
 	b := types.NewBlock(e.round, e.cfg.Self, rank, parentID, payload)
 	if err := e.cfg.Signer.SignBlock(b); err != nil {
 		// Impossible by construction (proposer == signer); treat as fatal.
@@ -1017,6 +1077,83 @@ func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []prot
 		addVote(rs.fastVotes, id, e.cfg.Self, fv.Signature)
 	}
 	return true, append(acts, protocol.Broadcast{Msg: msg})
+}
+
+// tryOptimisticPropose implements the Moonshot-style pipelining mode
+// (Config.OptimisticProposals): when this replica holds rank 0 for the
+// next round and the current round has exactly one rank-0 block, the next
+// proposal's parent is overwhelmingly likely to be that block — so sign
+// and broadcast the proposal now, overlapping the (large) block body's
+// network transmission with the current round's quorum formation. The
+// broadcast is deliberately inert: it carries no fast vote and no parent
+// credentials, and validBlock requires the proposer's fast vote for a
+// rank-0 block, so no replica can vote for it until tryPropose later
+// confirms it. The leader's single per-round fast vote is thus the commit
+// point, and safety reduces to the existing vote rules.
+func (e *Engine) tryOptimisticPropose(acts []protocol.Action) (bool, []protocol.Action) {
+	if !e.cfg.OptimisticProposals || e.replaying {
+		return false, acts
+	}
+	next := e.round + 1
+	if e.opt != nil && e.opt.round >= next {
+		return false, acts
+	}
+	if e.cfg.Beacon.RankOf(next, e.cfg.Self) != 0 {
+		return false, acts
+	}
+	rs := e.getRound(e.round)
+	if !rs.started || rs.advanced {
+		return false, acts
+	}
+	if nrs, ok := e.rounds[next]; ok && nrs.proposed {
+		return false, acts
+	}
+	// The expected parent is the current round's unique rank-0 block. Two
+	// rank-0 blocks mean the round's leader equivocated — no safe guess.
+	var parent *types.Block
+	for _, b := range rs.blocks {
+		if b.Rank != 0 {
+			continue
+		}
+		if parent != nil {
+			return false, acts
+		}
+		parent = b
+	}
+	if parent == nil {
+		return false, acts
+	}
+	payload := e.cfg.Payloads.NextPayload(next)
+	b := types.NewBlock(next, e.cfg.Self, 0, parent.ID(), payload)
+	if err := e.cfg.Signer.SignBlock(b); err != nil {
+		e.stop(fmt.Errorf("core: signing optimistic block: %w", err))
+		return true, acts
+	}
+	e.opt = &optimisticProposal{round: next, parent: parent.ID(), block: b}
+	e.met.optProposed++
+	return true, append(acts, protocol.Broadcast{Msg: &types.Proposal{Block: b}})
+}
+
+// confirmOptimistic adopts a pipelined proposal whose expected parent was
+// certified: the already-broadcast block becomes this round's proposal,
+// and the fast vote receivers have been waiting for goes out as a tiny
+// VoteMsg — the block body is already on the wire, and receivers take the
+// parent credentials from the Advance broadcast that accompanied leaving
+// the previous round.
+func (e *Engine) confirmOptimistic(rs *roundState, opt *optimisticProposal,
+	acts []protocol.Action) []protocol.Action {
+	b := opt.block
+	id := b.ID()
+	rs.blocks[id] = b
+	rs.valid[id] = true
+	e.tree.Add(b)
+	rs.proposed = true
+	e.met.proposals++
+	e.met.optConfirmed++
+	fv := e.cfg.Signer.SignVote(types.VoteFast, e.round, id)
+	rs.fastVoteSent = true
+	addVote(rs.fastVotes, id, e.cfg.Self, fv.Signature)
+	return append(acts, protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{fv}}})
 }
 
 // parentCreds returns the parent this replica extends in round r, plus the
@@ -1083,9 +1220,23 @@ func (e *Engine) tryVote(now time.Time, acts []protocol.Action) (bool, []protoco
 }
 
 // relayProposal rebuilds a Proposal message for a block this replica is
-// about to vote for, with the best parent credentials it holds.
+// about to vote for, with the best parent credentials it holds. For
+// rank-0 blocks the relay also carries the proposer's fast vote when
+// this replica holds it: validity requires that vote (Addition 2), and
+// without it a replica the original broadcast missed — dropped
+// optimistic confirmation, or an equivocating leader sending each twin
+// to only half the cluster — could never validate the block, splitting
+// the cluster below the notarization quorum.
 func (e *Engine) relayProposal(b *types.Block) *types.Proposal {
 	p := &types.Proposal{Block: b, Relayed: true}
+	if b.Rank == 0 {
+		if sig, ok := e.getRound(b.Round).fastVotes[b.ID()][b.Proposer]; ok {
+			p.FastVote = &types.Vote{
+				Kind: types.VoteFast, Round: b.Round, Block: b.ID(),
+				Voter: b.Proposer, Signature: sig,
+			}
+		}
+	}
 	if b.Round > 1 && !e.tree.IsFinalized(b.Parent) {
 		prev := e.getRound(b.Round - 1)
 		p.ParentNotarization = prev.notarizations[b.Parent]

@@ -64,12 +64,33 @@ func (e *Engine) replayOwnProposal(m *types.Proposal) {
 		return
 	}
 	rs := e.getRound(b.Round)
+	if e.cfg.OptimisticProposals && b.Rank == 0 && m.FastVote == nil && !rs.proposed {
+		// An optimistic proposal: the live path always attaches the fast
+		// vote to a rank-0 proposal, so a journaled own rank-0 proposal
+		// without one was broadcast before its parent round certified.
+		// Restore it as *pending*, exactly the pre-crash state — marking it
+		// proposed would let a restart resurrect a proposal the pre-crash
+		// replica may have withdrawn, and the later journaled fast vote
+		// (confirmation) or same-round proposal (fallback) resolves it just
+		// as the live path would. Checkpoint snapshots strip fast votes
+		// from own proposals too; those heal through the same confirmation
+		// record, which Snapshot always emits alongside.
+		e.opt = &optimisticProposal{round: b.Round, parent: b.Parent, block: b}
+		e.met.optProposed++
+		return
+	}
 	id := b.ID()
 	rs.blocks[id] = b
 	rs.valid[id] = true
 	e.tree.Add(b)
 	rs.proposed = true
 	e.met.proposals++
+	if e.opt != nil && e.opt.round == b.Round {
+		// A journaled same-round proposal WITH credentials supersedes the
+		// optimistic one: the pre-crash replica withdrew and re-proposed.
+		e.opt = nil
+		e.met.optWithdrawn++
+	}
 	if m.FastVote != nil {
 		e.replayOwnVote(*m.FastVote)
 	}
@@ -98,6 +119,18 @@ func (e *Engine) replayOwnVote(v types.Vote) {
 	case types.VoteFast:
 		rs.fastVoteSent = true
 		addVote(rs.fastVotes, v.Block, v.Voter, v.Signature)
+		if opt := e.opt; opt != nil && opt.round == v.Round && opt.block.ID() == v.Block {
+			// The journaled fast vote names the pending optimistic block:
+			// that vote was its confirmation — adopt it as the round's
+			// proposal, as confirmOptimistic did before the crash.
+			rs.blocks[v.Block] = opt.block
+			rs.valid[v.Block] = true
+			e.tree.Add(opt.block)
+			rs.proposed = true
+			e.met.proposals++
+			e.met.optConfirmed++
+			e.opt = nil
+		}
 	case types.VoteFinalize:
 		rs.finalVoted = true
 		addVote(rs.finalVotes, v.Block, v.Voter, v.Signature)

@@ -2,12 +2,27 @@ package core
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"banyan/internal/beacon"
 	"banyan/internal/crypto"
 	"banyan/internal/types"
 )
+
+// propertyTrials returns the iteration count for randomized property
+// tests: def by default, overridden by BANYAN_PROPERTY_TRIALS for the
+// long-mode CI job (which runs the same battery at much higher counts
+// under -race).
+func propertyTrials(def int) int {
+	if s := os.Getenv("BANYAN_PROPERTY_TRIALS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 // TestUnlockMonotonicity is the property the engine's incremental
 // recomputation relies on: as fast votes arrive in any order, unlock flags
@@ -23,7 +38,7 @@ func TestUnlockMonotonicity(t *testing.T) {
 	}
 	thr := params.UnlockThreshold()
 
-	for trial := 0; trial < 60; trial++ {
+	for trial := 0; trial < propertyTrials(60); trial++ {
 		rng := rand.New(rand.NewSource(int64(trial)))
 
 		// A random round scenario: 1-2 rank-0 blocks (equivocation), up to
@@ -123,7 +138,7 @@ func TestProofMatchesLocalState(t *testing.T) {
 	}
 	thr := params.UnlockThreshold()
 
-	for trial := 0; trial < 80; trial++ {
+	for trial := 0; trial < propertyTrials(80); trial++ {
 		rng := rand.New(rand.NewSource(int64(1000 + trial)))
 		round := types.Round(1)
 		rs := newRoundState()

@@ -109,6 +109,12 @@ type Config struct {
 	// NoForwarding disables tip forwarding in the Banyan/ICC engines (the
 	// forwarding ablation; see DESIGN.md section 6).
 	NoForwarding bool
+	// OptimisticProposals enables Moonshot-style proposal pipelining in the
+	// Banyan engines: the next leader broadcasts its block on the expected
+	// parent before the round certifies, withdrawing on mismatch (see
+	// core.Config.OptimisticProposals). The cmd/bench "pipeline" experiment
+	// compares latency and throughput with this on and off.
+	OptimisticProposals bool
 	// DeepPrune evicts finalized block bodies below the Banyan engines'
 	// prune floor, leaving each replica holding only a bounded window of
 	// the chain — the shape that forces rejoining replicas through
@@ -140,7 +146,12 @@ type Result struct {
 	Config Config
 
 	// Latency is the proposal finalization time distribution, measured at
-	// each block's proposer, over the post-warmup window.
+	// each block's proposer, over the post-warmup window. The clock starts
+	// when the proposal becomes protocol-active: at its broadcast normally,
+	// or — under OptimisticProposals — at the confirming fast vote, since
+	// the early credential-less body broadcast is a transport prefetch no
+	// replica can vote on (and which may still be withdrawn). Pipelining's
+	// overlap win additionally shows up in BlockInterval/ThroughputBps.
 	Latency metrics.Summary
 	// LatencySamples retains the raw series for variance plots (Fig. 6c).
 	LatencySamples []time.Duration
@@ -156,6 +167,11 @@ type Result struct {
 	// FastFinal / SlowFinal / IndirectFinal split the observer's explicit
 	// finalizations by path.
 	FastFinal, SlowFinal, IndirectFinal int64
+
+	// OptimisticProposed / OptimisticConfirmed / OptimisticWithdrawn sum
+	// the optimistic-pipelining counters across the cluster (zero unless
+	// Config.OptimisticProposals).
+	OptimisticProposed, OptimisticConfirmed, OptimisticWithdrawn int64
 
 	// Faults counts safety faults across the cluster (must be zero).
 	Faults int
@@ -306,28 +322,52 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("harness: all replicas crashed")
 	}
 
+	// proposalClock times one own proposal. An optimistic (credential-less
+	// rank-0) broadcast records awaitingConfirm: the clock restarts at the
+	// proposer's confirming fast vote, the moment the block becomes
+	// voteable (see Result.Latency).
+	type proposalClock struct {
+		at              time.Time
+		proposer        types.ReplicaID
+		awaitingConfirm bool
+	}
 	var (
 		warmupEnd   = simnet.Epoch.Add(cfg.Warmup)
-		proposedAt  = make(map[types.BlockID]time.Time)
+		proposedAt  = make(map[types.BlockID]proposalClock)
 		latency     = metrics.NewSeries()
 		throughput  = metrics.NewThroughput(cfg.Duration - cfg.Warmup)
 		faultErrors []error
 	)
 	hooks := simnet.Hooks{
 		OnBroadcast: func(node types.ReplicaID, at time.Time, msg types.Message) {
-			p, ok := msg.(*types.Proposal)
-			if !ok || p.Relayed || p.Block == nil || p.Block.Proposer != node {
-				return
-			}
-			if !at.Before(warmupEnd) {
-				proposedAt[p.Block.ID()] = at
+			switch m := msg.(type) {
+			case *types.Proposal:
+				if m.Relayed || m.Block == nil || m.Block.Proposer != node {
+					return
+				}
+				if !at.Before(warmupEnd) {
+					proposedAt[m.Block.ID()] = proposalClock{
+						at:              at,
+						proposer:        node,
+						awaitingConfirm: m.Block.Rank == 0 && m.FastVote == nil,
+					}
+				}
+			case *types.VoteMsg:
+				for _, v := range m.Votes {
+					if v.Kind != types.VoteFast || v.Voter != node {
+						continue
+					}
+					if pc, ok := proposedAt[v.Block]; ok && pc.awaitingConfirm && pc.proposer == node {
+						proposedAt[v.Block] = proposalClock{at: at, proposer: node}
+					}
+				}
 			}
 		},
 		OnCommit: func(node types.ReplicaID, at time.Time, c protocol.Commit) {
 			for _, b := range c.Blocks {
 				if b.Proposer == node {
-					if t0, ok := proposedAt[b.ID()]; ok {
-						latency.Add(at.Sub(t0))
+					if pc, ok := proposedAt[b.ID()]; ok {
+						latency.Add(at.Sub(pc.at))
 						delete(proposedAt, b.ID())
 					}
 				}
@@ -402,22 +442,37 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Optimistic-pipelining counters are per-leader events; sum them
+	// cluster-wide so the result reflects every round, not just the
+	// observer's turns at rank 0.
+	var optProposed, optConfirmed, optWithdrawn int64
+	for i := 0; i < cfg.Params.N; i++ {
+		if m := net.Engine(types.ReplicaID(i)).Metrics(); m != nil {
+			optProposed += m["opt_proposed"]
+			optConfirmed += m["opt_confirmed"]
+			optWithdrawn += m["opt_withdrawn"]
+		}
+	}
+
 	obsMetrics := net.Engine(observer).Metrics()
 	res := &Result{
-		Config:          cfg,
-		Latency:         latency.Summarize(),
-		LatencySamples:  latency.Samples(),
-		ThroughputBps:   throughput.BytesPerSecond(),
-		BlocksCommitted: throughput.Blocks,
-		BlockInterval:   throughput.BlockInterval(),
-		FastFinal:       obsMetrics["final_fast"],
-		SlowFinal:       obsMetrics["final_slow"],
-		IndirectFinal:   obsMetrics["final_indirect"],
-		Faults:          len(faultErrors),
-		RestartReplayed: restartReplayed,
-		Messages:        net.Stats().Messages,
-		MessageBytes:    net.Stats().Bytes,
-		Delta:           cfg.Delta,
+		Config:              cfg,
+		Latency:             latency.Summarize(),
+		LatencySamples:      latency.Samples(),
+		ThroughputBps:       throughput.BytesPerSecond(),
+		BlocksCommitted:     throughput.Blocks,
+		BlockInterval:       throughput.BlockInterval(),
+		FastFinal:           obsMetrics["final_fast"],
+		SlowFinal:           obsMetrics["final_slow"],
+		IndirectFinal:       obsMetrics["final_indirect"],
+		OptimisticProposed:  optProposed,
+		OptimisticConfirmed: optConfirmed,
+		OptimisticWithdrawn: optWithdrawn,
+		Faults:              len(faultErrors),
+		RestartReplayed:     restartReplayed,
+		Messages:            net.Stats().Messages,
+		MessageBytes:        net.Stats().Bytes,
+		Delta:               cfg.Delta,
 	}
 	if len(faultErrors) > 0 {
 		return res, fmt.Errorf("harness: safety faults: %v", faultErrors)
@@ -430,19 +485,20 @@ func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 	switch cfg.Protocol {
 	case Banyan, BanyanNoFast:
 		return core.New(core.Config{
-			Params:            cfg.Params,
-			Self:              id,
-			Keyring:           keyring,
-			VerifyOptions:     cfg.Verify,
-			Signer:            signer,
-			Beacon:            bc,
-			Payloads:          src,
-			Delta:             cfg.Delta,
-			DisableFastPath:   cfg.Protocol == BanyanNoFast,
-			DisableForwarding: cfg.NoForwarding,
-			DeepPrune:         cfg.DeepPrune,
-			PruneKeep:         cfg.PruneKeep,
-			PruneInterval:     cfg.PruneInterval,
+			Params:              cfg.Params,
+			Self:                id,
+			Keyring:             keyring,
+			VerifyOptions:       cfg.Verify,
+			Signer:              signer,
+			Beacon:              bc,
+			Payloads:            src,
+			Delta:               cfg.Delta,
+			DisableFastPath:     cfg.Protocol == BanyanNoFast,
+			DisableForwarding:   cfg.NoForwarding,
+			OptimisticProposals: cfg.OptimisticProposals,
+			DeepPrune:           cfg.DeepPrune,
+			PruneKeep:           cfg.PruneKeep,
+			PruneInterval:       cfg.PruneInterval,
 		})
 	case ICC:
 		return icc.New(icc.Config{

@@ -125,6 +125,44 @@ func TestDecodeMessageInPlaceAliases(t *testing.T) {
 // the encode hot path: one exact-size allocation for a fresh encode,
 // zero for an append into pre-reserved capacity, zero for a cached
 // re-encode. A failure here means the zero-allocation pipeline regressed.
+// TestAllocRegressionBareProposal gates the optimistic body broadcast —
+// a credential-less rank-0 proposal — the same way: it is sent once per
+// round by the pipelining leader and must stay on the one-allocation
+// fresh-encode / zero-allocation cached path, with EncodedSize exact.
+func TestAllocRegressionBareProposal(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	b := NewBlock(7, 3, 0, BlockID{1, 2, 3}, SyntheticPayload(4096, 99))
+	b.Signature = make([]byte, 64)
+	r.Read(b.Signature)
+	m := &Proposal{Block: b}
+
+	enc, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.EncodedSize(), len(enc); got != want {
+		t.Fatalf("EncodedSize %d != encoded length %d", got, want)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		m.enc = nil // white-box: force a fresh encode each run
+		if _, err := EncodeMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("bare proposal EncodeMessage: %v allocs/op, budget 1", n)
+	}
+	if _, err := CachedEncoding(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := EncodeMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("bare proposal EncodeMessage with cache: %v allocs/op, budget 0", n)
+	}
+}
+
 func TestAllocRegressionEncode(t *testing.T) {
 	r := rand.New(rand.NewSource(14))
 	m := &VoteMsg{Votes: []Vote{randomVote(r), randomVote(r)}}

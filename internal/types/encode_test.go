@@ -125,6 +125,58 @@ func TestProposalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestOptimisticProposalShapes pins the two wire shapes the optimistic
+// proposal pipeline adds: the credential-less rank-0 body broadcast
+// (no fast vote, no parent credentials — nothing but the block), and a
+// relayed rank-0 proposal carrying the proposer's fast vote (relays
+// forward that vote so replicas the original broadcast missed can still
+// validate). Both must round-trip exactly and survive mutation fuzzing.
+func TestOptimisticProposalShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	block := func() *Block {
+		var parent BlockID
+		r.Read(parent[:])
+		b := NewBlock(Round(r.Uint64()>>17)+2, ReplicaID(r.Intn(64)), 0,
+			parent, BytesPayload(randomBytes(r, 64)))
+		b.Signature = randomBytes(r, 64)
+		return b
+	}
+	for i := 0; i < 100; i++ {
+		bare := &Proposal{Block: block()}
+		got := roundTrip(t, bare).(*Proposal)
+		if got.Block.ID() != bare.Block.ID() {
+			t.Fatal("bare optimistic proposal changed block identity")
+		}
+		if got.FastVote != nil || got.ParentNotarization != nil || got.ParentUnlock != nil || got.Relayed {
+			t.Fatalf("bare optimistic proposal grew fields in transit: %#v", got)
+		}
+
+		b := block()
+		fv := Vote{Kind: VoteFast, Round: b.Round, Block: b.ID(),
+			Voter: b.Proposer, Signature: randomBytes(r, 64)}
+		relay := &Proposal{Block: b, FastVote: &fv, Relayed: true}
+		rt := roundTrip(t, relay).(*Proposal)
+		if !rt.Relayed || rt.FastVote == nil || rt.FastVote.Digest() != fv.Digest() {
+			t.Fatalf("relayed proposal lost the proposer fast vote: %#v", rt)
+		}
+	}
+
+	// Mutation fuzz over the bare encoding: a flipped bit must never panic
+	// the decoder or produce a message that still verifies as the original.
+	valid := mustEncode(&Proposal{Block: block()})
+	for i := 0; i < 2000; i++ {
+		data := append([]byte(nil), valid...)
+		data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+		_, _ = DecodeMessage(data)
+	}
+}
+
+func randomBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
 // normalizeProposal strips unexported cache fields for comparison.
 func normalizeProposal(p *Proposal) *Proposal {
 	cp := *p

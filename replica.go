@@ -87,6 +87,12 @@ type ReplicaConfig struct {
 	// PruneKeep / PruneInterval override the engine's pruning cadence in
 	// rounds (0 = engine defaults).
 	PruneKeep, PruneInterval int
+	// OptimisticProposals enables Moonshot-style proposal pipelining (see
+	// ClusterConfig.OptimisticProposals): the next leader broadcasts its
+	// block on the expected parent before the round certifies. Every
+	// replica of a deployment must use the same value, stable across
+	// restarts.
+	OptimisticProposals bool
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -208,6 +214,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 			deepPrune:     cfg.DeepPrune,
 			pruneKeep:     types.Round(cfg.PruneKeep),
 			pruneInterval: types.Round(cfg.PruneInterval),
+			optimistic:    cfg.OptimisticProposals,
 		})
 	if err != nil {
 		tr.Close()

@@ -4,19 +4,25 @@
 #
 # Usage: scripts/bench_snapshot.sh [output.json] [benchtime]
 #
-#   output.json  where to write the snapshot (default BENCH_PR3.json)
+#   output.json  where to write the snapshot (default BENCH_PR7.json);
+#                a BENCH_PR<n>.json name sets the snapshot's "pr" field
 #   benchtime    passed to -benchtime (default 20000x; use e.g. 2000x in CI)
 #
 # The snapshot holds one entry per benchmark with ns/op, B/op and
-# allocs/op. A "baseline" object already present in the output file is
-# preserved, so before/after comparisons survive regeneration.
+# allocs/op. "baseline", "restart_replay", and "pipeline" objects already
+# present in the output file are preserved, so before/after comparisons
+# and experiment results survive regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${2:-20000x}"
 PKGS="./internal/types ./internal/wal ./internal/transport/tcp"
 PATTERN='BenchmarkEncodeDecode|BenchmarkWALAppend|BenchmarkEncodeFrame|BenchmarkBroadcast$'
+
+# Derive the PR number from the output filename (BENCH_PR<n>.json).
+PR="$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')"
+PR="${PR:-0}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -25,14 +31,16 @@ go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem $PKGS | te
 
 BASELINE="null"
 RESTART="null"
+PIPELINE="null"
 if [ -f "$OUT" ]; then
     BASELINE="$(go run ./scripts/benchjson -extract-baseline "$OUT" 2>/dev/null || echo null)"
     RESTART="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key restart_replay 2>/dev/null || echo null)"
+    PIPELINE="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key pipeline 2>/dev/null || echo null)"
 fi
 
 {
     printf '{\n'
-    printf '  "pr": 3,\n'
+    printf '  "pr": %s,\n' "$PR"
     printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -52,6 +60,7 @@ fi
         END { print out }
     ' "$RAW"
     printf '  },\n'
+    printf '  "pipeline": %s,\n' "$PIPELINE"
     printf '  "restart_replay": %s,\n' "$RESTART"
     printf '  "baseline": %s\n' "$BASELINE"
     printf '}\n'
