@@ -11,6 +11,7 @@ import (
 	"banyan/internal/blocktree"
 	"banyan/internal/core"
 	"banyan/internal/crypto"
+	"banyan/internal/dissem"
 	"banyan/internal/hotstuff"
 	"banyan/internal/icc"
 	"banyan/internal/mempool"
@@ -107,6 +108,21 @@ type ClusterConfig struct {
 	// core.Config.OptimisticProposals). Requires ProtocolBanyan (the fast
 	// path). Keep the knob stable across restarts of a WAL-backed cluster.
 	OptimisticProposals bool
+	// Dissem decouples payload dissemination from ordering (Banyan
+	// protocols only): replicas cut mempool transactions into
+	// digest-addressed batches broadcast off the consensus path, blocks
+	// commit ordered digest lists instead of transaction bytes, and
+	// finalized delivery — never voting — waits for batch availability
+	// (fetch-on-miss from the proposer). See internal/dissem.
+	Dissem bool
+	// DissemBatchBytes is the dissemination batch cut size; transactions
+	// larger than this are rejected at Submit. Zero picks 64 KiB. Only
+	// meaningful with Dissem.
+	DissemBatchBytes int
+	// DissemInlineMax bounds the inline tail a proposal may carry
+	// alongside its batch refs, letting latency-sensitive transactions
+	// skip a dissemination cycle. Zero means everything rides in batches.
+	DissemInlineMax int
 	// HoldStart lists replicas excluded from Start. A held replica boots
 	// later via JoinReplica, cold, having observed nothing — the
 	// fresh-join scenario.
@@ -167,6 +183,7 @@ type Cluster struct {
 	engines []protocol.Engine
 	recs    []*wal.Recorder // nil entries without WALDir
 	pools   []*mempool.Pool
+	stores  []*dissem.Store // nil entries without Dissem
 
 	// Rebuild materials for RestartReplica: the shared demo PKI and
 	// beacon every engine was constructed from.
@@ -225,6 +242,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.CommitBuffer <= 0 {
 		cfg.CommitBuffer = 1024
 	}
+	if cfg.Dissem {
+		if cfg.Protocol != ProtocolBanyan && cfg.Protocol != ProtocolBanyanNoFast {
+			return nil, fmt.Errorf("banyan: Dissem requires a Banyan protocol, got %q", cfg.Protocol)
+		}
+		if cfg.DissemBatchBytes <= 0 {
+			cfg.DissemBatchBytes = 64 << 10
+		}
+	}
 
 	scheme, err := crypto.SchemeByName(cfg.Scheme)
 	if err != nil {
@@ -251,6 +276,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		engines:   make([]protocol.Engine, params.N),
 		recs:      make([]*wal.Recorder, params.N),
 		pools:     make([]*mempool.Pool, params.N),
+		stores:    make([]*dissem.Store, params.N),
 		keyring:   keyring,
 		signers:   signers,
 		beacon:    bc,
@@ -268,7 +294,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.held[h] = true
 	}
 	for i := 0; i < params.N; i++ {
-		c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
+		if cfg.Dissem {
+			// The batch size caps individual transactions (oversize is a
+			// typed Submit rejection, never truncation), and submitters
+			// shard so one heavy client cannot starve the rest of a batch.
+			c.pools[i] = mempool.NewShardedPool(0, cfg.DissemBatchBytes, params.N)
+		} else {
+			c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
+		}
 		if err := c.buildReplica(i); err != nil {
 			return nil, err
 		}
@@ -287,6 +320,20 @@ func (c *Cluster) buildReplica(i int) error {
 	// engine. The baseline engines verify through the keyring
 	// directly, so building one for them would be dead weight.
 	verifier := newVerifierFor(c.cfg.Protocol, c.keyring, verifyCfg)
+	if c.cfg.Dissem {
+		// A fresh store per build: batch bodies are deliberately not
+		// journaled (the WAL holds the refs inside blocks), so a restarted
+		// replica re-fetches any finalized body it is missing — the ack
+		// quorum guarantees f+1 other holders.
+		c.stores[i] = dissem.NewStore(dissem.Config{
+			Self:       id,
+			N:          c.params.N,
+			BatchBytes: c.cfg.DissemBatchBytes,
+			InlineMax:  c.cfg.DissemInlineMax,
+			BlockBytes: c.cfg.MaxBlockBytes,
+			Source:     c.pools[i],
+		})
+	}
 	eng, err := buildEngine(c.cfg.Protocol, c.params, id, c.keyring, verifier,
 		c.signers[i], c.beacon, c.pools[i], engineTuning{
 			delta:         c.cfg.Delta,
@@ -294,6 +341,7 @@ func (c *Cluster) buildReplica(i int) error {
 			pruneKeep:     types.Round(c.cfg.PruneKeep),
 			pruneInterval: types.Round(c.cfg.PruneInterval),
 			optimistic:    c.cfg.OptimisticProposals,
+			dissem:        c.stores[i],
 		})
 	if err != nil {
 		return err
@@ -362,12 +410,16 @@ type engineTuning struct {
 	pruneKeep     types.Round
 	pruneInterval types.Round
 	optimistic    bool
+	dissem        *dissem.Store
 }
 
 func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 	keyring *crypto.Keyring, verifier *crypto.Verifier, signer *crypto.Signer, bc beacon.Beacon,
 	payloads protocol.PayloadSource, tune engineTuning) (protocol.Engine, error) {
 	delta := tune.delta
+	if tune.dissem != nil && proto != ProtocolBanyan && proto != ProtocolBanyanNoFast {
+		return nil, fmt.Errorf("banyan: batch dissemination requires a Banyan protocol, got %q", proto)
+	}
 	switch proto {
 	case ProtocolBanyan, ProtocolBanyanNoFast:
 		return core.New(core.Config{
@@ -384,6 +436,7 @@ func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 			DeepPrune:           tune.deepPrune,
 			PruneKeep:           tune.pruneKeep,
 			PruneInterval:       tune.pruneInterval,
+			Dissem:              tune.dissem,
 		})
 	case ProtocolICC:
 		return icc.New(icc.Config{
@@ -483,7 +536,7 @@ func (c *Cluster) pump() {
 					Round:        uint64(b.Round),
 					BlockID:      b.ID().String(),
 					Proposer:     int(b.Proposer),
-					Transactions: mempool.DecodeBatch(b.Payload),
+					Transactions: decodeTransactions(c.observerStore(), b.Payload),
 					PayloadBytes: b.Payload.Size(),
 					Path:         pathOf(ev.Explicit),
 					At:           ev.At,
@@ -496,6 +549,37 @@ func (c *Cluster) pump() {
 			}
 		}
 	}
+}
+
+// observerStore returns replica 0's dissemination store (nil without
+// Dissem); RestartReplica swaps the slot under c.mu.
+func (c *Cluster) observerStore() *dissem.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stores[0]
+}
+
+// decodeTransactions resolves a committed payload to its transaction
+// list: inline payloads decode directly; digest-list payloads decode
+// every referenced batch body (in ref order, from the local store —
+// delivery gating guarantees the bodies arrived before the commit) and
+// then the inline tail.
+func decodeTransactions(store *dissem.Store, p types.Payload) [][]byte {
+	if !p.HasBatches() {
+		return mempool.DecodeBatch(p)
+	}
+	var txs [][]byte
+	if store != nil {
+		if bodies, ok := store.Bodies(p); ok {
+			for _, body := range bodies {
+				txs = append(txs, mempool.DecodeBatch(body)...)
+			}
+		}
+	}
+	if len(p.Data) > 0 {
+		txs = append(txs, mempool.DecodeBatch(types.BytesPayload(p.Data))...)
+	}
+	return txs
 }
 
 // Submit queues a transaction on one replica's mempool (round-robin); it
@@ -515,6 +599,17 @@ func (c *Cluster) SubmitTo(replica int, tx []byte) bool {
 		return false
 	}
 	return c.pools[replica].Submit(tx)
+}
+
+// SubmitAs queues a transaction on a specific replica's mempool under a
+// submitter identity — the shard key of the submitter-sharded drain —
+// returning the mempool's typed rejection (mempool.ErrTxTooLarge,
+// mempool.ErrPoolFull, mempool.ErrTxEmpty) on failure.
+func (c *Cluster) SubmitAs(replica int, submitter uint64, tx []byte) error {
+	if replica < 0 || replica >= len(c.pools) {
+		return fmt.Errorf("banyan: no replica %d", replica)
+	}
+	return c.pools[replica].SubmitFrom(submitter, tx)
 }
 
 // Commits streams finalized blocks as observed by replica 0. The channel
@@ -538,7 +633,8 @@ func (c *Cluster) Faults() []error {
 	return out
 }
 
-// Metrics returns a replica's protocol counters. Only valid after Stop.
+// Metrics returns a replica's protocol counters, including its mempool's
+// typed admission rejections. Only valid after Stop.
 func (c *Cluster) Metrics(replica int) map[string]int64 {
 	c.mu.Lock()
 	if replica < 0 || replica >= len(c.nodes) {
@@ -546,8 +642,13 @@ func (c *Cluster) Metrics(replica int) map[string]int64 {
 		return nil
 	}
 	n := c.nodes[replica] // RestartReplica swaps this slot under c.mu
+	pool := c.pools[replica]
 	c.mu.Unlock()
-	return n.Metrics()
+	m := n.Metrics()
+	if m != nil && pool != nil {
+		pool.Metrics(m)
+	}
+	return m
 }
 
 // CrashReplica simulates a crash of one replica: its node stops, and its

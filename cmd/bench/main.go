@@ -40,6 +40,9 @@ type options struct {
 	seed     uint64
 	quick    bool
 	verify   crypto.VerifyConfig
+	// jsonOut, when set, makes experiments that record snapshot results
+	// (dissem) merge them into this BENCH_PR<n>.json file.
+	jsonOut string
 }
 
 // run executes one harness experiment with the global verification knobs
@@ -52,13 +55,14 @@ func (o options) run(cfg harness.Config) (*harness.Result, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify,persist,pipeline or 'all'")
+		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify,persist,pipeline,dissem or 'all'")
 		duration = fs.Duration("duration", 120*time.Second, "virtual duration per run (paper: 120s)")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		quick    = fs.Bool("quick", false, "short runs and fewer sweep points")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		verifyW  = fs.Int("verify-workers", 0, "signature-verification pool size (0 = GOMAXPROCS, 1 = inline)")
 		verifyC  = fs.Int("verify-cache", 0, "verified-signature cache capacity (0 = default, <0 = disabled)")
+		jsonOut  = fs.String("json", "", "merge experiment results into this BENCH_PR<n>.json snapshot (dissem experiment)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +75,8 @@ func run(args []string) error {
 	}
 	opts := options{
 		duration: *duration, seed: *seed, quick: *quick,
-		verify: crypto.VerifyConfig{Workers: *verifyW, CacheSize: *verifyC},
+		verify:  crypto.VerifyConfig{Workers: *verifyW, CacheSize: *verifyC},
+		jsonOut: *jsonOut,
 	}
 	if *quick && *duration == 120*time.Second {
 		opts.duration = 20 * time.Second
@@ -123,6 +128,7 @@ var allExperiments = []experiment{
 	{"verify", "Microbench: sequential vs batched/cached signature verification", runVerify},
 	{"persist", "Durability: WAL group commit vs per-record fsync + crash-restart recovery", runPersist},
 	{"pipeline", "Optimistic proposal pipelining (Moonshot mode) vs baseline commit latency", runPipeline},
+	{"dissem", "Decoupled batch dissemination: digest-only proposals vs inline payloads", runDissem},
 }
 
 const header = "%-22s %10s %10s %10s %10s %12s %8s %8s\n"

@@ -18,6 +18,11 @@
 // state against peers holding only a bounded window — it must recover
 // via peer-to-peer snapshot state sync. CI runs this as the
 // disk-loss-rejoin smoke test.
+//
+// With -dissem the cluster runs the batch-dissemination layer: proposals
+// commit batch digests, bodies travel out-of-band, and a restarted
+// replica — whose body store is in-memory only — refetches what delivery
+// needs. CI combines -dissem with the crash-restart script above.
 package main
 
 import (
@@ -59,6 +64,9 @@ func run(args []string) error {
 		restartAt  = fs.Duration("restart-at", 0, "when to restart it from its WAL (0 = 2*duration/3)")
 		diskLoss   = fs.Bool("disk-loss", false, "wipe the crashed replica's WAL before restarting: it returns with no durable state and must recover its chain from peers via snapshot state sync (runs all replicas deep-pruned so only a bounded window is serveable)")
 		optimistic = fs.Bool("optimistic", false, "enable optimistic proposal pipelining (Moonshot mode): the next leader broadcasts its block on the expected parent before the round certifies (banyan protocol only)")
+		dissem     = fs.Bool("dissem", false, "route payloads through the batch-dissemination layer: proposals commit batch digests, bodies travel out-of-band, delivery gates on availability (banyan protocols only)")
+		dissemB    = fs.Int("dissem-batch", 0, "dissemination batch cut size in bytes (0 = 64 KiB); transactions larger than this are rejected at Submit")
+		dissemI    = fs.Int("dissem-inline", 0, "max inline tail bytes a proposal carries alongside its batch refs (0 = everything rides in batches)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +117,9 @@ func run(args []string) error {
 			WALSyncInterval:     *walSync,
 			WALSyncEveryRecord:  *walEvery,
 			OptimisticProposals: *optimistic,
+			Dissem:              *dissem,
+			DissemBatchBytes:    *dissemB,
+			DissemInlineMax:     *dissemI,
 		}
 		if *diskLoss {
 			// Deep-pruned, tight windows: peers can only serve their last

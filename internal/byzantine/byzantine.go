@@ -424,6 +424,99 @@ func (s *StaleParentLeader) resign(vm *types.VoteMsg) *types.VoteMsg {
 	return &types.VoteMsg{Votes: votes}
 }
 
+// BatchWithholder attacks the dissemination layer's availability
+// assumption: it runs consensus faithfully but serves its batch bodies to
+// only a chosen subset of peers — just enough acks to get its batches
+// referenced from its proposals — and refuses every fetch (BatchRequest)
+// afterwards. Replicas outside the subset see digests they cannot resolve
+// locally and an origin that never answers. Honest clusters must be
+// unaffected on the vote path (headers commit digests; voting never waits
+// for bodies) and recover delivery through fetch-on-miss rotation: the
+// origin costs one timeout, then the request lands on an acked holder.
+type BatchWithholder struct {
+	inner protocol.Engine
+	serve map[types.ReplicaID]bool
+
+	withheld int64 // announce copies suppressed
+	refused  int64 // fetch responses dropped
+}
+
+var _ protocol.Engine = (*BatchWithholder)(nil)
+
+// NewBatchWithholder wraps an engine; serve lists the peers that still
+// receive its batch bodies (size it to the ack quorum: the minimum that
+// keeps the adversary's batches proposable).
+func NewBatchWithholder(inner protocol.Engine, serve []types.ReplicaID) *BatchWithholder {
+	m := make(map[types.ReplicaID]bool, len(serve))
+	for _, id := range serve {
+		m[id] = true
+	}
+	return &BatchWithholder{inner: inner, serve: m}
+}
+
+// ID implements protocol.Engine.
+func (w *BatchWithholder) ID() types.ReplicaID { return w.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (w *BatchWithholder) Protocol() string { return w.inner.Protocol() + "-batch-withholder" }
+
+// Metrics implements protocol.Engine.
+func (w *BatchWithholder) Metrics() map[string]int64 { return w.inner.Metrics() }
+
+// Withheld returns how many body announce copies were suppressed.
+func (w *BatchWithholder) Withheld() int64 { return w.withheld }
+
+// Refused returns how many fetch responses were dropped.
+func (w *BatchWithholder) Refused() int64 { return w.refused }
+
+// Start implements protocol.Engine.
+func (w *BatchWithholder) Start(now time.Time) []protocol.Action {
+	return w.rewrite(w.inner.Start(now))
+}
+
+// HandleMessage implements protocol.Engine.
+func (w *BatchWithholder) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	return w.rewrite(w.inner.HandleMessage(from, msg, now))
+}
+
+// HandleTimer implements protocol.Engine.
+func (w *BatchWithholder) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return w.rewrite(w.inner.HandleTimer(id, now))
+}
+
+// rewrite narrows own body broadcasts to the served subset and swallows
+// fetch responses; acks for other replicas' batches and every consensus
+// message pass through untouched.
+func (w *BatchWithholder) rewrite(acts []protocol.Action) []protocol.Action {
+	out := make([]protocol.Action, 0, len(acts))
+	for _, a := range acts {
+		switch act := a.(type) {
+		case protocol.Broadcast:
+			ann, ok := act.Msg.(*types.BatchAnnounce)
+			if !ok || ann.IsAck() {
+				out = append(out, a)
+				continue
+			}
+			for id := range w.serve {
+				if id == w.ID() {
+					continue
+				}
+				out = append(out, protocol.Send{To: id, Msg: ann})
+			}
+			w.withheld++
+		case protocol.Send:
+			if _, ok := act.Msg.(*types.BatchResponse); ok {
+				w.refused++
+				continue
+			}
+			out = append(out, a)
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // Silent is a crash-like adversary: it participates normally until
 // SilenceAfter, then emits nothing (but keeps consuming messages, unlike a
 // crash — a "mute" fault).

@@ -192,6 +192,53 @@ func TestVoteWithholderStripsProposalFastVote(t *testing.T) {
 	}
 }
 
+func TestBatchWithholderNarrowsBodiesAndRefusesFetches(t *testing.T) {
+	body := types.BytesPayload([]byte("batch-body"))
+	digest := body.Digest()
+	ann := &types.BatchAnnounce{Origin: 0, Digest: digest, Body: body}
+	ack := &types.BatchAnnounce{Origin: 0, Digest: digest}
+	resp := &types.BatchResponse{Digest: digest, Body: body}
+	vote := types.Vote{Kind: types.VoteNotarize, Round: 1}
+	inner := &scriptedEngine{id: 0, acts: []protocol.Action{
+		protocol.Broadcast{Msg: ann},                                       // own body: narrowed
+		protocol.Send{To: 3, Msg: ack},                                     // ack of a peer batch: kept
+		protocol.Send{To: 3, Msg: resp},                                    // fetch response: dropped
+		protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{vote}}}, // consensus: kept
+	}}
+	w := NewBatchWithholder(inner, []types.ReplicaID{1, 2})
+
+	acts := w.Start(time.Unix(0, 0))
+
+	served := map[types.ReplicaID]bool{}
+	for _, a := range acts {
+		switch act := a.(type) {
+		case protocol.Broadcast:
+			if _, isAnn := act.Msg.(*types.BatchAnnounce); isAnn {
+				t.Fatal("body announce escaped as a broadcast")
+			}
+		case protocol.Send:
+			switch m := act.Msg.(type) {
+			case *types.BatchAnnounce:
+				if m.IsAck() {
+					if act.To != 3 {
+						t.Fatalf("ack rerouted to %d", act.To)
+					}
+					continue
+				}
+				served[act.To] = true
+			case *types.BatchResponse:
+				t.Fatal("fetch response escaped")
+			}
+		}
+	}
+	if !served[1] || !served[2] || len(served) != 2 {
+		t.Fatalf("body served to %v, want exactly replicas 1 and 2", served)
+	}
+	if w.Withheld() != 1 || w.Refused() != 1 {
+		t.Fatalf("withheld=%d refused=%d, want 1 and 1", w.Withheld(), w.Refused())
+	}
+}
+
 // TestAdversaryIdentity: wrappers must report the wrapped replica's ID and
 // metrics while advertising their deviation in the protocol name.
 func TestAdversaryIdentity(t *testing.T) {

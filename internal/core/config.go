@@ -24,6 +24,7 @@ import (
 
 	"banyan/internal/beacon"
 	"banyan/internal/crypto"
+	"banyan/internal/dissem"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
@@ -99,6 +100,18 @@ type Config struct {
 	// StateSyncTimeout is the per-peer silence budget of a snapshot fetch
 	// before the fetcher rotates to the next peer. Zero selects 8Δ.
 	StateSyncTimeout time.Duration
+	// Dissem, when set, decouples payload dissemination from ordering: the
+	// store becomes the engine's PayloadSource (proposals commit batch
+	// digests instead of bytes; Payloads is overridden), batch bodies are
+	// broadcast off the consensus path as BatchAnnounce messages, and
+	// *delivery* of finalized blocks — never voting or finalization — is
+	// gated on body availability, with fetch-on-miss against the block's
+	// proposer. The same store instance must be shared with the host, which
+	// resolves committed digest lists back to transaction bytes.
+	Dissem *dissem.Store
+	// BatchFetchTimeout is the per-peer silence budget of a batch-body
+	// fetch before the fetcher rotates to the next peer. Zero selects 4Δ.
+	BatchFetchTimeout time.Duration
 }
 
 const (
@@ -141,6 +154,12 @@ func (c *Config) validate() error {
 	}
 	if c.Payloads == nil {
 		c.Payloads = protocol.EmptyPayloads
+	}
+	if c.Dissem != nil {
+		c.Payloads = c.Dissem
+	}
+	if c.BatchFetchTimeout == 0 {
+		c.BatchFetchTimeout = 4 * c.Delta
 	}
 	if c.PruneInterval == 0 {
 		c.PruneInterval = defaultPruneInterval

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"time"
+
+	"banyan/internal/protocol"
+	"banyan/internal/types"
+)
+
+// Batch dissemination (Config.Dissem). Consensus is untouched: replicas
+// vote on headers the moment they validate, and finalization forms from
+// votes exactly as in inline mode. What the store adds is a second,
+// asynchronous plane — batch bodies broadcast continuously off the
+// consensus path — and a delivery gate: a finalized chain's Commit action
+// is withheld until every batch body its payloads reference is held
+// locally, fetched on miss from the block's proposer (blocks reference
+// only proposer-own batches) with timeout rotation across peers. Safety
+// never depends on the gate; it only orders the application's view.
+
+// onBatchAnnounce ingests a body broadcast or an availability ack. A
+// body-carrying announce is self-certifying (digest check) and answered
+// with an ack — an announce with the same digest and no body — so the
+// origin can count availability before referencing the batch.
+func (e *Engine) onBatchAnnounce(from types.ReplicaID, m *types.BatchAnnounce) []protocol.Action {
+	if e.cfg.Dissem == nil {
+		e.met.rejected++
+		return nil
+	}
+	if m.IsAck() {
+		// The sender holds one of our batches. Count the transport-level
+		// sender, not the forgeable Origin field.
+		e.cfg.Dissem.RecordAck(m.Digest, from)
+		return nil
+	}
+	if m.Body.Digest() != m.Digest {
+		e.met.rejected++
+		return nil
+	}
+	e.cfg.Dissem.Put(m.Digest, m.Body)
+	e.batchFetch.Done(m.Digest)
+	return []protocol.Action{protocol.Send{
+		To:  from,
+		Msg: &types.BatchAnnounce{Origin: e.cfg.Self, Digest: m.Digest},
+	}}
+}
+
+// onBatchRequest serves a stored batch body to a peer fetching on miss.
+// Stateless, like sync/snapshot requests: not journaled, served straight
+// from the store, silent when the body is unknown or already compacted
+// (the requester's rotation finds another holder).
+func (e *Engine) onBatchRequest(from types.ReplicaID, m *types.BatchRequest) []protocol.Action {
+	if e.cfg.Dissem == nil {
+		return nil
+	}
+	body, ok := e.cfg.Dissem.Get(m.Digest)
+	if !ok {
+		return nil
+	}
+	e.met.batchServed++
+	return []protocol.Action{protocol.Send{
+		To:  from,
+		Msg: &types.BatchResponse{Digest: m.Digest, Body: body},
+	}}
+}
+
+// onBatchResponse ingests a fetched body. Self-certifying like the
+// announce path, so a malicious peer cannot inject a wrong body — at
+// worst it wastes its timeout slot in the rotation.
+func (e *Engine) onBatchResponse(m *types.BatchResponse) {
+	if e.cfg.Dissem == nil {
+		e.met.rejected++
+		return
+	}
+	if m.Body.Digest() != m.Digest {
+		e.met.rejected++
+		return
+	}
+	e.cfg.Dissem.Put(m.Digest, m.Body)
+	e.batchFetch.Done(m.Digest)
+}
+
+// tryDisseminate drains freshly cut batches into broadcasts. Running at
+// the tail of every progress pass makes dissemination continuous without
+// a timer of its own: bodies start traveling as soon as the source has
+// transactions, long before any proposal names them. Suppressed during
+// replay — cutting from the source there would consume live transactions
+// into announces that keepReplayActions drops.
+func (e *Engine) tryDisseminate(acts []protocol.Action) []protocol.Action {
+	if e.replaying || e.stopped {
+		return acts
+	}
+	for _, a := range e.cfg.Dissem.TakeAnnounces() {
+		acts = append(acts, protocol.Broadcast{Msg: a})
+	}
+	return acts
+}
+
+// deliver routes a newly finalized chain to the application. Inline mode
+// commits immediately; dissemination mode enqueues the chain behind any
+// earlier gated deliveries (application order must match finalization
+// order) and flushes whatever prefix has its bodies.
+func (e *Engine) deliver(chain []*types.Block, mode protocol.FinalizationMode,
+	acts []protocol.Action) []protocol.Action {
+	if e.cfg.Dissem == nil {
+		for _, b := range chain {
+			e.met.blocksCommit++
+			e.met.bytesCommit += int64(b.Payload.Size())
+		}
+		return append(acts, protocol.Commit{Blocks: chain, Explicit: mode})
+	}
+	e.delivQueue = append(e.delivQueue, deliveryItem{blocks: chain, mode: mode})
+	return e.flushDelivery(acts)
+}
+
+// flushDelivery emits Commit actions for the longest prefix of the
+// delivery queue whose batch bodies are all held, and queues fetches for
+// the digests blocking the head. A partially deliverable chain commits
+// its resolvable prefix as FinalizeIndirect (the original mode describes
+// the chain's tip, which is still gated); commit metrics count here, at
+// delivery, so blocks_commit/bytes_commit mean what the application saw.
+func (e *Engine) flushDelivery(acts []protocol.Action) []protocol.Action {
+	for len(e.delivQueue) > 0 {
+		it := &e.delivQueue[0]
+		n := 0
+		for _, b := range it.blocks {
+			missing := e.cfg.Dissem.Missing(b.Payload)
+			if len(missing) > 0 {
+				for _, d := range missing {
+					e.batchFetch.Add(d, b.Proposer)
+				}
+				break
+			}
+			n++
+		}
+		if n > 0 {
+			blocks := it.blocks[:n:n]
+			for _, b := range blocks {
+				e.met.blocksCommit++
+				e.met.bytesCommit += int64(b.Payload.Size())
+				e.cfg.Dissem.MarkDelivered(b.Payload, b.Round)
+			}
+			mode := it.mode
+			if n < len(it.blocks) {
+				mode = protocol.FinalizeIndirect
+			}
+			acts = append(acts, protocol.Commit{Blocks: blocks, Explicit: mode})
+			it.blocks = it.blocks[n:]
+		}
+		if len(it.blocks) > 0 {
+			break // head still gated; later items must wait regardless
+		}
+		e.delivQueue = e.delivQueue[1:]
+	}
+	return acts
+}
+
+// dropStaleDeliveries discards gated delivery-queue blocks the engine has
+// pruned past. Behind the retention window a body is no longer guaranteed
+// recoverable anywhere — peers compact behind the same floor — and the
+// commit-stream contract already tolerates restart gaps (a replica that
+// recovered via snapshot adoption never had those blocks either). This is
+// what lets a checkpoint-replayed restart rejoin when its pre-crash
+// deliveries reference long-compacted batches: catch-up moves the floor
+// past them, the stale head is dropped, and live delivery resumes. Blocks
+// whose bodies are all held are never dropped, and the fetcher abandons
+// the dropped digests so rotation stops burning timeouts on them.
+func (e *Engine) dropStaleDeliveries(floor types.Round) {
+	items := e.delivQueue[:0]
+	for _, it := range e.delivQueue {
+		kept := make([]*types.Block, 0, len(it.blocks))
+		for _, b := range it.blocks {
+			missing := e.cfg.Dissem.Missing(b.Payload)
+			if b.Round < floor && len(missing) > 0 {
+				e.met.delivDropped++
+				for _, d := range missing {
+					e.batchFetch.Done(d)
+				}
+				// The emitted Commit now has a gap in front of it.
+				it.mode = protocol.FinalizeIndirect
+				continue
+			}
+			kept = append(kept, b)
+		}
+		it.blocks = kept
+		if len(it.blocks) > 0 {
+			items = append(items, it)
+		}
+	}
+	e.delivQueue = items
+}
+
+// maybeBatchFetch starts the next queued body fetch when none is in
+// flight: a unicast BatchRequest — to the batch's origin first, then
+// rotating — plus the deadline timer pollBatchFetch re-arms. Suppressed
+// during replay; EndReplay's live progress pass re-issues fetches for
+// anything the recovered delivery queue is missing.
+func (e *Engine) maybeBatchFetch(now time.Time, acts []protocol.Action) []protocol.Action {
+	if e.replaying || e.stopped {
+		return acts
+	}
+	if !e.batchFetch.Begin(now) {
+		return acts
+	}
+	acts = append(acts, protocol.Send{
+		To:  e.batchFetch.Peer(),
+		Msg: &types.BatchRequest{Digest: e.batchFetch.Digest()},
+	})
+	return append(acts, protocol.SetTimer{
+		ID: protocol.TimerID{Kind: protocol.TimerBatchFetch},
+		At: e.batchFetch.Deadline(),
+	})
+}
+
+// pollBatchFetch handles a TimerBatchFetch fire: a request past its
+// per-peer deadline is retried against the next peer in rotation — the
+// same discipline as the snapshot fetcher's pollFetch.
+func (e *Engine) pollBatchFetch(now time.Time, acts []protocol.Action) []protocol.Action {
+	if e.cfg.Dissem == nil || !e.batchFetch.Fetching() {
+		return acts
+	}
+	rearm := protocol.SetTimer{
+		ID: protocol.TimerID{Kind: protocol.TimerBatchFetch},
+		At: e.batchFetch.Deadline(),
+	}
+	if !e.batchFetch.Expired(now) {
+		return append(acts, rearm)
+	}
+	peer := e.batchFetch.Retry(now)
+	acts = append(acts, protocol.Send{To: peer, Msg: &types.BatchRequest{Digest: e.batchFetch.Digest()}})
+	rearm.At = e.batchFetch.Deadline()
+	return append(acts, rearm)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"banyan/internal/blocktree"
+	"banyan/internal/dissem"
 	"banyan/internal/protocol"
 	"banyan/internal/statesync"
 	"banyan/internal/types"
@@ -54,6 +55,13 @@ type Engine struct {
 	syncProbe    bool
 	prefixStalls int
 
+	// Batch dissemination (Config.Dissem): delivQueue holds finalized
+	// chains whose Commit is gated on batch-body availability — ordering
+	// already decided, bytes possibly still in flight — and batchFetch
+	// schedules the fetch-on-miss unicasts for the missing bodies.
+	delivQueue []deliveryItem
+	batchFetch *dissem.Fetcher
+
 	stopped bool
 	fault   error
 
@@ -94,7 +102,15 @@ type Engine struct {
 		optProposed   int64
 		optConfirmed  int64
 		optWithdrawn  int64
+		batchServed   int64
+		delivDropped  int64
 	}
+}
+
+// deliveryItem is one finalized chain waiting for its batch bodies.
+type deliveryItem struct {
+	blocks []*types.Block
+	mode   protocol.FinalizationMode
 }
 
 // optimisticProposal is a proposal signed and broadcast before its
@@ -120,6 +136,7 @@ func New(cfg Config) (*Engine, error) {
 		pendingCommit: make(map[types.BlockID]protocol.FinalizationMode),
 		syncPeers:     statesync.NewRing(cfg.Self, cfg.Params.N),
 		fetcher:       statesync.NewFetcher(cfg.Self, cfg.Params.N, cfg.StateSyncTimeout),
+		batchFetch:    dissem.NewFetcher(cfg.Self, cfg.Params.N, cfg.BatchFetchTimeout),
 	}, nil
 }
 
@@ -175,6 +192,12 @@ func (e *Engine) HandleMessage(from types.ReplicaID, msg types.Message, now time
 		return e.onSnapshotRequest(from, m)
 	case *types.SnapshotResponse:
 		return e.progress(now, e.onSnapshotResponse(m))
+	case *types.BatchAnnounce:
+		return e.progress(now, e.onBatchAnnounce(from, m))
+	case *types.BatchRequest:
+		return e.onBatchRequest(from, m)
+	case *types.BatchResponse:
+		e.onBatchResponse(m)
 	default:
 		e.met.rejected++
 		return nil
@@ -195,6 +218,9 @@ func (e *Engine) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Acti
 	}
 	if id.Kind == protocol.TimerStateSync {
 		acts = e.pollFetch(now, acts)
+	}
+	if id.Kind == protocol.TimerBatchFetch {
+		acts = e.pollBatchFetch(now, acts)
 	}
 	return e.progress(now, acts)
 }
@@ -278,7 +304,7 @@ func (e *Engine) resendInterval() time.Duration {
 
 // Metrics implements protocol.Engine.
 func (e *Engine) Metrics() map[string]int64 {
-	return map[string]int64{
+	m := map[string]int64{
 		"rounds":             e.met.roundsStarted,
 		"proposals":          e.met.proposals,
 		"relays":             e.met.relays,
@@ -299,6 +325,14 @@ func (e *Engine) Metrics() map[string]int64 {
 		"opt_confirmed":      e.met.optConfirmed,
 		"opt_withdrawn":      e.met.optWithdrawn,
 	}
+	if e.cfg.Dissem != nil {
+		e.cfg.Dissem.Metrics(m)
+		e.batchFetch.Metrics(m)
+		m["dissemServed"] = e.met.batchServed
+		m["dissemDelivQueued"] = int64(len(e.delivQueue))
+		m["dissemDelivDropped"] = e.met.delivDropped
+	}
+	return m
 }
 
 // ---------------------------------------------------------------------------
@@ -501,6 +535,11 @@ func (e *Engine) progress(now time.Time, acts []protocol.Action) []protocol.Acti
 	}
 	acts = e.scheduleNotarTimers(now, acts)
 	acts = e.maybeSync(now, acts)
+	if e.cfg.Dissem != nil {
+		acts = e.tryDisseminate(acts)
+		acts = e.flushDelivery(acts)
+		acts = e.maybeBatchFetch(now, acts)
+	}
 	e.maybePrune()
 	return acts
 }
@@ -797,12 +836,8 @@ func (e *Engine) onSnapshotResponse(m *types.SnapshotResponse) []protocol.Action
 	rs.finalizedBlock = tip.ID()
 	var acts []protocol.Action
 	if len(added) > 0 {
-		for _, b := range added {
-			e.met.blocksCommit++
-			e.met.bytesCommit += int64(b.Payload.Size())
-		}
 		e.met.indirectFinal++
-		acts = append(acts, protocol.Commit{Blocks: added, Explicit: protocol.FinalizeIndirect})
+		acts = e.deliver(added, protocol.FinalizeIndirect, acts)
 	}
 	// Pending commits at or below the adopted tip are obsolete: the window
 	// is the canonical finalized history now, and anything it skipped is
@@ -1382,11 +1417,7 @@ func (e *Engine) commitChain(id types.BlockID, mode protocol.FinalizationMode,
 	switch {
 	case err == nil:
 		if len(chain) > 0 {
-			for _, b := range chain {
-				e.met.blocksCommit++
-				e.met.bytesCommit += int64(b.Payload.Size())
-			}
-			acts = append(acts, protocol.Commit{Blocks: chain, Explicit: mode})
+			acts = e.deliver(chain, mode, acts)
 		}
 		return acts, true
 	case isMissingAncestor(err):
@@ -1533,6 +1564,10 @@ func (e *Engine) maybePrune() {
 		return
 	}
 	floor := fin - e.cfg.PruneKeep
+	if e.cfg.Dissem != nil {
+		e.cfg.Dissem.Compact(floor)
+		e.dropStaleDeliveries(floor)
+	}
 	for r := range e.rounds {
 		if r < floor {
 			delete(e.rounds, r)

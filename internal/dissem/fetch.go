@@ -1,0 +1,178 @@
+package dissem
+
+import (
+	"time"
+
+	"banyan/internal/statesync"
+	"banyan/internal/types"
+)
+
+// Fetcher schedules batch-body fetches for delivery gating: a FIFO of
+// deduplicated digests, at most one in-flight unicast BatchRequest, and a
+// per-peer deadline after which the request rotates to the next peer. The
+// first attempt goes to the batch's origin (the block proposer — blocks
+// only reference proposer-own batches), retries walk the peer ring, so a
+// withholding origin costs one timeout and nothing more. Like the
+// statesync fetcher it is passive: the engine calls Begin/Expired/Retry/
+// Done from its event handlers and turns peer choices into Send actions.
+// Responses are self-certifying (digest check), so no peer can inject a
+// wrong body — a bad peer only wastes its own timeout slot.
+type Fetcher struct {
+	self    types.ReplicaID
+	ring    *statesync.Ring
+	timeout time.Duration
+
+	queue  []target
+	queued map[[32]byte]struct{}
+
+	inflight bool
+	cur      target
+	peer     types.ReplicaID
+	deadline time.Time
+
+	// suspect is the negative cache: peers that let a request expire lose
+	// the origin-first preference until the entry lapses, so a withholding
+	// origin costs one probe per suspicion window — not one per digest.
+	// Without it, a Byzantine origin cutting batches faster than
+	// timeout-per-digest would outrun the serial fetcher and wedge the
+	// requester's delivery queue.
+	suspect map[types.ReplicaID]time.Time
+
+	fetches int64
+	retries int64
+}
+
+// suspectWindow is how many timeouts a suspicion lasts: long enough to
+// amortize the probe, short enough that a recovered peer is retried.
+const suspectWindow = 8
+
+type target struct {
+	digest [32]byte
+	origin types.ReplicaID
+	first  bool // next attempt is the first: prefer the origin
+}
+
+// NewFetcher creates a fetcher for replica self in a cluster of n.
+// timeout is the per-peer silence budget before rotating.
+func NewFetcher(self types.ReplicaID, n int, timeout time.Duration) *Fetcher {
+	return &Fetcher{
+		self:    self,
+		ring:    statesync.NewRing(self, n),
+		timeout: timeout,
+		queued:  make(map[[32]byte]struct{}),
+		suspect: make(map[types.ReplicaID]time.Time),
+	}
+}
+
+// Add queues a digest to fetch, remembering the batch's origin as the
+// preferred first peer. Duplicates (queued or in flight) are dropped.
+// Reports whether the queue changed.
+func (f *Fetcher) Add(digest [32]byte, origin types.ReplicaID) bool {
+	if _, dup := f.queued[digest]; dup {
+		return false
+	}
+	f.queued[digest] = struct{}{}
+	f.queue = append(f.queue, target{digest: digest, origin: origin, first: true})
+	return true
+}
+
+// Fetching reports whether a request is in flight.
+func (f *Fetcher) Fetching() bool { return f.inflight }
+
+// Pending reports whether digests are queued (not counting in-flight).
+func (f *Fetcher) Pending() bool { return len(f.queue) > 0 }
+
+// Digest returns the in-flight digest; only valid while Fetching.
+func (f *Fetcher) Digest() [32]byte { return f.cur.digest }
+
+// Peer returns the peer currently being asked; only valid while Fetching.
+func (f *Fetcher) Peer() types.ReplicaID { return f.peer }
+
+// Deadline returns the in-flight request's retry deadline; only valid
+// while Fetching.
+func (f *Fetcher) Deadline() time.Time { return f.deadline }
+
+// Begin pops the oldest queued digest and starts a fetch. Returns false
+// when nothing is queued or a fetch is already in flight.
+func (f *Fetcher) Begin(now time.Time) bool {
+	if f.inflight || len(f.queue) == 0 {
+		return false
+	}
+	f.cur = f.queue[0]
+	f.queue = f.queue[1:]
+	f.inflight = true
+	// Prefer the origin on the first attempt — unless the origin is this
+	// replica itself (a restarted proposer refetching bodies of its own
+	// pre-crash blocks from the peers that acked them), or currently
+	// suspect (it recently let a request time out).
+	if f.cur.first && f.cur.origin != f.self && f.cur.origin != f.ring.Current() &&
+		!f.suspected(f.cur.origin, now) {
+		f.peer = f.cur.origin
+	} else {
+		f.peer = f.ring.Current()
+	}
+	f.cur.first = false
+	f.deadline = now.Add(f.timeout)
+	f.fetches++
+	return true
+}
+
+// Expired reports whether the in-flight request's deadline has passed.
+func (f *Fetcher) Expired(now time.Time) bool {
+	return f.inflight && !now.Before(f.deadline)
+}
+
+// suspected reports whether a peer's negative-cache entry is still live,
+// lazily evicting lapsed ones.
+func (f *Fetcher) suspected(id types.ReplicaID, now time.Time) bool {
+	until, ok := f.suspect[id]
+	if !ok {
+		return false
+	}
+	if now.Before(until) {
+		return true
+	}
+	delete(f.suspect, id)
+	return false
+}
+
+// Retry rotates to the next peer and re-arms the deadline; the caller
+// resends the request to the returned peer. Only valid while Fetching.
+// The peer that timed out enters the negative cache.
+func (f *Fetcher) Retry(now time.Time) types.ReplicaID {
+	f.suspect[f.peer] = now.Add(suspectWindow * f.timeout)
+	next := f.ring.Current()
+	if next == f.peer {
+		// Don't immediately re-ask the peer that just timed out (the ring
+		// cursor may still point at it after an origin-first attempt).
+		next = f.ring.Advance()
+	}
+	f.peer = next
+	f.deadline = now.Add(f.timeout)
+	f.retries++
+	return f.peer
+}
+
+// Done marks a digest satisfied (body arrived — via response, late
+// announce, or any other path): the in-flight request is cleared if it
+// matches and the digest leaves the dedup set.
+func (f *Fetcher) Done(digest [32]byte) {
+	if f.inflight && f.cur.digest == digest {
+		f.inflight = false
+	}
+	if _, ok := f.queued[digest]; ok {
+		delete(f.queued, digest)
+		for i := range f.queue {
+			if f.queue[i].digest == digest {
+				f.queue = append(f.queue[:i], f.queue[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Metrics reports the fetcher's counters into m.
+func (f *Fetcher) Metrics(m map[string]int64) {
+	m["dissemFetches"] = f.fetches
+	m["dissemFetchRetries"] = f.retries
+}

@@ -27,6 +27,7 @@ import (
 	"banyan/internal/beacon"
 	"banyan/internal/core"
 	"banyan/internal/crypto"
+	"banyan/internal/dissem"
 	"banyan/internal/hotstuff"
 	"banyan/internal/icc"
 	"banyan/internal/mempool"
@@ -115,6 +116,16 @@ type Config struct {
 	// core.Config.OptimisticProposals). The cmd/bench "pipeline" experiment
 	// compares latency and throughput with this on and off.
 	OptimisticProposals bool
+	// Dissem routes payloads through the batch-dissemination layer
+	// (internal/dissem): proposals commit batch digests, bodies travel
+	// out-of-band, and delivery of finalized blocks gates on body
+	// availability. Banyan protocols only.
+	Dissem bool
+	// DissemBatchBytes is the dissemination batch cut size (zero: 64 KiB).
+	DissemBatchBytes int
+	// DissemInlineMax bounds the inline tail a proposal carries alongside
+	// its batch refs (zero: everything rides in batches).
+	DissemInlineMax int
 	// DeepPrune evicts finalized block bodies below the Banyan engines'
 	// prune floor, leaving each replica holding only a bounded window of
 	// the chain — the shape that forces rejoining replicas through
@@ -180,6 +191,11 @@ type Result struct {
 	RestartReplayed int64
 	// Messages / MessageBytes count total network traffic.
 	Messages, MessageBytes int64
+	// MaxProposalWire is the largest leader-proposal wire size observed
+	// post-warmup. Under Dissem this stays near-constant as BlockSize grows
+	// (proposals carry digests, not bodies) — the decoupling the cmd/bench
+	// "dissem" experiment asserts.
+	MaxProposalWire int
 	// Delta echoes the Δ actually used (after auto-derivation).
 	Delta time.Duration
 }
@@ -255,6 +271,14 @@ func (c *Config) fill() error {
 	if c.Scheme == "" {
 		c.Scheme = "hmac"
 	}
+	if c.Dissem {
+		if c.Protocol != Banyan && c.Protocol != BanyanNoFast {
+			return fmt.Errorf("harness: Dissem requires a Banyan protocol, got %q", c.Protocol)
+		}
+		if c.DissemBatchBytes <= 0 {
+			c.DissemBatchBytes = 64 << 10
+		}
+	}
 	return nil
 }
 
@@ -280,7 +304,20 @@ func Run(cfg Config) (*Result, error) {
 	// with a WALDir it is wrapped in a recorder over that replica's log.
 	mkEngine := func(i types.ReplicaID) (protocol.Engine, error) {
 		src := mempool.NewSynthetic(cfg.BlockSize, cfg.Seed^uint64(i)<<32, false)
-		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src)
+		// A fresh store per build: a restarted replica loses its body cache
+		// (bodies are not journaled) and refetches what delivery needs.
+		var store *dissem.Store
+		if cfg.Dissem {
+			store = dissem.NewStore(dissem.Config{
+				Self:       i,
+				N:          cfg.Params.N,
+				BatchBytes: cfg.DissemBatchBytes,
+				InlineMax:  cfg.DissemInlineMax,
+				BlockBytes: cfg.BlockSize,
+				Source:     src,
+			})
+		}
+		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src, store)
 		if err != nil {
 			return nil, err
 		}
@@ -332,11 +369,12 @@ func Run(cfg Config) (*Result, error) {
 		awaitingConfirm bool
 	}
 	var (
-		warmupEnd   = simnet.Epoch.Add(cfg.Warmup)
-		proposedAt  = make(map[types.BlockID]proposalClock)
-		latency     = metrics.NewSeries()
-		throughput  = metrics.NewThroughput(cfg.Duration - cfg.Warmup)
-		faultErrors []error
+		warmupEnd       = simnet.Epoch.Add(cfg.Warmup)
+		proposedAt      = make(map[types.BlockID]proposalClock)
+		latency         = metrics.NewSeries()
+		throughput      = metrics.NewThroughput(cfg.Duration - cfg.Warmup)
+		faultErrors     []error
+		maxProposalWire int
 	)
 	hooks := simnet.Hooks{
 		OnBroadcast: func(node types.ReplicaID, at time.Time, msg types.Message) {
@@ -346,6 +384,9 @@ func Run(cfg Config) (*Result, error) {
 					return
 				}
 				if !at.Before(warmupEnd) {
+					if w := m.WireSize(); w > maxProposalWire {
+						maxProposalWire = w
+					}
 					proposedAt[m.Block.ID()] = proposalClock{
 						at:              at,
 						proposer:        node,
@@ -472,6 +513,7 @@ func Run(cfg Config) (*Result, error) {
 		RestartReplayed:     restartReplayed,
 		Messages:            net.Stats().Messages,
 		MessageBytes:        net.Stats().Bytes,
+		MaxProposalWire:     maxProposalWire,
 		Delta:               cfg.Delta,
 	}
 	if len(faultErrors) > 0 {
@@ -481,7 +523,8 @@ func Run(cfg Config) (*Result, error) {
 }
 
 func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
-	signer *crypto.Signer, bc beacon.Beacon, src protocol.PayloadSource) (protocol.Engine, error) {
+	signer *crypto.Signer, bc beacon.Beacon, src protocol.PayloadSource,
+	store *dissem.Store) (protocol.Engine, error) {
 	switch cfg.Protocol {
 	case Banyan, BanyanNoFast:
 		return core.New(core.Config{
@@ -492,6 +535,7 @@ func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 			Signer:              signer,
 			Beacon:              bc,
 			Payloads:            src,
+			Dissem:              store,
 			Delta:               cfg.Delta,
 			DisableFastPath:     cfg.Protocol == BanyanNoFast,
 			DisableForwarding:   cfg.NoForwarding,

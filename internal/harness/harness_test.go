@@ -165,6 +165,67 @@ func TestNegligibleOverheadClaim(t *testing.T) {
 		perBlockB/1024, perBlockI/1024, overhead*100)
 }
 
+// TestDissemDecouplesProposalWire is the batch-dissemination layer's core
+// claim as an assertion: with Dissem on, the proposal's wire size is a
+// function of the digest list, not the payload — it stays flat as the
+// block size grows 16× — while the committed throughput still reflects the
+// full logical payload.
+func TestDissemDecouplesProposalWire(t *testing.T) {
+	topo, err := wan.FourGlobal4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(blockSize int, dissem bool) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Protocol:  Banyan,
+			Params:    ParamsFor(Banyan, 4, 1, 1),
+			Topology:  topo,
+			BlockSize: blockSize,
+			Duration:  30 * time.Second,
+			Seed:      11,
+			Dissem:    dissem,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	small := run(64<<10, true)
+	large := run(1<<20, true)
+	t.Logf("dissem wire: 64KB blocks -> %d B proposals, 1MB blocks -> %d B proposals",
+		small.MaxProposalWire, large.MaxProposalWire)
+	for _, r := range []*Result{small, large} {
+		if r.BlocksCommitted == 0 {
+			t.Fatal("dissem run committed no blocks")
+		}
+		if r.Faults != 0 {
+			t.Fatalf("dissem run reported %d safety faults", r.Faults)
+		}
+	}
+	// Constant-within-2KB across the sweep (the bench's acceptance bound).
+	if diff := large.MaxProposalWire - small.MaxProposalWire; diff > 2<<10 || diff < -(2<<10) {
+		t.Errorf("proposal wire grew %d B across a 16x block-size sweep, want within 2KB", diff)
+	}
+	// And genuinely decoupled: nowhere near the payload size.
+	if large.MaxProposalWire > 64<<10 {
+		t.Errorf("1MB-block proposal wire = %d B, expected digests-only (≪ payload)", large.MaxProposalWire)
+	}
+
+	// Inline mode at the same size ships the body inside the proposal.
+	inline := run(1<<20, false)
+	if inline.MaxProposalWire < 1<<20 {
+		t.Errorf("inline proposal wire = %d B, expected ≥ payload size", inline.MaxProposalWire)
+	}
+	// Dissem still commits the full logical payload volume: throughput
+	// within 2x of inline on this unconstrained-bandwidth profile.
+	if small.ThroughputBps == 0 || large.ThroughputBps < inline.ThroughputBps/2 {
+		t.Errorf("dissem throughput %.1f MB/s vs inline %.1f MB/s",
+			large.ThroughputBps/1e6, inline.ThroughputBps/1e6)
+	}
+}
+
 // TestAutoDeltaKeepsSingleProposer: the derived Δ must be generous enough
 // that fault-free rounds see exactly one proposer (paper section 9.2's
 // tuning requirement).

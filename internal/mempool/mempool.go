@@ -5,17 +5,33 @@
 //   - Synthetic: the paper's benchmark workload (section 9.2) — the leader
 //     generates a pseudo-random bit vector of a configured size for every
 //     block it proposes. Used by the simulator and the benchmarks.
-//   - Pool: a FIFO transaction mempool for the SMR example applications —
-//     clients submit opaque transactions, proposers drain them into block
-//     payloads up to a size limit.
+//   - Pool: a submitter-sharded FIFO transaction mempool for the SMR
+//     example applications — clients submit opaque transactions, proposers
+//     drain them into block payloads (or dissemination batches) up to a
+//     size limit.
 package mempool
 
 import (
 	"encoding/binary"
+	"errors"
 	"sync"
 
 	"banyan/internal/protocol"
 	"banyan/internal/types"
+)
+
+// Typed Submit rejections, surfaced through the replica metrics registry
+// so operators can tell admission failures apart.
+var (
+	// ErrTxEmpty rejects zero-length transactions.
+	ErrTxEmpty = errors.New("mempool: empty transaction")
+	// ErrTxTooLarge rejects a transaction that cannot fit one batch (or
+	// block) even alone. The transaction is refused outright — never
+	// silently truncated or stranded in the queue.
+	ErrTxTooLarge = errors.New("mempool: transaction exceeds batch size limit")
+	// ErrPoolFull rejects a transaction when buffering it would exceed the
+	// pool's byte budget.
+	ErrPoolFull = errors.New("mempool: pool is full")
 )
 
 // Synthetic produces fixed-size pseudo-random payloads, one per proposal.
@@ -47,106 +63,206 @@ func (s *Synthetic) NextPayload(round types.Round) types.Payload {
 	return p
 }
 
-// Pool is a bounded FIFO transaction mempool. It is safe for concurrent
-// use: the node runtime calls NextPayload from the engine goroutine while
-// clients Submit from anywhere.
+// CutBatch implements dissem.Source: the synthetic workload is a
+// bottomless transaction supply, so every cut yields a full batch of max
+// bytes with a fresh seed. The dissemination store's inventory target is
+// what bounds the cut rate.
+func (s *Synthetic) CutBatch(max int) types.Payload {
+	if max <= 0 {
+		return types.Payload{}
+	}
+	s.n++
+	p := types.SyntheticPayload(max, s.seed^0xD15E<<40^s.n)
+	if s.materialized {
+		return types.BytesPayload(p.Materialize())
+	}
+	return p
+}
+
+// Pool is a bounded, submitter-sharded FIFO transaction mempool. It is
+// safe for concurrent use: the node runtime calls NextPayload/CutBatch
+// from the engine goroutine while clients Submit from anywhere.
+//
+// Sharding: each submitter hashes to one of the pool's shards (per-shard
+// FIFO), and batch construction drains shards round-robin, one
+// transaction per non-empty shard per pass. One heavy submitter therefore
+// cannot starve the others, and the drain order is a deterministic
+// function of the submission sequence — the property the dissemination
+// layer's same-sequence equivalence with inline payloads rests on.
 //
 // Locking is split so client-facing Submit never stalls behind block
-// construction: the ingress mutex guards only the queue (Submit holds it
-// for an append), while NextPayload serializes builders on its own
-// mutex, claims the transactions that fit under a brief ingress
-// critical section (length arithmetic only), and assembles the batch —
+// construction: the ingress mutex guards only the queues (Submit holds it
+// for an append), while NextPayload/CutBatch serialize builders on their
+// own mutex, claim the transactions that fit under a brief ingress
+// critical section (length arithmetic only), and assemble the batch —
 // the memcpy-heavy part — with the ingress lock released.
 //
 // Transactions are length-prefixed when batched into a payload; DecodeBatch
 // recovers them on commit.
 type Pool struct {
-	mu       sync.Mutex // ingress: guards txs and bytes
-	txs      [][]byte
+	mu       sync.Mutex // ingress: guards shards and bytes
+	shards   []poolShard
 	bytes    int
 	maxBytes int // cap on buffered bytes; Submit fails beyond it
 	maxBlock int // cap on bytes drained into one payload
 
-	buildMu sync.Mutex // serializes NextPayload batch construction
+	rejectedOversize int64
+	rejectedFull     int64
+
+	buildMu sync.Mutex // serializes batch construction
+}
+
+type poolShard struct {
+	txs [][]byte
 }
 
 var _ protocol.PayloadSource = (*Pool)(nil)
 
-// NewPool creates a mempool buffering at most maxBytes of transactions and
-// draining at most maxBlock bytes per block.
+// NewPool creates a single-shard mempool buffering at most maxBytes of
+// transactions and draining at most maxBlock bytes per block.
 func NewPool(maxBytes, maxBlock int) *Pool {
+	return NewShardedPool(maxBytes, maxBlock, 1)
+}
+
+// NewShardedPool creates a mempool with the given number of submitter
+// shards.
+func NewShardedPool(maxBytes, maxBlock, shards int) *Pool {
 	if maxBytes <= 0 {
 		maxBytes = 64 << 20
 	}
 	if maxBlock <= 0 {
 		maxBlock = 1 << 20
 	}
-	return &Pool{maxBytes: maxBytes, maxBlock: maxBlock}
+	if shards <= 0 {
+		shards = 1
+	}
+	return &Pool{maxBytes: maxBytes, maxBlock: maxBlock, shards: make([]poolShard, shards)}
 }
 
-// Submit queues a transaction; it reports false when the pool is full or
-// the transaction alone exceeds the per-block limit.
-func (p *Pool) Submit(tx []byte) bool {
-	if len(tx) == 0 || len(tx)+4 > p.maxBlock {
-		return false
+// Submit queues a transaction from the anonymous submitter; it reports
+// false when the pool rejects it. Use SubmitErr for the typed reason.
+func (p *Pool) Submit(tx []byte) bool { return p.SubmitErr(tx) == nil }
+
+// SubmitErr queues a transaction from the anonymous submitter, returning
+// the typed rejection (ErrTxEmpty, ErrTxTooLarge, ErrPoolFull) on
+// failure.
+func (p *Pool) SubmitErr(tx []byte) error { return p.SubmitFrom(0, tx) }
+
+// SubmitFrom queues a transaction from the given submitter, routing it to
+// that submitter's shard.
+func (p *Pool) SubmitFrom(submitter uint64, tx []byte) error {
+	if len(tx) == 0 {
+		return ErrTxEmpty
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if len(tx)+4 > p.maxBlock {
+		p.rejectedOversize++
+		return ErrTxTooLarge
+	}
 	if p.bytes+len(tx) > p.maxBytes {
-		return false
+		p.rejectedFull++
+		return ErrPoolFull
 	}
 	cp := make([]byte, len(tx))
 	copy(cp, tx)
-	p.txs = append(p.txs, cp)
+	sh := &p.shards[int(submitter%uint64(len(p.shards)))]
+	sh.txs = append(sh.txs, cp)
 	p.bytes += len(tx)
-	return true
+	return nil
 }
 
 // Len returns the number of queued transactions.
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.txs)
+	n := 0
+	for i := range p.shards {
+		n += len(p.shards[i].txs)
+	}
+	return n
 }
 
-// NextPayload implements protocol.PayloadSource: drains queued
-// transactions, oldest first, into a length-prefixed batch of at most
-// maxBlock bytes. An empty pool yields an empty payload (empty blocks keep
-// the chain growing, as in the paper's implementation).
-func (p *Pool) NextPayload(types.Round) types.Payload {
-	p.buildMu.Lock()
-	defer p.buildMu.Unlock()
-
-	// Claim phase (ingress lock, O(claimed) integer work): decide how many
-	// transactions fit and detach them from the queue.
+// Metrics reports the pool's admission counters into m.
+func (p *Pool) Metrics(m map[string]int64) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	m["mempoolRejectedOversize"] = p.rejectedOversize
+	m["mempoolRejectedFull"] = p.rejectedFull
+}
+
+// claim detaches up to budget bytes of transactions (including their
+// 4-byte length prefixes) from the shards, round-robin one transaction
+// per non-empty shard per pass, FIFO within a shard, always starting at
+// shard 0 so the drain order is a pure function of the queue state.
+// Caller must hold buildMu; the ingress lock is taken internally for the
+// O(claimed) pointer work only. Returns the claimed transactions in drain
+// order and their total batched size.
+func (p *Pool) claim(budget int) ([][]byte, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var (
-		used int
-		size int
+		claimed [][]byte
+		size    int
 	)
-	for used < len(p.txs) {
-		tx := p.txs[used]
-		if size+4+len(tx) > p.maxBlock {
+	for {
+		progress := false
+		for i := 0; i < len(p.shards); i++ {
+			sh := &p.shards[i]
+			if len(sh.txs) == 0 {
+				continue
+			}
+			tx := sh.txs[0]
+			if size+4+len(tx) > budget {
+				continue
+			}
+			sh.txs = sh.txs[1:]
+			claimed = append(claimed, tx)
+			size += 4 + len(tx)
+			p.bytes -= len(tx)
+			progress = true
+		}
+		if !progress {
 			break
 		}
-		size += 4 + len(tx)
-		p.bytes -= len(tx)
-		used++
 	}
-	claimed := p.txs[:used:used]
-	p.txs = p.txs[used:]
-	p.mu.Unlock()
+	return claimed, size
+}
 
-	if used == 0 {
+func batchOf(claimed [][]byte, size int) types.Payload {
+	if len(claimed) == 0 {
 		return types.Payload{}
 	}
-	// Build phase (no ingress lock): one exact-size allocation, then copy.
 	batch := make([]byte, 0, size)
 	for _, tx := range claimed {
 		batch = binary.LittleEndian.AppendUint32(batch, uint32(len(tx)))
 		batch = append(batch, tx...)
 	}
 	return types.BytesPayload(batch)
+}
+
+// NextPayload implements protocol.PayloadSource: drains queued
+// transactions into a length-prefixed batch of at most maxBlock bytes. An
+// empty pool yields an empty payload (empty blocks keep the chain
+// growing, as in the paper's implementation).
+func (p *Pool) NextPayload(types.Round) types.Payload {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	return batchOf(p.claim(p.maxBlock))
+}
+
+// CutBatch implements dissem.Source: identical drain discipline to
+// NextPayload, but bounded by the dissemination layer's batch size. Since
+// both paths share claim's round-robin order, a chain built from
+// disseminated batches commits the same transaction sequence an inline
+// chain would.
+func (p *Pool) CutBatch(max int) types.Payload {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	if max > p.maxBlock {
+		max = p.maxBlock
+	}
+	return batchOf(p.claim(max))
 }
 
 // DecodeBatch splits a payload produced by Pool.NextPayload back into

@@ -141,6 +141,117 @@ func TestPoolConcurrentSubmit(t *testing.T) {
 	}
 }
 
+// TestPoolTypedRejections pins the typed Submit errors and their metric
+// counters: oversized transactions are refused outright (never truncated
+// or stranded), full-pool rejections are distinguishable, and both are
+// counted for the metrics registry.
+func TestPoolTypedRejections(t *testing.T) {
+	pool := NewPool(100, 50)
+	if err := pool.SubmitErr(nil); err != ErrTxEmpty {
+		t.Fatalf("empty: got %v", err)
+	}
+	if err := pool.SubmitErr(make([]byte, 47)); err != ErrTxTooLarge {
+		t.Fatalf("oversize (47+4 > 50): got %v", err)
+	}
+	if err := pool.SubmitErr(make([]byte, 40)); err != nil {
+		t.Fatalf("valid submit rejected: %v", err)
+	}
+	if err := pool.SubmitErr(make([]byte, 40)); err != nil {
+		t.Fatalf("second submit rejected: %v", err)
+	}
+	if err := pool.SubmitErr(make([]byte, 40)); err != ErrPoolFull {
+		t.Fatalf("full: got %v", err)
+	}
+	// The oversized transaction must not have entered the queue in any
+	// truncated form.
+	for pool.Len() > 0 {
+		for _, tx := range DecodeBatch(pool.NextPayload(1)) {
+			if len(tx) != 40 {
+				t.Fatalf("truncated transaction of %d bytes leaked into a batch", len(tx))
+			}
+		}
+	}
+	m := map[string]int64{}
+	pool.Metrics(m)
+	if m["mempoolRejectedOversize"] != 1 || m["mempoolRejectedFull"] != 1 {
+		t.Fatalf("rejection counters wrong: %v", m)
+	}
+}
+
+// TestShardedPoolFairness checks the round-robin drain: a heavy submitter
+// cannot starve a light one out of the next batch.
+func TestShardedPoolFairness(t *testing.T) {
+	pool := NewShardedPool(0, 1024, 4)
+	for i := 0; i < 50; i++ {
+		if err := pool.SubmitFrom(0, []byte(fmt.Sprintf("heavy-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.SubmitFrom(1, []byte("light-tx")); err != nil {
+		t.Fatal(err)
+	}
+	batch := DecodeBatch(pool.NextPayload(1))
+	found := false
+	for _, tx := range batch {
+		if bytes.Equal(tx, []byte("light-tx")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("light submitter starved out of the first batch")
+	}
+	// FIFO within the heavy shard must be preserved.
+	var heavy [][]byte
+	for _, tx := range batch {
+		if bytes.HasPrefix(tx, []byte("heavy-")) {
+			heavy = append(heavy, tx)
+		}
+	}
+	for i := range heavy {
+		if want := fmt.Sprintf("heavy-%02d", i); string(heavy[i]) != want {
+			t.Fatalf("heavy shard out of order: %q at %d", heavy[i], i)
+		}
+	}
+}
+
+// TestCutBatchMatchesNextPayload is the dissemination equivalence
+// property at the mempool level: cutting one submitter's queue into
+// dissemination batches and concatenating them yields the same
+// transaction sequence as draining inline payloads, regardless of where
+// the batch boundaries fall.
+func TestCutBatchMatchesNextPayload(t *testing.T) {
+	submit := func(pool *Pool) {
+		r := rand.New(rand.NewSource(77))
+		for i := 0; i < 100; i++ {
+			tx := make([]byte, r.Intn(60)+1)
+			r.Read(tx)
+			if err := pool.SubmitFrom(3, tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	inline := NewShardedPool(0, 1<<20, 4)
+	dissem := NewShardedPool(0, 1<<20, 4)
+	submit(inline)
+	submit(dissem)
+
+	var a, b [][]byte
+	for inline.Len() > 0 {
+		a = append(a, DecodeBatch(inline.NextPayload(1))...)
+	}
+	for dissem.Len() > 0 {
+		b = append(b, DecodeBatch(dissem.CutBatch(256))...)
+	}
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("sequence lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("sequence diverges at %d", i)
+		}
+	}
+}
+
 func TestDecodeBatchMalformed(t *testing.T) {
 	if DecodeBatch(types.BytesPayload([]byte{1, 0, 0})) != nil {
 		t.Fatal("truncated prefix decoded")

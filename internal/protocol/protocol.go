@@ -43,6 +43,10 @@ const (
 	// checks the per-peer deadline and retries the request against the next
 	// peer in rotation if the current one went silent.
 	TimerStateSync
+	// TimerBatchFetch fires while a batch-body fetch is in flight
+	// (delivery gating, internal/dissem); same deadline-check-and-rotate
+	// discipline as TimerStateSync.
+	TimerBatchFetch
 )
 
 func (k TimerKind) String() string {
@@ -57,6 +61,8 @@ func (k TimerKind) String() string {
 		return "resend"
 	case TimerStateSync:
 		return "state-sync"
+	case TimerBatchFetch:
+		return "batch-fetch"
 	default:
 		return fmt.Sprintf("TimerKind(%d)", uint8(k))
 	}

@@ -37,6 +37,11 @@ func TestEncodedSizeExact(t *testing.T) {
 			&NewView{Round: Round(i), Sender: 1, HighQC: randomCert(r), Signature: []byte("sig")},
 			&SyncResponse{Blocks: []*Block{randomBlock(r)}, Finalization: randomCert(r)},
 			&SnapshotResponse{Chain: []*Block{randomBlock(r)}, Finalization: randomCert(r)},
+			&BatchAnnounce{Origin: ReplicaID(i), Digest: [32]byte{byte(i)}, Body: randomBlock(r).Payload},
+			&BatchAnnounce{Origin: ReplicaID(i), Digest: [32]byte{byte(i)}}, // availability ack
+			&BatchRequest{Digest: [32]byte{byte(i), 7}},
+			&BatchResponse{Digest: [32]byte{byte(i)}, Body: randomBlock(r).Payload},
+			&Proposal{Block: NewBlock(Round(i), 2, 0, BlockID{9}, randomBatchPayload(r))},
 		)
 	}
 	for _, m := range msgs {
@@ -160,6 +165,74 @@ func TestAllocRegressionBareProposal(t *testing.T) {
 		}
 	}); n > 0 {
 		t.Errorf("bare proposal EncodeMessage with cache: %v allocs/op, budget 0", n)
+	}
+}
+
+// TestAllocRegressionDecodeInPlace gates the read-path allocation budget:
+// the steady-state messages (a proposal with parent credentials, a vote
+// bundle) must decode in-place into their single arena allocation instead
+// of one allocation per retained sub-object. The fixtures mirror
+// bench_test.go's steady-state shapes.
+func TestAllocRegressionDecodeInPlace(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	b := NewBlock(9, 2, 0, BlockID{4, 5}, BytesPayload(randomBytes(r, 512)))
+	b.Signature = randomBytes(r, 64)
+	fv := Vote{Kind: VoteFast, Round: 9, Block: b.ID(), Voter: 2, Signature: randomBytes(r, 64)}
+	cert := &Certificate{Kind: CertNotarization, Round: 8, Block: b.Parent}
+	for i := 0; i < 3; i++ {
+		cert.Signers = append(cert.Signers, ReplicaID(i))
+		cert.Sigs = append(cert.Sigs, randomBytes(r, 64))
+	}
+	proposal := mustEncode(&Proposal{Block: b, ParentNotarization: cert, FastVote: &fv})
+	votes := mustEncode(&VoteMsg{Votes: []Vote{fv, {Kind: VoteNotarize, Round: 9, Block: b.ID(), Voter: 2, Signature: randomBytes(r, 64)}}})
+
+	decode := func(data []byte) {
+		if _, err := decodeMessage(data, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() { decode(proposal) }); n > 2 {
+		t.Errorf("decode-inplace proposal: %v allocs/op, budget 2", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { decode(votes) }); n > 1 {
+		t.Errorf("decode-inplace votemsg: %v allocs/op, budget 1", n)
+	}
+}
+
+// TestDecodeArenaOverflow checks the arena fallbacks: signer counts and
+// vote bundles beyond the fixed arena capacity still decode correctly
+// (into heap slices), so the budget optimization cannot change behavior.
+func TestDecodeArenaOverflow(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	cert := &Certificate{Kind: CertNotarization, Round: 3, Block: BlockID{1}}
+	for i := 0; i < arenaSigners+9; i++ {
+		cert.Signers = append(cert.Signers, ReplicaID(i))
+		cert.Sigs = append(cert.Sigs, randomBytes(r, 16))
+	}
+	b := NewBlock(4, 1, 1, BlockID{1}, BytesPayload([]byte("tx")))
+	b.Signature = randomBytes(r, 64)
+	got := roundTrip(t, &Proposal{Block: b, ParentNotarization: cert}).(*Proposal)
+	if len(got.ParentNotarization.Signers) != arenaSigners+9 {
+		t.Fatalf("overflow cert lost signers: %d", len(got.ParentNotarization.Signers))
+	}
+	for i, s := range got.ParentNotarization.Signers {
+		if s != cert.Signers[i] || !bytes.Equal(got.ParentNotarization.Sigs[i], cert.Sigs[i]) {
+			t.Fatalf("overflow cert corrupted signer %d", i)
+		}
+	}
+
+	vm := &VoteMsg{}
+	for i := 0; i < 9; i++ {
+		vm.Votes = append(vm.Votes, randomVote(r))
+	}
+	gotVM := roundTrip(t, vm).(*VoteMsg)
+	if len(gotVM.Votes) != len(vm.Votes) {
+		t.Fatalf("overflow vote bundle lost votes: %d", len(gotVM.Votes))
+	}
+	for i := range vm.Votes {
+		if gotVM.Votes[i].Digest() != vm.Votes[i].Digest() {
+			t.Fatalf("overflow vote %d digest changed", i)
+		}
 	}
 }
 

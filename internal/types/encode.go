@@ -223,6 +223,15 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 			encodeBlock(&e, b)
 		}
 		encodeOptCert(&e, v.Finalization)
+	case *BatchAnnounce:
+		e.u16(uint16(v.Origin))
+		e.hash(v.Digest)
+		encodePayload(&e, v.Body)
+	case *BatchRequest:
+		e.hash(v.Digest)
+	case *BatchResponse:
+		e.hash(v.Digest)
+		encodePayload(&e, v.Body)
 	default:
 		return nil, fmt.Errorf("types: cannot encode message of type %T", m)
 	}
@@ -269,6 +278,10 @@ func cachedEncoding(m Message) []byte {
 		return v.enc
 	case *SnapshotResponse:
 		return v.enc
+	case *BatchAnnounce:
+		return v.enc
+	case *BatchResponse:
+		return v.enc
 	}
 	return nil
 }
@@ -290,6 +303,10 @@ func setCachedEncoding(m Message, enc []byte) {
 	case *SyncResponse:
 		v.enc = enc
 	case *SnapshotResponse:
+		v.enc = enc
+	case *BatchAnnounce:
+		v.enc = enc
+	case *BatchResponse:
 		v.enc = enc
 	}
 }
@@ -336,7 +353,13 @@ func decodeMessage(data []byte, alias bool) (Message, error) {
 		m = decodeProposal(d)
 	case MsgVote:
 		n := int(d.u16())
-		vm := &VoteMsg{}
+		a := &voteMsgArena{}
+		vm := &a.vm
+		if n <= len(a.votes) {
+			// The common bundle (fast vote + notarization vote) fits the
+			// arena; oversized messages fall back to append growth.
+			vm.Votes = a.votes[:0]
+		}
 		for i := 0; i < n && d.err == nil; i++ {
 			vm.Votes = append(vm.Votes, decodeVote(d))
 		}
@@ -380,6 +403,16 @@ func decodeMessage(data []byte, alias bool) (Message, error) {
 		}
 		sr.Finalization = decodeOptCert(d)
 		m = sr
+	case MsgBatchAnnounce:
+		m = &BatchAnnounce{
+			Origin: ReplicaID(d.u16()),
+			Digest: d.hash(),
+			Body:   decodePayload(d),
+		}
+	case MsgBatchRequest:
+		m = &BatchRequest{Digest: d.hash()}
+	case MsgBatchResponse:
+		m = &BatchResponse{Digest: d.hash(), Body: decodePayload(d)}
 	default:
 		return nil, fmt.Errorf("types: unknown message kind %d", kind)
 	}
@@ -427,15 +460,41 @@ func encodeProposal(e *encoder, p *Proposal) {
 	}
 }
 
+// Decode arenas collapse the read path's per-object allocations into a
+// single one: the arena embeds every sub-object a decoded message
+// retains, plus fixed-capacity backing arrays for the short slices
+// (certificate signers, vote bundles). The scratch is deliberately not
+// pooled — vote ledgers and round state retain decoded messages
+// indefinitely, so the objects must live as long as the message; the win
+// is one allocation instead of six, not reuse.
+const arenaSigners = 64
+
+type proposalArena struct {
+	p       Proposal
+	b       Block
+	c       Certificate
+	fv      Vote
+	signers [arenaSigners]ReplicaID
+	sigs    [arenaSigners][]byte
+}
+
+type voteMsgArena struct {
+	vm    VoteMsg
+	votes [4]Vote
+}
+
 func decodeProposal(d *decoder) *Proposal {
-	p := &Proposal{}
+	a := &proposalArena{}
+	p := &a.p
 	p.Relayed = d.bool()
-	p.Block = decodeBlock(d)
-	p.ParentNotarization = decodeOptCert(d)
+	if d.bool() {
+		p.Block = decodeBlockInto(&a.b, d)
+	}
+	p.ParentNotarization = decodeOptCertInto(&a.c, a.signers[:0], a.sigs[:0], d)
 	p.ParentUnlock = decodeOptUnlock(d)
 	if d.bool() {
-		v := decodeVote(d)
-		p.FastVote = &v
+		a.fv = decodeVote(d)
+		p.FastVote = &a.fv
 	}
 	return p
 }
@@ -458,18 +517,32 @@ func decodeBlock(d *decoder) *Block {
 	if !d.bool() {
 		return nil
 	}
-	b := &Block{
-		Round:    Round(d.u64()),
-		Proposer: ReplicaID(d.u16()),
-		Rank:     Rank(d.u16()),
-		Parent:   d.id(),
-	}
+	return decodeBlockInto(&Block{}, d)
+}
+
+// decodeBlockInto decodes a block body (after its presence tag) into a
+// caller-provided struct — the arena variant of decodeBlock.
+func decodeBlockInto(b *Block, d *decoder) *Block {
+	b.Round = Round(d.u64())
+	b.Proposer = ReplicaID(d.u16())
+	b.Rank = Rank(d.u16())
+	b.Parent = d.id()
 	b.Payload = decodePayload(d)
 	b.Signature = d.bytes()
 	return b
 }
 
 func encodePayload(e *encoder, p Payload) {
+	if p.HasBatches() {
+		e.u8(2)
+		e.u32(uint32(len(p.Batches)))
+		for _, r := range p.Batches {
+			e.hash(r.Digest)
+			e.u32(r.Size)
+		}
+		e.bytes(p.Data)
+		return
+	}
 	if p.IsSynthetic() {
 		e.u8(1)
 		e.u32(p.SynthSize)
@@ -481,10 +554,26 @@ func encodePayload(e *encoder, p Payload) {
 }
 
 func decodePayload(d *decoder) Payload {
-	if d.u8() == 1 {
+	switch d.u8() {
+	case 1:
 		return Payload{SynthSize: d.u32(), SynthSeed: d.u64()}
+	case 2:
+		n := d.u32()
+		if d.err != nil || n > MaxBatchRefs {
+			d.fail(fmt.Errorf("types: payload with %d batch refs exceeds limit", n))
+			return Payload{}
+		}
+		var refs []BatchRef
+		if n > 0 {
+			refs = make([]BatchRef, 0, n)
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			refs = append(refs, BatchRef{Digest: d.hash(), Size: d.u32()})
+		}
+		return Payload{Batches: refs, Data: d.bytes()}
+	default:
+		return Payload{Data: d.bytes()}
 	}
-	return Payload{Data: d.bytes()}
 }
 
 func encodeVote(e *encoder, v Vote) {
@@ -542,6 +631,37 @@ func decodeOptCert(d *decoder) *Certificate {
 	for i := uint32(0); i < n && d.err == nil; i++ {
 		c.Signers = append(c.Signers, ReplicaID(d.u16()))
 		c.Sigs = append(c.Sigs, d.bytes())
+	}
+	return c
+}
+
+// decodeOptCertInto is decodeOptCert backed by arena storage: signers and
+// sigs are zero-length slices over the arena's fixed arrays, used as long
+// as the signer count fits and falling back to exact-size heap slices
+// when it does not.
+func decodeOptCertInto(c *Certificate, signers []ReplicaID, sigs [][]byte, d *decoder) *Certificate {
+	if !d.bool() {
+		return nil
+	}
+	c.Kind = CertKind(d.u8())
+	c.Round = Round(d.u64())
+	c.Block = d.id()
+	n := d.u32()
+	if d.err != nil || n > maxSliceLen/8 {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	if int(n) > cap(signers) {
+		signers = make([]ReplicaID, 0, n)
+		sigs = make([][]byte, 0, n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		signers = append(signers, ReplicaID(d.u16()))
+		sigs = append(sigs, d.bytes())
+	}
+	if n > 0 {
+		c.Signers = signers
+		c.Sigs = sigs
 	}
 	return c
 }

@@ -30,13 +30,15 @@ func randomBlock(r *rand.Rand) *Block {
 		Rank:     Rank(r.Intn(1 << 15)),
 	}
 	r.Read(b.Parent[:])
-	switch r.Intn(3) {
+	switch r.Intn(4) {
 	case 0: // concrete payload
 		data := make([]byte, r.Intn(512)+1)
 		r.Read(data)
 		b.Payload = BytesPayload(data)
 	case 1: // synthetic payload
 		b.Payload = SyntheticPayload(r.Intn(1<<20)+1, r.Uint64())
+	case 2: // digest-list payload
+		b.Payload = randomBatchPayload(r)
 	default: // empty
 	}
 	b.Signature = make([]byte, 64)
@@ -83,6 +85,21 @@ func randomUnlock(r *rand.Rand) *UnlockProof {
 		u.Entries = append(u.Entries, e)
 	}
 	return u
+}
+
+// randomBatchPayload builds a digest-list payload: 1-6 batch refs plus an
+// optional inline tail.
+func randomBatchPayload(r *rand.Rand) Payload {
+	refs := make([]BatchRef, r.Intn(6)+1)
+	for i := range refs {
+		r.Read(refs[i].Digest[:])
+		refs[i].Size = uint32(r.Intn(1<<20) + 1)
+	}
+	var inline []byte
+	if r.Intn(2) == 0 {
+		inline = randomBytes(r, r.Intn(128)+1)
+	}
+	return BatchPayload(refs, inline)
 }
 
 func roundTrip(t *testing.T, m Message) Message {
@@ -487,6 +504,105 @@ func TestSnapshotMessagesRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(gotResp.Finalization, resp.Finalization) {
 			t.Fatal("finalization certificate changed")
 		}
+	}
+}
+
+// TestBatchMessagesRoundTrip covers the dissemination wire messages:
+// bodies (concrete and synthetic), availability acks, and requests must
+// survive the codec exactly, and a digest-list payload's block identity
+// must be stable across the wire.
+func TestBatchMessagesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 100; i++ {
+		ann := &BatchAnnounce{Origin: ReplicaID(r.Intn(64))}
+		r.Read(ann.Digest[:])
+		switch r.Intn(3) {
+		case 0:
+			ann.Body = BytesPayload(randomBytes(r, r.Intn(4096)+1))
+		case 1:
+			ann.Body = SyntheticPayload(r.Intn(1<<22)+1, r.Uint64())
+		default: // empty body: availability ack
+		}
+		got := roundTrip(t, ann).(*BatchAnnounce)
+		if got.Origin != ann.Origin || got.Digest != ann.Digest {
+			t.Fatalf("announce header changed: %+v vs %+v", got, ann)
+		}
+		if got.Body.Digest() != ann.Body.Digest() || got.IsAck() != ann.IsAck() {
+			t.Fatal("announce body changed in transit")
+		}
+
+		req := &BatchRequest{}
+		r.Read(req.Digest[:])
+		if gotReq := roundTrip(t, req).(*BatchRequest); *gotReq != *req {
+			t.Fatalf("request mismatch: %+v vs %+v", gotReq, req)
+		}
+
+		resp := &BatchResponse{Body: BytesPayload(randomBytes(r, r.Intn(2048)+1))}
+		r.Read(resp.Digest[:])
+		gotResp := roundTrip(t, resp).(*BatchResponse)
+		if gotResp.Digest != resp.Digest || gotResp.Body.Digest() != resp.Body.Digest() {
+			t.Fatal("response changed in transit")
+		}
+	}
+}
+
+// TestBatchPayloadIdentity pins the digest-list payload semantics: the
+// digest commits ref order, ref sizes, and the inline tail; Size reports
+// the logical bytes; and the proposal wire size is independent of the
+// referenced body sizes (the decoupling this layer exists for).
+func TestBatchPayloadIdentity(t *testing.T) {
+	refs := []BatchRef{{Digest: [32]byte{1}, Size: 1 << 20}, {Digest: [32]byte{2}, Size: 512}}
+	p := BatchPayload(refs, []byte("tail"))
+	if got, want := p.Size(), 1<<20+512+4; got != want {
+		t.Fatalf("Size %d, want %d", got, want)
+	}
+	swapped := BatchPayload([]BatchRef{refs[1], refs[0]}, []byte("tail"))
+	if p.Digest() == swapped.Digest() {
+		t.Fatal("digest ignores ref order")
+	}
+	resized := BatchPayload([]BatchRef{{Digest: refs[0].Digest, Size: 99}, refs[1]}, []byte("tail"))
+	if p.Digest() == resized.Digest() {
+		t.Fatal("digest ignores ref size")
+	}
+	noTail := BatchPayload(refs, nil)
+	if p.Digest() == noTail.Digest() {
+		t.Fatal("digest ignores inline tail")
+	}
+	plain := BytesPayload([]byte("tail"))
+	if p.Digest() == plain.Digest() {
+		t.Fatal("digest-list payload collides with plain payload")
+	}
+
+	small := &Proposal{Block: NewBlock(1, 0, 0, BlockID{}, BatchPayload([]BatchRef{{Size: 64 << 10}}, nil))}
+	big := &Proposal{Block: NewBlock(1, 0, 0, BlockID{}, BatchPayload([]BatchRef{{Size: 4 << 20}}, nil))}
+	if small.WireSize() != big.WireSize() {
+		t.Fatalf("proposal wire size depends on referenced body size: %d vs %d", small.WireSize(), big.WireSize())
+	}
+	if enc := mustEncode(big); len(enc) != big.WireSize() {
+		t.Fatalf("batch proposal WireSize %d != encoded %d", big.WireSize(), len(enc))
+	}
+
+	blk := NewBlock(5, 2, 1, BlockID{}, p)
+	blk.Signature = []byte("s")
+	got := roundTrip(t, &Proposal{Block: blk}).(*Proposal)
+	if got.Block.ID() != blk.ID() {
+		t.Fatal("digest-list block changed identity over the wire")
+	}
+	if !reflect.DeepEqual(got.Block.Payload.Batches, refs) {
+		t.Fatalf("refs changed: %+v", got.Block.Payload.Batches)
+	}
+}
+
+// TestBatchRefLimitEnforced checks a hostile ref count dies in the
+// decoder.
+func TestBatchRefLimitEnforced(t *testing.T) {
+	e := &encoder{}
+	e.u8(uint8(MsgBatchResponse))
+	e.hash([32]byte{})
+	e.u8(2)                 // digest-list payload tag
+	e.u32(MaxBatchRefs + 1) // absurd ref count
+	if _, err := DecodeMessage(e.buf); err == nil {
+		t.Fatal("expected error for huge batch ref count")
 	}
 }
 

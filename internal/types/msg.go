@@ -36,6 +36,16 @@ const (
 	// finalization certificate that anchors it; the requester trusts
 	// nothing in it until the certificate passes quorum verification.
 	MsgSnapshotResponse
+	// MsgBatchAnnounce carries one disseminated batch body from its origin
+	// to the cluster, off the consensus path; an empty-body announce sent
+	// back to the origin doubles as an availability ack.
+	MsgBatchAnnounce
+	// MsgBatchRequest asks one peer for a batch body by digest (the
+	// fetch-on-miss path of delivery gating).
+	MsgBatchRequest
+	// MsgBatchResponse returns a requested batch body; the digest makes it
+	// self-certifying, so any peer may serve it.
+	MsgBatchResponse
 )
 
 func (k MsgKind) String() string {
@@ -58,6 +68,12 @@ func (k MsgKind) String() string {
 		return "snapshot-request"
 	case MsgSnapshotResponse:
 		return "snapshot-response"
+	case MsgBatchAnnounce:
+		return "batch-announce"
+	case MsgBatchRequest:
+		return "batch-request"
+	case MsgBatchResponse:
+		return "batch-response"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -232,18 +248,32 @@ func blockEncodedSize(b *Block) int {
 }
 
 func payloadWireSize(p Payload) int {
+	if p.HasBatches() {
+		// Digest-list payloads are as small on the wire as in the encoding:
+		// the bodies travel (and are billed) out-of-band in BatchAnnounce,
+		// so the vote path stays independent of block size.
+		return payloadEncodedSize(p)
+	}
 	// tag + (length prefix + logical bytes)
 	return 1 + 4 + p.Size()
 }
 
 // payloadEncodedSize is the exact encoding length: synthetic payloads
-// travel as a (size, seed) descriptor.
+// travel as a (size, seed) descriptor, digest-list payloads as
+// (count, refs..., inline tail).
 func payloadEncodedSize(p Payload) int {
+	if p.HasBatches() {
+		return 1 + 4 + batchRefEncodedSize*len(p.Batches) + 4 + len(p.Data)
+	}
 	if p.IsSynthetic() {
 		return 1 + 4 + 8
 	}
 	return 1 + 4 + len(p.Data)
 }
+
+// batchRefEncodedSize is the wire footprint of one BatchRef: 32-byte
+// digest plus 4-byte size.
+const batchRefEncodedSize = 32 + 4
 
 func voteWireSize(v Vote) int {
 	return 1 + 8 + 32 + 2 + sliceWireSize(v.Signature)
@@ -377,6 +407,75 @@ func (m *SnapshotResponse) EncodedSize() int {
 // than a pagination unit.
 const MaxSnapshotBlocks = 1024
 
+// MaxBatchRefs bounds the digest list of one payload; the decoder rejects
+// anything larger so a hostile proposal cannot force a huge allocation.
+const MaxBatchRefs = 1 << 16
+
+// BatchAnnounce pushes one batch body from its origin replica to the
+// cluster, continuously and off the consensus path. The digest is the
+// body's Payload digest, making the message self-certifying: receivers
+// verify body-against-digest and ignore the sender identity. An announce
+// with an empty body, unicast back to the origin, is the availability
+// ack the origin counts before referencing the batch from a proposal.
+type BatchAnnounce struct {
+	Origin ReplicaID
+	Digest [32]byte
+	Body   Payload
+
+	enc []byte // memoized wire encoding (CachedEncoding)
+}
+
+// Kind implements Message.
+func (*BatchAnnounce) Kind() MsgKind { return MsgBatchAnnounce }
+
+// WireSize implements Message: the body is billed at its logical size —
+// this is where the bandwidth cost of dissemination lives, instead of on
+// the proposer's uplink.
+func (m *BatchAnnounce) WireSize() int { return 1 + 2 + 32 + payloadWireSize(m.Body) }
+
+// EncodedSize implements Message.
+func (m *BatchAnnounce) EncodedSize() int { return 1 + 2 + 32 + payloadEncodedSize(m.Body) }
+
+// IsAck reports whether the announce is an empty-body availability ack.
+func (m *BatchAnnounce) IsAck() bool { return m.Body.Size() == 0 }
+
+// BatchRequest asks one peer for a batch body by digest. Like
+// SnapshotRequest it is always unicast — the dissem fetch scheduler
+// rotates peers on timeout instead of fanning out. It stays comparable
+// (tests use ==) and is 33 bytes on the wire, so it carries no encoding
+// cache.
+type BatchRequest struct {
+	Digest [32]byte
+}
+
+// Kind implements Message.
+func (*BatchRequest) Kind() MsgKind { return MsgBatchRequest }
+
+// WireSize implements Message.
+func (*BatchRequest) WireSize() int { return 1 + 32 }
+
+// EncodedSize implements Message.
+func (*BatchRequest) EncodedSize() int { return 1 + 32 }
+
+// BatchResponse returns a requested batch body. The requester verifies
+// the body digests to the requested value before storing it; a mismatch
+// is dropped and the fetch rotates to the next peer.
+type BatchResponse struct {
+	Digest [32]byte
+	Body   Payload
+
+	enc []byte // memoized wire encoding (CachedEncoding)
+}
+
+// Kind implements Message.
+func (*BatchResponse) Kind() MsgKind { return MsgBatchResponse }
+
+// WireSize implements Message.
+func (m *BatchResponse) WireSize() int { return 1 + 32 + payloadWireSize(m.Body) }
+
+// EncodedSize implements Message.
+func (m *BatchResponse) EncodedSize() int { return 1 + 32 + payloadEncodedSize(m.Body) }
+
 // Compile-time interface checks.
 var (
 	_ Message = (*Proposal)(nil)
@@ -388,4 +487,7 @@ var (
 	_ Message = (*SyncResponse)(nil)
 	_ Message = (*SnapshotRequest)(nil)
 	_ Message = (*SnapshotResponse)(nil)
+	_ Message = (*BatchAnnounce)(nil)
+	_ Message = (*BatchRequest)(nil)
+	_ Message = (*BatchResponse)(nil)
 )

@@ -388,12 +388,17 @@ func (r *Recorder) Err() error {
 }
 
 // loggedInbound says which peer messages are journaled. Sync and
-// snapshot requests are stateless (served from the tree) and skipped;
-// everything else — including sync and snapshot responses, whose blocks
-// feed catch-up state and must be re-adopted on replay — is recorded.
+// snapshot requests are stateless (served from the tree) and skipped, as
+// is all batch-dissemination traffic — bodies would multiply the log by
+// the payload volume, and the blocks journal the batch *refs*, so a
+// restarted replica re-fetches any finalized body it lost (the ack
+// quorum guarantees f+1 peers besides the origin hold it); everything
+// else — including sync and snapshot responses, whose blocks feed
+// catch-up state and must be re-adopted on replay — is recorded.
 func loggedInbound(msg types.Message) bool {
 	switch msg.(type) {
-	case *types.SyncRequest, *types.SnapshotRequest:
+	case *types.SyncRequest, *types.SnapshotRequest,
+		*types.BatchAnnounce, *types.BatchRequest, *types.BatchResponse:
 		return false
 	default:
 		return true
@@ -408,7 +413,8 @@ func loggedInbound(msg types.Message) bool {
 func loggedOwn(msg types.Message) bool {
 	switch msg.(type) {
 	case *types.SyncRequest, *types.SyncResponse,
-		*types.SnapshotRequest, *types.SnapshotResponse:
+		*types.SnapshotRequest, *types.SnapshotResponse,
+		*types.BatchAnnounce, *types.BatchRequest, *types.BatchResponse:
 		return false
 	default:
 		return true

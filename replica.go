@@ -7,6 +7,7 @@ import (
 
 	"banyan/internal/beacon"
 	"banyan/internal/crypto"
+	"banyan/internal/dissem"
 	"banyan/internal/mempool"
 	"banyan/internal/metrics"
 	"banyan/internal/node"
@@ -93,6 +94,17 @@ type ReplicaConfig struct {
 	// replica of a deployment must use the same value, stable across
 	// restarts.
 	OptimisticProposals bool
+	// Dissem decouples payload dissemination from ordering (see
+	// ClusterConfig.Dissem): batches travel out-of-band, blocks commit
+	// digest lists, delivery waits for availability. Every replica of a
+	// deployment must use the same value.
+	Dissem bool
+	// DissemBatchBytes is the dissemination batch cut size; transactions
+	// larger than this are rejected at Submit. Zero picks 64 KiB.
+	DissemBatchBytes int
+	// DissemInlineMax bounds the inline tail a proposal may carry
+	// alongside its batch refs. Zero means everything rides in batches.
+	DissemInlineMax int
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -117,6 +129,7 @@ type Replica struct {
 	node     *node.Node
 	tr       *tcp.Transport
 	pool     *mempool.Pool
+	store    *dissem.Store // nil without Dissem
 	engine   protocol.Engine
 	rec      *wal.Recorder // nil without WALDir
 	counters *metrics.Registry
@@ -163,6 +176,14 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.CommitBuffer <= 0 {
 		cfg.CommitBuffer = 1024
 	}
+	if cfg.Dissem {
+		if cfg.Protocol != ProtocolBanyan && cfg.Protocol != ProtocolBanyanNoFast {
+			return nil, fmt.Errorf("banyan: Dissem requires a Banyan protocol, got %q", cfg.Protocol)
+		}
+		if cfg.DissemBatchBytes <= 0 {
+			cfg.DissemBatchBytes = 64 << 10
+		}
+	}
 
 	scheme, err := crypto.SchemeByName(cfg.Scheme)
 	if err != nil {
@@ -195,15 +216,31 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, err
 	}
 
+	pool := mempool.NewPool(0, cfg.MaxBlockBytes)
+	if cfg.Dissem {
+		pool = mempool.NewShardedPool(0, cfg.DissemBatchBytes, params.N)
+	}
 	r := &Replica{
 		cfg:       cfg,
 		params:    params,
 		tr:        tr,
-		pool:      mempool.NewPool(0, cfg.MaxBlockBytes),
+		pool:      pool,
 		counters:  counters,
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
+	}
+	if cfg.Dissem {
+		// Fresh per process: bodies are not journaled (the WAL holds the
+		// refs inside blocks); a restarted replica re-fetches what it lost.
+		r.store = dissem.NewStore(dissem.Config{
+			Self:       types.ReplicaID(cfg.ID),
+			N:          params.N,
+			BatchBytes: cfg.DissemBatchBytes,
+			InlineMax:  cfg.DissemInlineMax,
+			BlockBytes: cfg.MaxBlockBytes,
+			Source:     pool,
+		})
 	}
 	verifier := newVerifierFor(cfg.Protocol, keyring, crypto.VerifyConfig{
 		Workers: cfg.VerifyWorkers, CacheSize: cfg.VerifyCacheSize,
@@ -215,6 +252,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 			pruneKeep:     types.Round(cfg.PruneKeep),
 			pruneInterval: types.Round(cfg.PruneInterval),
 			optimistic:    cfg.OptimisticProposals,
+			dissem:        r.store,
 		})
 	if err != nil {
 		tr.Close()
@@ -277,7 +315,7 @@ func (r *Replica) pump() {
 					Round:        uint64(b.Round),
 					BlockID:      b.ID().String(),
 					Proposer:     int(b.Proposer),
-					Transactions: mempool.DecodeBatch(b.Payload),
+					Transactions: decodeTransactions(r.store, b.Payload),
 					PayloadBytes: b.Payload.Size(),
 					Path:         pathOf(ev.Explicit),
 					At:           ev.At,
@@ -294,6 +332,18 @@ func (r *Replica) pump() {
 
 // Submit queues a transaction for proposal when this replica leads.
 func (r *Replica) Submit(tx []byte) bool { return r.pool.Submit(tx) }
+
+// SubmitErr queues a transaction, returning the mempool's typed
+// rejection (mempool.ErrTxTooLarge, mempool.ErrPoolFull,
+// mempool.ErrTxEmpty) on failure. In dissemination mode a transaction
+// larger than DissemBatchBytes is refused here — never truncated.
+func (r *Replica) SubmitErr(tx []byte) error { return r.pool.SubmitErr(tx) }
+
+// SubmitFrom queues a transaction under a submitter identity, the shard
+// key of the mempool's submitter-sharded drain.
+func (r *Replica) SubmitFrom(submitter uint64, tx []byte) error {
+	return r.pool.SubmitFrom(submitter, tx)
+}
 
 // Commits streams blocks finalized by this replica.
 func (r *Replica) Commits() <-chan Commit { return r.commits }
@@ -318,6 +368,7 @@ func (r *Replica) Metrics() map[string]int64 {
 	for name, v := range r.counters.Snapshot() {
 		m[name] = v
 	}
+	r.pool.Metrics(m)
 	return m
 }
 
