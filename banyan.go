@@ -73,6 +73,9 @@ func pathOf(m protocol.FinalizationMode) FinalizationPath {
 type Commit struct {
 	// Round is the block's round (chain height).
 	Round uint64
+	// Epoch is the validator-set epoch the block was certified under
+	// (always 0 for the single-epoch baseline protocols).
+	Epoch uint32
 	// BlockID is the hex-prefixed block identifier.
 	BlockID string
 	// Proposer is the replica that proposed the block.

@@ -14,6 +14,7 @@ import (
 	"banyan/internal/dissem"
 	"banyan/internal/hotstuff"
 	"banyan/internal/icc"
+	"banyan/internal/membership"
 	"banyan/internal/mempool"
 	"banyan/internal/node"
 	"banyan/internal/protocol"
@@ -25,8 +26,14 @@ import (
 
 // ClusterConfig configures an in-process cluster.
 type ClusterConfig struct {
-	// N is the number of replicas. Required.
+	// N is the number of replicas in the genesis validator set. Required.
 	N int
+	// MaxN is the number of replica identities to provision (keys, hub
+	// slots, engines); zero means N. Identities in [N, MaxN) are not
+	// genesis members: they boot later via JoinReplica — cold, catching up
+	// through state sync — and become voters only when a finalized
+	// ConfigChange admits them (AddValidator). Banyan protocols only.
+	MaxN int
 	// F is the number of Byzantine faults tolerated; zero picks the
 	// maximum for N.
 	F int
@@ -178,12 +185,17 @@ func (cfg ClusterConfig) walOptions() wal.Options {
 type Cluster struct {
 	cfg     ClusterConfig
 	params  types.Params
+	maxN    int
 	hub     *channel.Hub
 	nodes   []*node.Node
 	engines []protocol.Engine
 	recs    []*wal.Recorder // nil entries without WALDir
 	pools   []*mempool.Pool
 	stores  []*dissem.Store // nil entries without Dissem
+	// reconfigs are the per-replica hand-off slots for validator-set
+	// changes (Banyan protocols; nil entries otherwise). They outlive
+	// engine rebuilds, so a pending change survives a crash-restart.
+	reconfigs []*membership.Reconfigurator
 
 	// Rebuild materials for RestartReplica: the shared demo PKI and
 	// beacon every engine was constructed from.
@@ -251,11 +263,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 
+	maxN := cfg.MaxN
+	if maxN == 0 {
+		maxN = params.N
+	}
+	if maxN < params.N {
+		return nil, fmt.Errorf("banyan: MaxN %d below N %d", maxN, params.N)
+	}
+	if maxN > params.N && cfg.Protocol != ProtocolBanyan && cfg.Protocol != ProtocolBanyanNoFast {
+		return nil, fmt.Errorf("banyan: MaxN requires a Banyan protocol, got %q", cfg.Protocol)
+	}
+
 	scheme, err := crypto.SchemeByName(cfg.Scheme)
 	if err != nil {
 		return nil, err
 	}
-	keyring, signers := crypto.GenerateCluster(scheme, params.N, cfg.Seed)
+	keyring, signers := crypto.GenerateCluster(scheme, maxN, cfg.Seed)
 	bc, err := beacon.NewRoundRobin(params.N)
 	if err != nil {
 		return nil, err
@@ -266,34 +289,47 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		d := cfg.LinkDelay
 		hubOpts.Delay = func(_, _ types.ReplicaID) time.Duration { return d }
 	}
-	hub := channel.NewHub(params.N, hubOpts)
+	hub := channel.NewHub(maxN, hubOpts)
 
 	c := &Cluster{
 		cfg:       cfg,
 		params:    params,
+		maxN:      maxN,
 		hub:       hub,
-		nodes:     make([]*node.Node, params.N),
-		engines:   make([]protocol.Engine, params.N),
-		recs:      make([]*wal.Recorder, params.N),
-		pools:     make([]*mempool.Pool, params.N),
-		stores:    make([]*dissem.Store, params.N),
+		nodes:     make([]*node.Node, maxN),
+		engines:   make([]protocol.Engine, maxN),
+		recs:      make([]*wal.Recorder, maxN),
+		pools:     make([]*mempool.Pool, maxN),
+		stores:    make([]*dissem.Store, maxN),
+		reconfigs: make([]*membership.Reconfigurator, maxN),
 		keyring:   keyring,
 		signers:   signers,
 		beacon:    bc,
-		crashed:   make([]bool, params.N),
-		crashing:  make([]bool, params.N),
-		held:      make([]bool, params.N),
+		crashed:   make([]bool, maxN),
+		crashing:  make([]bool, maxN),
+		held:      make([]bool, maxN),
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
 	}
+	switch cfg.Protocol {
+	case ProtocolBanyan, ProtocolBanyanNoFast:
+		for i := range c.reconfigs {
+			c.reconfigs[i] = &membership.Reconfigurator{}
+		}
+	}
 	for _, h := range cfg.HoldStart {
-		if h < 0 || h >= params.N {
-			return nil, fmt.Errorf("banyan: HoldStart replica %d out of range (n=%d)", h, params.N)
+		if h < 0 || h >= maxN {
+			return nil, fmt.Errorf("banyan: HoldStart replica %d out of range (n=%d)", h, maxN)
 		}
 		c.held[h] = true
 	}
-	for i := 0; i < params.N; i++ {
+	// Provisioned non-genesis identities are implicitly held: they enter
+	// via JoinReplica once (or just before) a ConfigChange admits them.
+	for i := params.N; i < maxN; i++ {
+		c.held[i] = true
+	}
+	for i := 0; i < maxN; i++ {
 		if cfg.Dissem {
 			// The batch size caps individual transactions (oversize is a
 			// typed Submit rejection, never truncation), and submitters
@@ -342,6 +378,7 @@ func (c *Cluster) buildReplica(i int) error {
 			pruneInterval: types.Round(c.cfg.PruneInterval),
 			optimistic:    c.cfg.OptimisticProposals,
 			dissem:        c.stores[i],
+			reconfig:      c.reconfigs[i],
 		})
 	if err != nil {
 		return err
@@ -411,6 +448,7 @@ type engineTuning struct {
 	pruneInterval types.Round
 	optimistic    bool
 	dissem        *dissem.Store
+	reconfig      *membership.Reconfigurator
 }
 
 func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
@@ -431,6 +469,7 @@ func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 			Beacon:              bc,
 			Payloads:            payloads,
 			Delta:               delta,
+			Reconfig:            tune.reconfig,
 			DisableFastPath:     proto == ProtocolBanyanNoFast,
 			OptimisticProposals: tune.optimistic,
 			DeepPrune:           tune.deepPrune,
@@ -523,6 +562,105 @@ func (c *Cluster) JoinReplica(replica int) error {
 	return nil
 }
 
+// AddValidator proposes admitting a provisioned identity (see
+// ClusterConfig.MaxN) to the validator set. The change rides in the next
+// block a leader proposes; once that block finalizes at some round R the
+// new set takes effect at R+1 — the joiner votes from its first
+// post-activation round, having caught up through JoinReplica's state
+// sync. The joining replica's key comes from the cluster's provisioned
+// keyring. Banyan protocols only.
+func (c *Cluster) AddValidator(replica int) error {
+	if replica < 0 || replica >= c.maxN {
+		return fmt.Errorf("banyan: no provisioned identity %d (MaxN=%d)", replica, c.maxN)
+	}
+	key := c.keyring.PublicKey(types.ReplicaID(replica))
+	if key == nil {
+		return fmt.Errorf("banyan: no key provisioned for replica %d", replica)
+	}
+	return c.proposeChange(types.ConfigChange{
+		Op: types.ConfigAdd, Replica: types.ReplicaID(replica), PubKey: key,
+	})
+}
+
+// RemoveValidator proposes evicting a validator from the set. From the
+// activation round on, the evicted replica's votes carry no weight and
+// certificates are verified against the shrunken set; the replica itself
+// keeps running as a non-voting observer. Banyan protocols only.
+func (c *Cluster) RemoveValidator(replica int) error {
+	if replica < 0 || replica >= c.maxN {
+		return fmt.Errorf("banyan: no replica %d", replica)
+	}
+	return c.proposeChange(types.ConfigChange{
+		Op: types.ConfigRemove, Replica: types.ReplicaID(replica),
+	})
+}
+
+// proposeChange hands a change to every replica's reconfiguration slot:
+// whichever leader proposes first attaches it, a second attachment is a
+// deterministic no-op under membership.Apply, and every slot clears when
+// its engine observes the change finalized.
+func (c *Cluster) proposeChange(change types.ConfigChange) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started || c.stopped {
+		return fmt.Errorf("banyan: cluster is not running")
+	}
+	proposed := false
+	for _, r := range c.reconfigs {
+		if r != nil {
+			r.Propose(change)
+			proposed = true
+		}
+	}
+	if !proposed {
+		return fmt.Errorf("banyan: reconfiguration requires a Banyan protocol, got %q", c.cfg.Protocol)
+	}
+	return nil
+}
+
+// Epoch returns the validator-set epoch a replica currently operates in
+// (0 for the single-epoch baselines or an invalid replica). Safe to poll
+// while the cluster runs; tests use it to await an epoch change.
+func (c *Cluster) Epoch(replica int) uint32 {
+	h := c.historyOf(replica)
+	if h == nil {
+		return 0
+	}
+	return h.Current().Epoch()
+}
+
+// MemberIDs returns the validator IDs of a replica's current epoch, in
+// set order (nil for baselines or an invalid replica).
+func (c *Cluster) MemberIDs(replica int) []int {
+	h := c.historyOf(replica)
+	if h == nil {
+		return nil
+	}
+	members := h.Current().Members()
+	out := make([]int, len(members))
+	for i, m := range members {
+		out[i] = int(m)
+	}
+	return out
+}
+
+// historyOf returns a replica's validator-set history, or nil when the
+// engine has none (baseline protocols). The History handle is fixed at
+// engine construction and internally synchronized, so reading it while
+// the node loop owns the engine is safe.
+func (c *Cluster) historyOf(replica int) *membership.History {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if replica < 0 || replica >= len(c.engines) {
+		return nil
+	}
+	h, ok := c.engines[replica].(interface{ History() *membership.History })
+	if !ok {
+		return nil
+	}
+	return h.History()
+}
+
 // pump converts node commit events into the public Commit stream.
 func (c *Cluster) pump() {
 	defer close(c.commits)
@@ -534,6 +672,7 @@ func (c *Cluster) pump() {
 			for _, b := range ev.Blocks {
 				commit := Commit{
 					Round:        uint64(b.Round),
+					Epoch:        b.Epoch,
 					BlockID:      b.ID().String(),
 					Proposer:     int(b.Proposer),
 					Transactions: decodeTransactions(c.observerStore(), b.Payload),
@@ -588,7 +727,10 @@ func decodeTransactions(store *dissem.Store, p types.Payload) [][]byte {
 func (c *Cluster) Submit(tx []byte) bool {
 	c.mu.Lock()
 	i := c.nextPool
-	c.nextPool = (c.nextPool + 1) % len(c.pools)
+	// Round-robin over the genesis members only: a provisioned joiner's
+	// pool would strand transactions until (unless) it ever joins and
+	// leads a round. SubmitTo reaches joiner pools explicitly.
+	c.nextPool = (c.nextPool + 1) % c.params.N
 	c.mu.Unlock()
 	return c.pools[i].Submit(tx)
 }
@@ -703,6 +845,11 @@ func (c *Cluster) RestartReplica(replica int) error {
 	if !c.started || c.stopped || !c.crashed[replica] {
 		return fmt.Errorf("banyan: replica %d is not crashed", replica)
 	}
+	// A dead process's sockets drop whatever peers sent while it was
+	// down; the channel hub queues it instead. Discard that backlog so
+	// recovery goes through WAL replay and the sync subprotocol, not
+	// through a delivery channel no real deployment has.
+	c.hub.Drain(types.ReplicaID(replica))
 	if err := c.buildReplica(replica); err != nil {
 		return err
 	}
@@ -738,6 +885,9 @@ func (c *Cluster) RestartReplicaFresh(replica int) error {
 	if err := os.RemoveAll(filepath.Join(c.cfg.WALDir, fmt.Sprintf("replica-%d", replica))); err != nil {
 		return fmt.Errorf("banyan: wiping replica %d log: %w", replica, err)
 	}
+	// Same socket semantics as RestartReplica: nothing queued while the
+	// process was dead survives into the restarted life.
+	c.hub.Drain(types.ReplicaID(replica))
 	if err := c.buildReplica(replica); err != nil {
 		return err
 	}

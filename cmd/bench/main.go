@@ -55,7 +55,7 @@ func (o options) run(cfg harness.Config) (*harness.Result, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify,persist,pipeline,dissem or 'all'")
+		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify,persist,pipeline,dissem,reconfig or 'all'")
 		duration = fs.Duration("duration", 120*time.Second, "virtual duration per run (paper: 120s)")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		quick    = fs.Bool("quick", false, "short runs and fewer sweep points")
@@ -129,6 +129,7 @@ var allExperiments = []experiment{
 	{"persist", "Durability: WAL group commit vs per-record fsync + crash-restart recovery", runPersist},
 	{"pipeline", "Optimistic proposal pipelining (Moonshot mode) vs baseline commit latency", runPipeline},
 	{"dissem", "Decoupled batch dissemination: digest-only proposals vs inline payloads", runDissem},
+	{"reconfig", "Reconfiguration: add/remove a validator mid-run, latency blip at epoch boundaries", runReconfig},
 }
 
 const header = "%-22s %10s %10s %10s %10s %12s %8s %8s\n"

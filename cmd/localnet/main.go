@@ -23,6 +23,16 @@
 // commit batch digests, bodies travel out-of-band, and a restarted
 // replica — whose body store is in-memory only — refetches what delivery
 // needs. CI combines -dissem with the crash-restart script above.
+//
+// With -reconfig the run scripts a live membership change (banyan
+// protocols only): one extra identity is provisioned, the cluster runs
+// deep-pruned, and mid-run the extra replica is booted cold and admitted
+// by a finalized ConfigChange (it catches up through snapshot state sync
+// and votes from the next epoch), then removed again. The run fails
+// unless every replica reaches epoch 2 with no safety faults. CI runs
+// this as the reconfiguration smoke test:
+//
+//	localnet -duration 12s -reconfig -add-at 3s -remove-at 7s
 package main
 
 import (
@@ -67,6 +77,9 @@ func run(args []string) error {
 		dissem     = fs.Bool("dissem", false, "route payloads through the batch-dissemination layer: proposals commit batch digests, bodies travel out-of-band, delivery gates on availability (banyan protocols only)")
 		dissemB    = fs.Int("dissem-batch", 0, "dissemination batch cut size in bytes (0 = 64 KiB); transactions larger than this are rejected at Submit")
 		dissemI    = fs.Int("dissem-inline", 0, "max inline tail bytes a proposal carries alongside its batch refs (0 = everything rides in batches)")
+		reconfig   = fs.Bool("reconfig", false, "script a live membership change: boot an extra replica mid-run, admit it via a finalized ConfigChange (it enters through snapshot state sync), then remove it again (banyan protocols only; runs deep-pruned)")
+		addAt      = fs.Duration("add-at", 0, "when to boot and admit the extra replica (0 = duration/4)")
+		removeAt   = fs.Duration("remove-at", 0, "when to remove it again (0 = duration/2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +104,26 @@ func run(args []string) error {
 	if *crashID >= 0 && *restartAt <= *crashAt {
 		return fmt.Errorf("-restart-at %s must be after -crash-at %s", *restartAt, *crashAt)
 	}
+	if *reconfig && *crashID >= 0 {
+		return fmt.Errorf("-reconfig and -crash script conflicting scenarios; run them separately")
+	}
+	if *addAt == 0 {
+		*addAt = *duration / 4
+	}
+	if *removeAt == 0 {
+		*removeAt = *duration / 2
+	}
+	if *reconfig && *removeAt <= *addAt {
+		return fmt.Errorf("-remove-at %s must be after -add-at %s", *removeAt, *addAt)
+	}
+	// With -reconfig one extra identity is provisioned: the joiner gets ID
+	// n and every replica knows its address and key from the start.
+	maxN := *n
+	joinerID := -1
+	if *reconfig {
+		joinerID = *n
+		maxN = *n + 1
+	}
 
 	// Allocate addresses. With ephemeral ports we must bind first and
 	// exchange discovered addresses, so run two passes: reserve with
@@ -101,8 +134,8 @@ func run(args []string) error {
 	if base == 0 {
 		base = 20000 + rand.New(rand.NewSource(time.Now().UnixNano())).Intn(20000)
 	}
-	peers := make(map[int]string, *n)
-	for i := 0; i < *n; i++ {
+	peers := make(map[int]string, maxN)
+	for i := 0; i < maxN; i++ {
 		peers[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
 	}
 
@@ -110,6 +143,7 @@ func run(args []string) error {
 		cfg := banyan.ReplicaConfig{
 			ID:                  i,
 			N:                   *n,
+			MaxN:                maxN,
 			P:                   *pFlag,
 			Protocol:            banyan.Protocol(*proto),
 			Peers:               peers,
@@ -121,10 +155,11 @@ func run(args []string) error {
 			DissemBatchBytes:    *dissemB,
 			DissemInlineMax:     *dissemI,
 		}
-		if *diskLoss {
+		if *diskLoss || *reconfig {
 			// Deep-pruned, tight windows: peers can only serve their last
-			// few rounds, so the wiped replica is forced through the
-			// snapshot state-sync path rather than block-by-block catch-up.
+			// few rounds, so a wiped or late-joining replica is forced
+			// through the snapshot state-sync path rather than
+			// block-by-block catch-up.
 			cfg.DeepPrune = true
 			cfg.PruneKeep = 8
 			cfg.PruneInterval = 8
@@ -139,7 +174,7 @@ func run(args []string) error {
 	// restart; all access goes through the mutex.
 	var (
 		replicasMu sync.Mutex
-		replicas   = make([]*banyan.Replica, *n)
+		replicas   = make([]*banyan.Replica, maxN) // joiner slot stays nil until -add-at
 	)
 	getReplica := func(i int) *banyan.Replica {
 		replicasMu.Lock()
@@ -153,14 +188,16 @@ func run(args []string) error {
 		}
 		replicas[i] = r
 	}
-	for i, r := range replicas {
-		if err := r.Start(); err != nil {
+	for i := 0; i < *n; i++ {
+		if err := replicas[i].Start(); err != nil {
 			return fmt.Errorf("start replica %d: %w", i, err)
 		}
 	}
 	defer func() {
-		for i := 0; i < *n; i++ {
-			getReplica(i).Stop()
+		for i := 0; i < maxN; i++ {
+			if r := getReplica(i); r != nil {
+				r.Stop()
+			}
 		}
 	}()
 	fmt.Printf("localnet: %d %s replicas on 127.0.0.1:%d..%d, %v\n",
@@ -205,6 +242,15 @@ func run(args []string) error {
 	// committed — replayed history first, live commits once it rejoins.
 	var victimRound atomic.Uint64
 	restarted := false
+
+	// Reconfiguration schedule: both timers stay nil unless -reconfig.
+	var addC, removeC <-chan time.Time
+	if *reconfig {
+		addC = time.After(*addAt)
+		removeC = time.After(*removeAt)
+	}
+	// joinerRound tracks the highest round the admitted joiner committed.
+	var joinerRound atomic.Uint64
 
 	deadline := time.After(*duration)
 	progress := time.NewTicker(5 * time.Second)
@@ -251,6 +297,41 @@ loop:
 				fmt.Printf("  t=%4.0fs restarted replica %d from its WAL\n",
 					time.Since(start).Seconds(), *crashID)
 			}
+		case <-addC:
+			addC = nil
+			j, err := mkReplica(joinerID)
+			if err != nil {
+				return fmt.Errorf("joiner %d: %w", joinerID, err)
+			}
+			if err := j.Start(); err != nil {
+				return fmt.Errorf("start joiner %d: %w", joinerID, err)
+			}
+			replicasMu.Lock()
+			replicas[joinerID] = j
+			replicasMu.Unlock()
+			go func() {
+				for c := range j.Commits() {
+					joinerRound.Store(c.Round)
+				}
+			}()
+			// Propose the admission on every running replica: whichever
+			// leads first attaches the change to its block.
+			for i := 0; i < *n; i++ {
+				if err := getReplica(i).ProposeAddValidator(joinerID); err != nil {
+					return fmt.Errorf("propose add on replica %d: %w", i, err)
+				}
+			}
+			fmt.Printf("  t=%4.0fs booted replica %d cold and proposed its admission\n",
+				time.Since(start).Seconds(), joinerID)
+		case <-removeC:
+			removeC = nil
+			for i := 0; i < *n; i++ {
+				if err := getReplica(i).ProposeRemoveValidator(joinerID); err != nil {
+					return fmt.Errorf("propose remove on replica %d: %w", i, err)
+				}
+			}
+			fmt.Printf("  t=%4.0fs proposed removing replica %d\n",
+				time.Since(start).Seconds(), joinerID)
 		case <-progress.C:
 			fmt.Printf("  t=%4.0fs round=%-6d blocks=%-6d txs=%-7d %.2f MB committed (fast=%d slow=%d)\n",
 				time.Since(start).Seconds(), lastRound, blocks, txs, float64(bytes)/1e6, fast, slow)
@@ -282,11 +363,30 @@ loop:
 	fmt.Printf("  payload          : %.2f MB (%.3f MB/s)\n", float64(bytes)/1e6, float64(bytes)/1e6/elapsed)
 	fmt.Printf("  finalization     : fast=%d slow=%d indirect=%d\n", fast, slow, blocks-fast-slow)
 	for i, r := range replicas {
+		if r == nil {
+			continue // a joiner slot whose -add-at never fired
+		}
 		if faults := r.Faults(); len(faults) > 0 {
 			return fmt.Errorf("replica %d faults: %v", i, faults)
 		}
 	}
 	fmt.Println("  safety           : no faults")
+	if *reconfig {
+		joiner := getReplica(joinerID)
+		if joiner == nil {
+			return fmt.Errorf("reconfig: joiner %d never booted (-add-at beyond -duration?)", joinerID)
+		}
+		obsEpoch := getReplica(0).Epoch()
+		jr := joinerRound.Load()
+		fmt.Printf("  reconfig         : observer epoch=%d, joiner committed through round %d (epoch %d)\n",
+			obsEpoch, jr, joiner.Epoch())
+		if obsEpoch != 2 {
+			return fmt.Errorf("reconfig: observer finished in epoch %d, want 2 (add then remove)", obsEpoch)
+		}
+		if jr == 0 {
+			return fmt.Errorf("reconfig: admitted replica %d never committed — state sync or admission failed", joinerID)
+		}
+	}
 	if restarted {
 		vr := victimRound.Load()
 		fmt.Printf("  recovery         : replica %d back at round %d (observer at %d)\n",

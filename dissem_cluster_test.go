@@ -2,6 +2,7 @@ package banyan
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -145,12 +146,64 @@ func TestClusterDissemCrashRestart(t *testing.T) {
 	if err := cluster.CrashReplica(victim); err != nil {
 		t.Fatal(err)
 	}
-	waitForRound(t, cluster, 16, 20*time.Second)
+	waitForRound(t, cluster, 12, 20*time.Second)
+	// Submitted to the live replicas while the victim is down: their
+	// bodies are cut and announced exactly once, into a slot whose
+	// backlog the restart discards. A block referencing one of them can
+	// only be delivered by the victim through fetch-on-miss.
+	for i := 0; i < 600; i++ {
+		tx := make([]byte, 512)
+		copy(tx, fmt.Sprintf("crash-tx-%06d", 2000+i))
+		live := []int{0, 2, 3}[i%3]
+		if err := cluster.SubmitAs(live, uint64(10+live), tx); err != nil {
+			t.Fatalf("submit down-window %d: %v", i, err)
+		}
+	}
+	// From here on, every commit drained from the observer is scanned for
+	// a down-window transaction (they can land as early as round ~13, so
+	// the scan must cover the pre-restart drain too). The run ends only
+	// once the observer has committed a down-window body and then gone 10
+	// more blocks and round 40: the victim's chain window below may trail
+	// the observer by at most 8 blocks, so it necessarily covers that
+	// commit — which the victim can only have delivered by fetching the
+	// body. This keeps the fetch assertion meaningful even under heavy
+	// CPU load, where rounds outpace batch referencing and a fixed round
+	// target could stop the run before any down-window batch commits.
+	downSeen := false
+	blocksAfter := 0
+	var lastRound uint64
+	deadline := time.After(45 * time.Second)
+	drainUntil := func(done func() bool) {
+		t.Helper()
+		for !done() {
+			select {
+			case c, ok := <-cluster.Commits():
+				if !ok {
+					t.Fatal("commit stream closed early")
+				}
+				lastRound = c.Round
+				if downSeen {
+					blocksAfter++
+					continue
+				}
+				for _, tx := range c.Transactions {
+					if strings.HasPrefix(string(tx), "crash-tx-002") {
+						downSeen = true
+						break
+					}
+				}
+			case <-deadline:
+				t.Fatalf("timed out: down-window body committed=%v, %d blocks past it, round %d",
+					downSeen, blocksAfter, lastRound)
+			}
+		}
+	}
+	drainUntil(func() bool { return lastRound >= 16 })
 	if err := cluster.RestartReplica(victim); err != nil {
 		t.Fatal(err)
 	}
-	submit(1000, 2000) // keep bodies flowing across the restarted life
-	waitForRound(t, cluster, 40, 30*time.Second)
+	submit(1000, 3000) // keep bodies flowing across the restarted life
+	drainUntil(func() bool { return downSeen && blocksAfter >= 10 && lastRound >= 40 })
 	cluster.Stop()
 
 	if faults := cluster.Faults(); len(faults) > 0 {
@@ -187,8 +240,8 @@ func TestClusterDissemCrashRestart(t *testing.T) {
 	if m["wal_replayed_records"] == 0 {
 		t.Error("restarted replica replayed no WAL records")
 	}
-	// The store is rebuilt empty, so rejoining MUST have gone through
-	// fetch-on-miss for the replayed window's bodies.
+	// The store is rebuilt empty and the down-window bodies were announced
+	// into a dead slot, so rejoining MUST have gone through fetch-on-miss.
 	if m["dissemFetches"] == 0 {
 		t.Error("restarted replica refetched no batch bodies")
 	}

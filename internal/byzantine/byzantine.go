@@ -653,3 +653,94 @@ func (w *VoteWithholder) strip(acts []protocol.Action) []protocol.Action {
 	}
 	return out
 }
+
+// EpochStraddler models a removed validator that refuses to accept its
+// eviction. It runs the wrapped engine faithfully until it observes a
+// finalized ConfigChange removing itself; from the change's activation
+// round on it keeps broadcasting notarization and fast votes — signed
+// with the key it still legitimately holds in the global registry — for
+// every proposal it receives. The signatures verify; what must stop them
+// is membership: honest replicas discard votes from non-members of the
+// voting round's epoch, and epoch-pinned certificate verification
+// (crypto.VerifyCertIn) rejects any certificate counting them. Tests
+// assert both, plus that the cluster keeps finalizing without the
+// straddler's weight.
+type EpochStraddler struct {
+	inner  protocol.Engine
+	signer *crypto.Signer
+
+	activation types.Round // first round self is no longer a member; 0 = still one
+	forged     int64
+}
+
+var _ protocol.Engine = (*EpochStraddler)(nil)
+
+// NewEpochStraddler wraps the adversary's own engine with its signer.
+func NewEpochStraddler(inner protocol.Engine, signer *crypto.Signer) *EpochStraddler {
+	return &EpochStraddler{inner: inner, signer: signer}
+}
+
+// ID implements protocol.Engine.
+func (e *EpochStraddler) ID() types.ReplicaID { return e.inner.ID() }
+
+// Protocol implements protocol.Engine.
+func (e *EpochStraddler) Protocol() string { return e.inner.Protocol() + "-epoch-straddler" }
+
+// Metrics implements protocol.Engine.
+func (e *EpochStraddler) Metrics() map[string]int64 { return e.inner.Metrics() }
+
+// Start implements protocol.Engine.
+func (e *EpochStraddler) Start(now time.Time) []protocol.Action {
+	return e.observe(e.inner.Start(now))
+}
+
+// HandleMessage implements protocol.Engine: faithful processing, plus —
+// once removed — a forged vote pair for every proposal at or past the
+// activation round.
+func (e *EpochStraddler) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
+	acts := e.observe(e.inner.HandleMessage(from, msg, now))
+	prop, ok := msg.(*types.Proposal)
+	if !ok || prop.Block == nil || e.activation == 0 || prop.Block.Round < e.activation {
+		return acts
+	}
+	b := prop.Block
+	votes := &types.VoteMsg{Votes: []types.Vote{
+		e.signer.SignVote(types.VoteNotarize, b.Round, b.ID()),
+		e.signer.SignVote(types.VoteFast, b.Round, b.ID()),
+	}}
+	e.forged += 2
+	return append(acts, protocol.Broadcast{Msg: votes})
+}
+
+// HandleTimer implements protocol.Engine.
+func (e *EpochStraddler) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Action {
+	return e.observe(e.inner.HandleTimer(id, now))
+}
+
+// observe watches the inner engine's commits for the finalized
+// ConfigChange that evicts self and records its activation round.
+func (e *EpochStraddler) observe(acts []protocol.Action) []protocol.Action {
+	if e.activation > 0 {
+		return acts
+	}
+	for _, a := range acts {
+		c, ok := a.(protocol.Commit)
+		if !ok {
+			continue
+		}
+		for _, b := range c.Blocks {
+			ch := b.Payload.Change
+			if ch != nil && ch.Op == types.ConfigRemove && ch.Replica == e.ID() {
+				e.activation = b.Round + 1
+			}
+		}
+	}
+	return acts
+}
+
+// ForgedVotes counts the stale-epoch votes broadcast after removal.
+func (e *EpochStraddler) ForgedVotes() int64 { return e.forged }
+
+// RemovedAt returns the activation round of the eviction the straddler
+// observed (0 until then).
+func (e *EpochStraddler) RemovedAt() types.Round { return e.activation }

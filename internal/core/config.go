@@ -25,19 +25,35 @@ import (
 	"banyan/internal/beacon"
 	"banyan/internal/crypto"
 	"banyan/internal/dissem"
+	"banyan/internal/membership"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
 
 // Config assembles everything a Banyan engine instance needs.
 type Config struct {
-	// Params are the fault-model parameters (n, f, p). They must satisfy
-	// n >= max(3f+2p-1, 3f+1), p in [1, f].
+	// Params are the fault-model parameters (n, f, p) of the *genesis*
+	// validator set. They must satisfy n >= max(3f+2p-1, 3f+1), p in [1, f].
+	// Reconfiguration carries f and p forward unchanged; n tracks the
+	// epoch's member count.
 	Params types.Params
 	// Self is this replica's ID.
 	Self types.ReplicaID
-	// Keyring holds every replica's public key.
+	// Keyring is the identity registry: every replica's public key, keyed
+	// by ID. It may hold more keys than the genesis set has members —
+	// hosts that plan to add validators at runtime pre-register the keys
+	// of every identity the deployment may ever admit, so joiners can
+	// speak (state sync, batch fetch) before their first epoch as voters.
 	Keyring *crypto.Keyring
+	// History is the epoch sequence this engine consults for quorums,
+	// leader schedules, and certificate verification. Nil builds a
+	// single-epoch history from Params, Keyring, and Beacon: members
+	// 0..n-1, which is the pre-reconfiguration behaviour.
+	History *membership.History
+	// Reconfig, when set, is the host's hand-off slot for validator-set
+	// changes: the engine attaches the pending change to its next
+	// proposal and clears the slot when it observes the change finalized.
+	Reconfig *membership.Reconfigurator
 	// Verifier is the batched, cached signature-verification pipeline the
 	// engine routes all VerifyVote/VerifyCert/VerifyUnlockProof/VerifyBlock
 	// checks through. Nil builds one over Keyring from VerifyOptions.
@@ -140,14 +156,33 @@ func (c *Config) validate() error {
 	if c.Beacon.N() != c.Params.N {
 		return fmt.Errorf("core: beacon permutes %d replicas, params say %d", c.Beacon.N(), c.Params.N)
 	}
-	if c.Keyring.N() != c.Params.N {
-		return fmt.Errorf("core: keyring holds %d keys, params say %d", c.Keyring.N(), c.Params.N)
+	if c.Keyring.N() < c.Params.N {
+		return fmt.Errorf("core: keyring holds %d keys, genesis set needs %d", c.Keyring.N(), c.Params.N)
 	}
-	if int(c.Self) >= c.Params.N {
-		return fmt.Errorf("core: self id %d out of range (n=%d)", c.Self, c.Params.N)
+	if int(c.Self) >= c.Keyring.N() {
+		return fmt.Errorf("core: self id %d not in the key registry (%d identities)", c.Self, c.Keyring.N())
 	}
 	if c.Delta <= 0 {
 		return errors.New("core: Delta must be positive")
+	}
+	if c.History == nil {
+		members := make([]types.ReplicaID, c.Params.N)
+		keys := make([][]byte, c.Params.N)
+		for i := range members {
+			members[i] = types.ReplicaID(i)
+			keys[i] = c.Keyring.PublicKey(types.ReplicaID(i))
+		}
+		genesis, err := membership.New(0, 0, members, keys, c.Params.F, c.Params.P, c.Beacon)
+		if err != nil {
+			return fmt.Errorf("core: building genesis validator set: %w", err)
+		}
+		c.History, err = membership.NewHistory(genesis)
+		if err != nil {
+			return err
+		}
+	}
+	if g := c.History.Genesis(); g.Size() != c.Params.N || g.Params() != c.Params {
+		return fmt.Errorf("core: genesis set %v disagrees with params %v", g.Params(), c.Params)
 	}
 	if c.Verifier == nil {
 		c.Verifier = crypto.NewVerifier(c.Keyring, c.VerifyOptions)

@@ -7,6 +7,7 @@ import (
 
 	"banyan/internal/blocktree"
 	"banyan/internal/dissem"
+	"banyan/internal/membership"
 	"banyan/internal/protocol"
 	"banyan/internal/statesync"
 	"banyan/internal/types"
@@ -18,6 +19,13 @@ import (
 type Engine struct {
 	cfg  Config
 	tree *blocktree.Tree
+
+	// history is the epoch-scoped validator-set sequence (Config.History):
+	// every quorum size, leader rank, and certificate check consults the
+	// set in effect at the relevant round. It grows only when a
+	// ConfigChange block finalizes (applyChanges) or a verified
+	// snapshot/checkpoint restores a longer prefix.
+	history *membership.History
 
 	round  types.Round // current round k
 	rounds map[types.Round]*roundState
@@ -37,6 +45,7 @@ type Engine struct {
 	// that new catch-up material arrived; lastSyncReq, lastSyncFrom and
 	// syncStalls rate-limit and reset a stalled sync.
 	latestFinal  *types.Certificate
+	epochHint    *types.Certificate
 	syncHigh     types.Round
 	catchupDirty bool
 	lastSyncReq  time.Time
@@ -104,6 +113,8 @@ type Engine struct {
 		optWithdrawn  int64
 		batchServed   int64
 		delivDropped  int64
+		epochChanges  int64
+		epochHints    int64
 	}
 }
 
@@ -128,16 +139,26 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Peer rotations span the whole identity registry, not just the
+	// genesis set: a joiner must fetch state from replicas it is not yet a
+	// co-member of, and the rings tolerate silent (not-yet-started) peers
+	// by timeout rotation.
 	return &Engine{
 		cfg:           cfg,
+		history:       cfg.History,
 		tree:          blocktree.New(),
 		rounds:        make(map[types.Round]*roundState),
 		extFinal:      make(map[types.Round]*types.Certificate),
 		pendingCommit: make(map[types.BlockID]protocol.FinalizationMode),
-		syncPeers:     statesync.NewRing(cfg.Self, cfg.Params.N),
-		fetcher:       statesync.NewFetcher(cfg.Self, cfg.Params.N, cfg.StateSyncTimeout),
-		batchFetch:    dissem.NewFetcher(cfg.Self, cfg.Params.N, cfg.BatchFetchTimeout),
+		syncPeers:     statesync.NewRing(cfg.Self, cfg.Keyring.N()),
+		fetcher:       statesync.NewFetcher(cfg.Self, cfg.Keyring.N(), cfg.StateSyncTimeout),
+		batchFetch:    dissem.NewFetcher(cfg.Self, cfg.Keyring.N(), cfg.BatchFetchTimeout),
 	}, nil
+}
+
+// setFor returns the validator set in effect at round r.
+func (e *Engine) setFor(r types.Round) *membership.ValidatorSet {
+	return e.history.SetForRound(r)
 }
 
 // ID implements protocol.Engine.
@@ -157,8 +178,20 @@ func (e *Engine) Round() types.Round { return e.round }
 // Tree exposes the block tree for inspection by tests and the harness.
 func (e *Engine) Tree() *blocktree.Tree { return e.tree }
 
-// Params returns the engine's fault-model parameters.
+// Params returns the genesis fault-model parameters; the per-epoch
+// parameters live in History().
 func (e *Engine) Params() types.Params { return e.cfg.Params }
+
+// History exposes the validator-set history for hosts and tests.
+func (e *Engine) History() *membership.History { return e.history }
+
+// Member reports whether this replica is a voting member of the set in
+// effect at its current round. A non-member (a joiner syncing toward its
+// first epoch, or a removed validator) runs as an observer: it follows
+// finalization and serves state but proposes and votes nothing.
+func (e *Engine) Member() bool {
+	return e.setFor(e.round).Contains(e.cfg.Self)
+}
 
 // Start implements protocol.Engine: the replica enters round 1.
 func (e *Engine) Start(now time.Time) []protocol.Action {
@@ -169,7 +202,11 @@ func (e *Engine) Start(now time.Time) []protocol.Action {
 
 // HandleMessage implements protocol.Engine.
 func (e *Engine) HandleMessage(from types.ReplicaID, msg types.Message, now time.Time) []protocol.Action {
-	if e.stopped || int(from) >= e.cfg.Params.N {
+	// The from-guard admits the whole identity registry, not just current
+	// members: joiners must be able to request state before their first
+	// epoch as voters, and removed validators may still serve sync. Voting
+	// power is gated per message below, against the epoch's set.
+	if e.stopped || int(from) >= e.cfg.Keyring.N() {
 		return nil
 	}
 	switch m := msg.(type) {
@@ -234,7 +271,7 @@ func (e *Engine) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Acti
 // the paper's reliable-link model excludes but deployments meet.
 func (e *Engine) resendRound(now time.Time, acts []protocol.Action) []protocol.Action {
 	rs := e.getRound(e.round)
-	if !rs.started || rs.advanced {
+	if !rs.started || (rs.advanced && !rs.barrier) {
 		return acts
 	}
 	e.met.resends++
@@ -297,9 +334,9 @@ func (e *Engine) bestKnownBlock(rs *roundState) *types.Block {
 }
 
 // resendInterval is comfortably beyond the slowest legitimate round: all
-// n rank delays (2Δ each) plus margin.
+// n rank delays (2Δ each) plus margin, n being the current epoch's size.
 func (e *Engine) resendInterval() time.Duration {
-	return 2 * e.cfg.Delta * time.Duration(e.cfg.Params.N+2)
+	return 2 * e.cfg.Delta * time.Duration(e.setFor(e.round).Size()+2)
 }
 
 // Metrics implements protocol.Engine.
@@ -318,12 +355,16 @@ func (e *Engine) Metrics() map[string]int64 {
 		"rejected":           e.met.rejected,
 		"resends":            e.met.resends,
 		"statesync_fetches":  e.met.ssFetches,
+		"epoch_hints":        e.met.epochHints,
 		"statesync_served":   e.met.ssServed,
 		"statesync_rejected": e.met.ssRejected,
 		"statesync_bytes":    e.met.ssBytes,
 		"opt_proposed":       e.met.optProposed,
 		"opt_confirmed":      e.met.optConfirmed,
 		"opt_withdrawn":      e.met.optWithdrawn,
+		"epoch":              int64(e.history.Current().Epoch()),
+		"epoch_changes":      e.met.epochChanges,
+		"members":            int64(e.history.Current().Size()),
 	}
 	if e.cfg.Dissem != nil {
 		e.cfg.Dissem.Metrics(m)
@@ -342,15 +383,19 @@ func (e *Engine) Metrics() map[string]int64 {
 
 func (e *Engine) onProposal(m *types.Proposal) {
 	b := m.Block
-	if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Params.N {
+	if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Keyring.N() {
 		e.met.rejected++
 		return
 	}
 	if b.Round+e.cfg.PruneKeep <= e.tree.FinalizedRound() {
 		return // too old to matter
 	}
-	// The rank is committed into the header; it must match the beacon.
-	if b.Rank != e.cfg.Beacon.RankOf(b.Round, b.Proposer) {
+	// The epoch and rank are committed into the header; both must match
+	// the set in effect at the block's round — a non-member proposer gets
+	// NoRank and is rejected here no matter what rank it claims.
+	set := e.setFor(b.Round)
+	if b.Epoch != set.Epoch() || !set.Contains(b.Proposer) ||
+		b.Rank != set.RankOf(b.Round, b.Proposer) {
 		e.met.rejected++
 		return
 	}
@@ -381,7 +426,16 @@ func (e *Engine) onProposal(m *types.Proposal) {
 }
 
 func (e *Engine) onVote(v types.Vote) {
-	if v.Round < 1 || int(v.Voter) >= e.cfg.Params.N || !v.Kind.Valid() {
+	if v.Round < 1 || !v.Kind.Valid() {
+		e.met.rejected++
+		return
+	}
+	// Membership pinning: only votes from members of the round's epoch
+	// count. This is what defeats an epoch-straddling adversary — a
+	// removed validator's key still verifies (identities are never
+	// re-keyed), but its votes for rounds past its removal are discarded
+	// before they touch any ledger.
+	if !e.setFor(v.Round).Contains(v.Voter) {
 		e.met.rejected++
 		return
 	}
@@ -416,12 +470,17 @@ func (e *Engine) onCert(c *types.Certificate) {
 		return
 	}
 	rs := e.getRound(c.Round)
+	// Certificate verification is pinned to the certified round's epoch:
+	// quorum sizes come from that set, and every signer must be one of its
+	// members — old certs keep verifying after the set moves on, and a
+	// removed validator's signature poisons any later-epoch certificate.
+	set := e.setFor(c.Round)
 	switch c.Kind {
 	case types.CertNotarization:
 		if rs.notarizations[c.Block] != nil {
 			return
 		}
-		if err := e.cfg.Verifier.VerifyCert(c, e.cfg.Params.NotarizationQuorum()); err != nil {
+		if err := e.cfg.Verifier.VerifyCertIn(c, set.Params().NotarizationQuorum(), set); err != nil {
 			e.met.rejected++
 			return
 		}
@@ -431,12 +490,13 @@ func (e *Engine) onCert(c *types.Certificate) {
 		if rs.finalized || e.extFinal[c.Round] != nil {
 			return
 		}
-		quorum := e.cfg.Params.FinalizationQuorum()
+		quorum := set.Params().FinalizationQuorum()
 		if c.Kind == types.CertFastFinalization {
-			quorum = e.cfg.Params.FastQuorum()
+			quorum = set.Params().FastQuorum()
 		}
-		if err := e.cfg.Verifier.VerifyCert(c, quorum); err != nil {
+		if err := e.cfg.Verifier.VerifyCertIn(c, quorum, set); err != nil {
 			e.met.rejected++
+			e.noteEpochHint(c)
 			return
 		}
 		// A fast finalization is only meaningful for a rank-0 block; if the
@@ -471,7 +531,8 @@ func (e *Engine) onUnlock(u *types.UnlockProof) {
 	if !u.All && rs.isUnlocked(u.Block) {
 		return
 	}
-	if err := e.cfg.Verifier.VerifyUnlockProof(u, e.cfg.Params.UnlockThreshold()); err != nil {
+	set := e.setFor(u.Round)
+	if err := e.cfg.Verifier.VerifyUnlockProofIn(u, set.Params().UnlockThreshold(), set); err != nil {
 		e.met.rejected++
 		return
 	}
@@ -556,6 +617,34 @@ func (e *Engine) noteFinalCert(c *types.Certificate) {
 	}
 }
 
+// noteEpochHint records a finalization-kind certificate that failed
+// epoch-pinned verification but still proves the chain finalized rounds
+// beyond this replica's horizon: a replica that crashed (or partitioned)
+// before a reconfiguration and comes back after it holds a stale validator
+// set, so every certificate of the new epoch fails VerifyCertIn and the
+// ordinary catch-up trigger (noteFinalCert) never fires. If at least f+1
+// of the certificate's signatures are genuine, at least one honest replica
+// finalized that round under a set this replica has not learned yet. The
+// hint is never trusted for commit — it only aims the snapshot fetcher,
+// and the snapshot response re-verifies the full epoch chain against the
+// local history (VerifyExtends) before anything is adopted.
+func (e *Engine) noteEpochHint(c *types.Certificate) {
+	fin := e.tree.FinalizedRound()
+	if c.Round <= fin+e.cfg.PruneKeep {
+		return // near-window garbage, not epoch lag
+	}
+	if e.epochHint != nil && c.Round <= e.epochHint.Round {
+		return
+	}
+	f := e.history.Current().Params().F
+	if e.cfg.Verifier.VerifyCert(c, f+1) != nil {
+		return
+	}
+	e.epochHint = c
+	e.met.epochHints++
+	e.catchupDirty = true
+}
+
 // tryJump fast-forwards a replica whose finalized prefix has caught up
 // with (or passed) its current round — the exit from catch-up: the
 // finalized block of round k is notarized and unlocked by definition, so
@@ -604,8 +693,12 @@ func (e *Engine) maybeSync(now time.Time, acts []protocol.Action) []protocol.Act
 	}
 	e.catchupDirty = false
 	fin := e.tree.FinalizedRound()
+	if e.epochHint != nil && e.epochHint.Round <= fin {
+		e.epochHint = nil // caught up past the hinted round
+	}
 	behind := e.latestFinal != nil && e.latestFinal.Round > fin
-	if !behind && !probe {
+	hinted := e.epochHint != nil
+	if !behind && !probe && !hinted {
 		return acts
 	}
 	if behind {
@@ -627,6 +720,13 @@ func (e *Engine) maybeSync(now time.Time, acts []protocol.Action) []protocol.Act
 			e.catchupDirty = true
 		}
 		return acts
+	}
+	if hinted {
+		// Suffix sync cannot cross an epoch boundary this replica has not
+		// learned: segment blocks of the new epoch fail epoch-pinned
+		// validation on arrival. Escalate straight to a snapshot fetch,
+		// which carries the validator-set chain alongside the window.
+		return e.beginFetch(now, acts)
 	}
 	if !e.lastSyncReq.IsZero() && now.Sub(e.lastSyncReq) < 2*e.cfg.Delta {
 		if behind {
@@ -682,6 +782,7 @@ func (e *Engine) maybeSync(now time.Time, acts []protocol.Action) []protocol.Act
 // requests.
 func (e *Engine) beginFetch(now time.Time, acts []protocol.Action) []protocol.Action {
 	e.fetcher.AddTarget(e.latestFinal)
+	e.fetcher.AddTarget(e.epochHint)
 	if !e.fetcher.Begin(now) {
 		return acts
 	}
@@ -762,6 +863,7 @@ func (e *Engine) onSnapshotRequest(from types.ReplicaID, m *types.SnapshotReques
 	return []protocol.Action{protocol.Send{To: from, Msg: &types.SnapshotResponse{
 		Chain:        chain,
 		Finalization: e.latestFinal,
+		Sets:         e.history.Descs(),
 	}}}
 }
 
@@ -797,9 +899,38 @@ func (e *Engine) onSnapshotResponse(m *types.SnapshotResponse) []protocol.Action
 		e.fetcher.Done(fin)
 		return nil
 	}
+	// The responder's claimed validator-set history: structurally a legal
+	// chain of single add/remove steps, and an extension of the local
+	// history (the replica's weak-subjectivity trust anchor — a response
+	// rewriting a known epoch is rejected no matter its certificate).
+	// Overlapping epochs are then swapped for the local sets so epoch 0
+	// keeps its configured beacon schedule.
+	sets, err := membership.VerifyChain(m.Sets)
+	if err != nil || e.history.VerifyExtends(m.Sets) != nil {
+		e.met.ssRejected++
+		return nil
+	}
+	for i := range sets {
+		if s := e.history.SetForEpoch(uint32(i)); s != nil {
+			sets[i] = s
+		}
+	}
+	setAt := func(r types.Round) *membership.ValidatorSet {
+		for i := len(sets) - 1; i > 0; i-- {
+			if sets[i].Activation() <= r {
+				return sets[i]
+			}
+		}
+		return sets[0]
+	}
 	for i, b := range m.Chain {
-		if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Params.N ||
-			b.Rank != e.cfg.Beacon.RankOf(b.Round, b.Proposer) {
+		if b == nil || b.Round < 1 {
+			e.met.ssRejected++
+			return nil
+		}
+		set := setAt(b.Round)
+		if b.Epoch != set.Epoch() ||
+			!set.Contains(b.Proposer) || b.Rank != set.RankOf(b.Round, b.Proposer) {
 			e.met.ssRejected++
 			return nil
 		}
@@ -813,15 +944,21 @@ func (e *Engine) onSnapshotResponse(m *types.SnapshotResponse) []protocol.Action
 		}
 	}
 	c := m.Finalization
-	quorum, ok := finalizationQuorum(e.cfg.Params, c.Kind)
+	tipSet := setAt(tip.Round)
+	quorum, ok := finalizationQuorum(tipSet.Params(), c.Kind)
 	if !ok || c.Round != tip.Round || c.Block != tip.ID() {
 		e.met.ssRejected++
 		return nil
 	}
-	if err := e.cfg.Verifier.VerifyCert(c, quorum); err != nil {
+	if err := e.cfg.Verifier.VerifyCertIn(c, quorum, tipSet); err != nil {
 		e.met.ssRejected++
 		return nil
 	}
+	if err := e.history.Restore(m.Sets); err != nil {
+		e.met.ssRejected++
+		return nil
+	}
+	e.scrubNonMembers(e.history.Current())
 	added, err := e.tree.AdoptFinalized(m.Chain)
 	if err != nil {
 		// A quorum-certified window contradicting our finalized prefix is
@@ -905,11 +1042,15 @@ func (e *Engine) onSyncResponse(m *types.SyncResponse) {
 		return
 	}
 	for _, b := range m.Blocks {
-		if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Params.N {
+		if b == nil || b.Round < 1 || int(b.Proposer) >= e.cfg.Keyring.N() {
 			e.met.rejected++
 			continue
 		}
-		if b.Rank != e.cfg.Beacon.RankOf(b.Round, b.Proposer) {
+		// Epoch and rank against the local history's set for the round.
+		// Blocks from epochs this replica has not reached yet fail here and
+		// are re-served once snapshot sync advances the history.
+		set := e.setFor(b.Round)
+		if b.Epoch != set.Epoch() || b.Rank != set.RankOf(b.Round, b.Proposer) {
 			e.met.rejected++
 			continue
 		}
@@ -951,8 +1092,8 @@ func (e *Engine) enterRound(r types.Round, now time.Time, acts []protocol.Action
 	rs.started = true
 	rs.t0 = now
 	e.met.roundsStarted++
-	rank := e.cfg.Beacon.RankOf(r, e.cfg.Self)
-	if rank > 0 {
+	rank := e.setFor(r).RankOf(r, e.cfg.Self)
+	if rank > 0 && rank != types.NoRank {
 		// Δ_prop(r_u) = 2Δ·r_u (Algorithm 1 line 23). The leader's delay is
 		// zero; tryPropose handles it immediately.
 		acts = append(acts, protocol.SetTimer{
@@ -973,15 +1114,15 @@ func (e *Engine) propDelay(rank types.Rank) time.Duration {
 	return 2 * e.cfg.Delta * time.Duration(rank)
 }
 
-// recomputeUnlocks refreshes the Definition 7.6 state of all live rounds.
+// recomputeUnlocks refreshes the Definition 7.6 state of all live rounds,
+// each under its own epoch's f+p threshold.
 func (e *Engine) recomputeUnlocks() {
 	if e.cfg.DisableFastPath {
 		return
 	}
-	thr := e.cfg.Params.UnlockThreshold()
 	for r := e.tree.FinalizedRound(); r <= e.round; r++ {
 		if rs, ok := e.rounds[r]; ok {
-			rs.recomputeUnlock(thr)
+			rs.recomputeUnlock(e.setFor(r).Params().UnlockThreshold())
 		}
 	}
 }
@@ -1032,6 +1173,14 @@ func (e *Engine) parentOK(b *types.Block) bool {
 		pb, ok := e.tree.Block(b.Parent)
 		return ok && pb.Round == b.Round-1
 	}
+	if _, ok := e.tree.FinalizedAt(b.Round - 1); ok {
+		// A round-(k-1) block is finalized locally and b does not extend
+		// it: even if b's parent is notarized and unlocked, extending the
+		// losing fork can only notarize a chain that contradicts finalized
+		// history — and, when the finalized block carried a validator-set
+		// change, under the wrong epoch.
+		return false
+	}
 	prev, ok := e.rounds[b.Round-1]
 	if !ok {
 		return false
@@ -1066,7 +1215,12 @@ func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []prot
 	if rs.proposed || rs.advanced {
 		return false, acts
 	}
-	rank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self)
+	set := e.setFor(e.round)
+	rank := set.RankOf(e.round, e.cfg.Self)
+	if rank == types.NoRank {
+		// Observer: not a member of this round's epoch — nothing to propose.
+		return false, acts
+	}
 	if now.Before(rs.t0.Add(e.propDelay(rank))) {
 		return false, acts
 	}
@@ -1086,7 +1240,20 @@ func (e *Engine) tryPropose(now time.Time, acts []protocol.Action) (bool, []prot
 	} else {
 		payload = e.cfg.Payloads.NextPayload(e.round)
 	}
+	// A host-queued validator-set change rides this proposal, provided it
+	// would actually apply to the round's set (a stale or inapplicable
+	// change stays queued rather than burning its block). Wrapping is
+	// skipped if the payload already carries one (withdrawn-optimistic
+	// reuse can't hit this — optimistic proposals never carry changes).
+	if e.cfg.Reconfig != nil && payload.Change == nil {
+		if c := e.cfg.Reconfig.Pending(); c != nil {
+			if _, err := set.Apply(c, e.round+1); err == nil {
+				payload = types.ConfigChangePayload(*c, payload)
+			}
+		}
+	}
 	b := types.NewBlock(e.round, e.cfg.Self, rank, parentID, payload)
+	b.Epoch = set.Epoch()
 	if err := e.cfg.Signer.SignBlock(b); err != nil {
 		// Impossible by construction (proposer == signer); treat as fatal.
 		e.stop(fmt.Errorf("core: signing own block: %w", err))
@@ -1133,7 +1300,7 @@ func (e *Engine) tryOptimisticPropose(acts []protocol.Action) (bool, []protocol.
 	if e.opt != nil && e.opt.round >= next {
 		return false, acts
 	}
-	if e.cfg.Beacon.RankOf(next, e.cfg.Self) != 0 {
+	if e.setFor(next).RankOf(next, e.cfg.Self) != 0 {
 		return false, acts
 	}
 	rs := e.getRound(e.round)
@@ -1158,8 +1325,16 @@ func (e *Engine) tryOptimisticPropose(acts []protocol.Action) (bool, []protocol.
 	if parent == nil {
 		return false, acts
 	}
+	if parent.Payload.Change != nil {
+		// The expected parent carries a validator-set change: if it
+		// finalizes, round next belongs to the *next* epoch and this
+		// replica's rank-0 guess (and the block's epoch stamp) would be
+		// stale. Wait for tryPropose on the certified parent instead.
+		return false, acts
+	}
 	payload := e.cfg.Payloads.NextPayload(next)
 	b := types.NewBlock(next, e.cfg.Self, 0, parent.ID(), payload)
+	b.Epoch = e.setFor(next).Epoch()
 	if err := e.cfg.Signer.SignBlock(b); err != nil {
 		e.stop(fmt.Errorf("core: signing optimistic block: %w", err))
 		return true, acts
@@ -1210,6 +1385,12 @@ func (e *Engine) tryVote(now time.Time, acts []protocol.Action) (bool, []protoco
 	if e.replaying || !rs.started || rs.advanced {
 		return false, acts
 	}
+	myRank := e.setFor(e.round).RankOf(e.round, e.cfg.Self)
+	if myRank == types.NoRank {
+		// Observer: non-members cast no votes; they follow the round via
+		// certificates and finalizations alone.
+		return false, acts
+	}
 	// Lowest rank among valid blocks: the "∄ valid block of lower rank"
 	// condition restricts voting to that rank.
 	minRank, found := types.Rank(0), false
@@ -1223,7 +1404,6 @@ func (e *Engine) tryVote(now time.Time, acts []protocol.Action) (bool, []protoco
 		return false, acts
 	}
 	changed := false
-	myRank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self)
 	for id := range rs.valid {
 		b := rs.blocks[id]
 		if b.Rank != minRank || rs.notarVoted[id] {
@@ -1279,7 +1459,8 @@ func (e *Engine) relayProposal(b *types.Block) *types.Proposal {
 			if prev.advanceBlock == b.Parent && prev.advanceProof != nil {
 				p.ParentUnlock = prev.advanceProof
 			} else {
-				p.ParentUnlock = prev.buildUnlockProof(b.Round-1, b.Parent, e.cfg.Params.UnlockThreshold())
+				p.ParentUnlock = prev.buildUnlockProof(b.Round-1, b.Parent,
+					e.setFor(b.Round-1).Params().UnlockThreshold())
 			}
 		}
 	}
@@ -1287,15 +1468,16 @@ func (e *Engine) relayProposal(b *types.Block) *types.Proposal {
 }
 
 // tryNotarize implements Algorithm 2 line 45: combine a quorum of
-// notarization votes into a notarization certificate.
+// notarization votes into a notarization certificate, each round under
+// its own epoch's quorum.
 func (e *Engine) tryNotarize(acts []protocol.Action) (bool, []protocol.Action) {
 	changed := false
-	quorum := e.cfg.Params.NotarizationQuorum()
 	for r := e.tree.FinalizedRound(); r <= e.round; r++ {
 		rs, ok := e.rounds[r]
 		if !ok {
 			continue
 		}
+		quorum := e.setFor(r).Params().NotarizationQuorum()
 		for id, votes := range rs.notarVotes {
 			if len(votes) < quorum || rs.notarizations[id] != nil {
 				continue
@@ -1326,6 +1508,7 @@ func (e *Engine) tryFinalize(acts []protocol.Action) (bool, []protocol.Action) {
 		if rs.finalized {
 			continue
 		}
+		params := e.setFor(r).Params()
 		// Received certificate for a round at or below our own.
 		if cert := e.extFinal[r]; cert != nil {
 			changed = true
@@ -1334,7 +1517,7 @@ func (e *Engine) tryFinalize(acts []protocol.Action) (bool, []protocol.Action) {
 		}
 		// FP-finalization: n-p fast votes for a valid rank-0 block.
 		if !e.cfg.DisableFastPath {
-			if id, votes, ok := rs.fastQuorumBlock(e.cfg.Params.FastQuorum()); ok && rs.valid[id] {
+			if id, votes, ok := rs.fastQuorumBlock(params.FastQuorum()); ok && rs.valid[id] {
 				cert, err := types.NewCertificate(types.CertFastFinalization, r, id,
 					votesFor(types.VoteFast, r, id, votes))
 				if err == nil {
@@ -1346,7 +1529,7 @@ func (e *Engine) tryFinalize(acts []protocol.Action) (bool, []protocol.Action) {
 		}
 		// SP-finalization: quorum of finalization votes.
 		for id, votes := range rs.finalVotes {
-			if len(votes) < e.cfg.Params.FinalizationQuorum() {
+			if len(votes) < params.FinalizationQuorum() {
 				continue
 			}
 			cert, err := types.NewCertificate(types.CertFinalization, r, id,
@@ -1417,6 +1600,7 @@ func (e *Engine) commitChain(id types.BlockID, mode protocol.FinalizationMode,
 	switch {
 	case err == nil:
 		if len(chain) > 0 {
+			e.applyChanges(chain)
 			acts = e.deliver(chain, mode, acts)
 		}
 		return acts, true
@@ -1432,16 +1616,85 @@ func isMissingAncestor(err error) bool {
 	return errors.Is(err, blocktree.ErrMissingAncestor)
 }
 
+// applyChanges walks a newly finalized chain (oldest first) and applies
+// any validator-set changes it carries: the history grows by one epoch
+// per applicable change, activation the change round + 1; a joiner's key
+// is registered with the identity registry (idempotent when the host
+// pre-provisioned it); and vote ledgers of rounds the new set governs are
+// scrubbed of non-member votes — buffered future-round votes from a
+// just-removed validator must not survive into its post-removal epochs.
+// An inapplicable change is a deterministic no-op (every honest replica
+// evaluates the same finalized change against the same history). Either
+// way the host's Reconfigurator slot is notified so a queued change that
+// just finalized — whoever proposed it — stops being re-proposed.
+func (e *Engine) applyChanges(chain []*types.Block) {
+	for _, b := range chain {
+		c := b.Payload.Change
+		if c == nil {
+			continue
+		}
+		if next, ok := e.history.Apply(c, b.Round); ok {
+			if c.Op == types.ConfigAdd {
+				// Best-effort: a registry that already knows the ID under a
+				// different key rejects the re-key, and the joiner's
+				// signatures simply fail verification.
+				_ = e.cfg.Keyring.SetKey(c.Replica, c.PubKey)
+			}
+			e.scrubNonMembers(next)
+			e.met.epochChanges++
+		}
+		if e.cfg.Reconfig != nil {
+			e.cfg.Reconfig.Observe(c)
+		}
+	}
+}
+
+// scrubNonMembers drops buffered votes, and certificates formed from
+// them, cast by replicas outside the given set from every live round the
+// set governs. Unlock state is recomputed from the scrubbed ledgers on
+// the next progress pass.
+func (e *Engine) scrubNonMembers(set *membership.ValidatorSet) {
+	quorum := set.Params().NotarizationQuorum()
+	for r, rs := range e.rounds {
+		if r < set.Activation() {
+			continue
+		}
+		rs.scrubNonMembers(set, quorum)
+	}
+}
+
 // tryAdvance implements Algorithm 2 line 48 (Restriction 2, Additions 1):
 // once a notarized and unlocked block exists and the fast vote is out,
 // broadcast the notarization and unlock proof, send a finalization vote if
 // N ⊆ {b} (line 51), and enter the next round.
 func (e *Engine) tryAdvance(now time.Time, acts []protocol.Action) (bool, []protocol.Action) {
 	rs := e.getRound(e.round)
-	if !rs.started || rs.advanced {
+	if !rs.started {
 		return false, acts
 	}
-	if !rs.fastVoteSent && !e.cfg.DisableFastPath {
+	if rs.advanced {
+		// A round held at the epoch-activation barrier completes its
+		// advance once the round finalizes; the set for round+1 is settled
+		// by then (applyChanges ran, or the change lost to a competing
+		// block).
+		if rs.barrier && rs.finalized {
+			rs.barrier = false
+			if rs.finalizedBlock != rs.advanceBlock {
+				// A competing block finalized instead of the change block we
+				// left through: re-anchor the exit on it (finalized parents
+				// need no credentials).
+				rs.advanceBlock = rs.finalizedBlock
+				rs.advanceNotar = nil
+				rs.advanceProof = nil
+			}
+			return true, e.enterRound(e.round+1, now, acts)
+		}
+		return false, acts
+	}
+	// Observers (non-members of the round's epoch) never cast a fast vote;
+	// they leave the round on certificates alone.
+	member := e.setFor(e.round).Contains(e.cfg.Self)
+	if member && !rs.fastVoteSent && !e.cfg.DisableFastPath {
 		return false, acts
 	}
 	id, ok := e.advanceCandidate(rs)
@@ -1452,7 +1705,7 @@ func (e *Engine) tryAdvance(now time.Time, acts []protocol.Action) (bool, []prot
 	notar := rs.notarizations[id]
 	var proof *types.UnlockProof
 	if !e.cfg.DisableFastPath {
-		proof = rs.buildUnlockProof(round, id, e.cfg.Params.UnlockThreshold())
+		proof = rs.buildUnlockProof(round, id, e.setFor(round).Params().UnlockThreshold())
 	}
 	rs.advanced = true
 	rs.advanceBlock = id
@@ -1464,12 +1717,22 @@ func (e *Engine) tryAdvance(now time.Time, acts []protocol.Action) (bool, []prot
 	// Line 51: finalization vote if this replica notarization-voted for no
 	// other block. Suppressed during WAL replay (a new signature); the
 	// journaled vote, if one was cast, restores finalVoted instead.
-	if !e.replaying && !rs.finalVoted && nSubsetOf(rs.notarVoted, id) {
+	if member && !e.replaying && !rs.finalVoted && nSubsetOf(rs.notarVoted, id) {
 		fv := e.cfg.Signer.SignVote(types.VoteFinalize, round, id)
 		rs.finalVoted = true
 		addVote(rs.finalVotes, id, e.cfg.Self, fv.Signature)
 		e.met.votesSent++
 		acts = append(acts, protocol.Broadcast{Msg: &types.VoteMsg{Votes: []types.Vote{fv}}})
+	}
+	// Activation barrier: leaving a round through a ConfigChange block is
+	// deferred until the round finalizes — entering round+1 earlier would
+	// guess the next epoch. The Advance broadcast and finalization vote
+	// above still go out (they are what *forms* the finalization), and
+	// resends keep retrying while the barrier holds.
+	if b, known := rs.blocks[id]; known && b.Payload.Change != nil &&
+		!(rs.finalized && rs.finalizedBlock == id) {
+		rs.barrier = true
+		return true, acts
 	}
 	acts = e.enterRound(round+1, now, acts)
 	return true, acts

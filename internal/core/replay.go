@@ -150,7 +150,7 @@ func (e *Engine) EndReplay(now time.Time) []protocol.Action {
 	// forget them so scheduleNotarTimers re-arms against the new one.
 	rs.notarTimerSet = make(map[types.Rank]bool)
 	var acts []protocol.Action
-	if rank := e.cfg.Beacon.RankOf(e.round, e.cfg.Self); rank > 0 && !rs.proposed {
+	if rank := e.setFor(e.round).RankOf(e.round, e.cfg.Self); rank > 0 && rank != types.NoRank && !rs.proposed {
 		acts = append(acts, protocol.SetTimer{
 			ID: protocol.TimerID{Round: e.round, Kind: protocol.TimerPropose, Rank: rank},
 			At: now.Add(e.propDelay(rank)),

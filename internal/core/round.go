@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"banyan/internal/membership"
 	"banyan/internal/types"
 )
 
@@ -49,6 +50,16 @@ type roundState struct {
 	// finalized records an explicit finalization seen for this round.
 	finalized      bool
 	finalizedBlock types.BlockID
+
+	// barrier marks a round this replica has left (advanced, Advance
+	// broadcast out, finalization vote cast) through a block that carries
+	// a validator-set change, without entering the next round yet: the
+	// next round's epoch — and therefore this replica's rank, the quorum
+	// sizes, and the epoch stamp of anything it would sign there — depends
+	// on whether the change block finalizes, so entry waits for the
+	// round's finalization (tryAdvance completes it; tryJump subsumes it
+	// when the finalization also commits).
+	barrier bool
 
 	// advanceBlock is the notarized-and-unlocked block this replica left
 	// the round through; it becomes the parent of the replica's round-(k+1)
@@ -105,6 +116,45 @@ func votesFor(kind types.VoteKind, round types.Round, block types.BlockID,
 		})
 	}
 	return votes
+}
+
+// scrubNonMembers removes every vote cast by a replica outside the given
+// validator set, drops notarization certificates that carry a non-member
+// signature or no longer clear the set's quorum, and resets the unlock
+// state so recomputeUnlock re-derives it from the surviving votes. Called
+// when an epoch activates over rounds the new set governs: votes buffered
+// from before the activation was known must not count toward the new
+// epoch's quorums.
+func (rs *roundState) scrubNonMembers(set *membership.ValidatorSet, notarQuorum int) {
+	scrub := func(ledger map[types.BlockID]map[types.ReplicaID][]byte) {
+		for block, byVoter := range ledger {
+			for voter := range byVoter {
+				if !set.Contains(voter) {
+					delete(byVoter, voter)
+				}
+			}
+			if len(byVoter) == 0 {
+				delete(ledger, block)
+			}
+		}
+	}
+	scrub(rs.fastVotes)
+	scrub(rs.notarVotes)
+	scrub(rs.finalVotes)
+	for id, cert := range rs.notarizations {
+		ok := len(cert.Signers) >= notarQuorum
+		for _, s := range cert.Signers {
+			if !set.Contains(s) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			delete(rs.notarizations, id)
+		}
+	}
+	rs.unlocked = make(map[types.BlockID]bool)
+	rs.allUnlocked = false
 }
 
 // isUnlocked reports whether the block is unlocked in this round under

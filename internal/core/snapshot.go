@@ -26,7 +26,7 @@ var _ protocol.Snapshotter = (*Engine)(nil)
 // replica can immediately follow and serve catch-up.
 func (e *Engine) Snapshot() *protocol.Snapshot {
 	fin := e.tree.FinalizedRound()
-	s := &protocol.Snapshot{Round: e.round, FinalizedRound: fin}
+	s := &protocol.Snapshot{Round: e.round, FinalizedRound: fin, Sets: e.history.Descs()}
 
 	// Finalized window: the last PruneKeep finalized blocks.
 	floor := types.Round(1)
@@ -113,11 +113,24 @@ func (e *Engine) RestoreSnapshot(s *protocol.Snapshot) error {
 	if !e.replaying {
 		return fmt.Errorf("core: RestoreSnapshot outside replay mode")
 	}
+	// Restore the validator-set history first: every signature and quorum
+	// check below — and the replay that follows — must run under the
+	// epochs in effect when the checkpoint was taken. Restore re-verifies
+	// the chain of sets structurally and anchors it at the configured
+	// genesis set, so a corrupted checkpoint cannot smuggle in an epoch.
+	if len(s.Sets) > 0 {
+		if err := e.history.Restore(s.Sets); err != nil {
+			return err
+		}
+	}
 	// Re-verify the window's proposer signatures before adopting it: the
 	// checkpoint is local disk, not a trusted channel.
 	for _, b := range s.Chain {
 		if b == nil {
 			return fmt.Errorf("core: snapshot chain contains nil block")
+		}
+		if set := e.setFor(b.Round); b.Epoch != set.Epoch() || !set.Contains(b.Proposer) {
+			return fmt.Errorf("core: snapshot block r=%d outside its epoch's set", b.Round)
 		}
 		if err := e.cfg.Verifier.VerifyBlock(b); err != nil {
 			return fmt.Errorf("core: snapshot block r=%d: %w", b.Round, err)
@@ -190,7 +203,8 @@ func (e *Engine) verifySnapshotFinalization(s *protocol.Snapshot) error {
 			continue
 		}
 		c := cm.Cert
-		quorum, ok := finalizationQuorum(e.cfg.Params, c.Kind)
+		set := e.setFor(c.Round)
+		quorum, ok := finalizationQuorum(set.Params(), c.Kind)
 		if !ok {
 			continue
 		}
@@ -200,7 +214,7 @@ func (e *Engine) verifySnapshotFinalization(s *protocol.Snapshot) error {
 		if c.Round == tip.Round && c.Block != tip.ID() {
 			continue
 		}
-		if err := e.cfg.Verifier.VerifyCert(c, quorum); err != nil {
+		if err := e.cfg.Verifier.VerifyCertIn(c, quorum, set); err != nil {
 			return fmt.Errorf("core: snapshot finalization certificate: %w", err)
 		}
 		return nil

@@ -12,10 +12,13 @@
 package crypto
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"banyan/internal/types"
 )
@@ -102,17 +105,60 @@ func SchemeByName(name string) (Scheme, error) {
 	}
 }
 
-// Keyring is the cluster PKI: every replica's public key under one scheme.
+// Keyring is the global key registry standing in for the PKI: every
+// replica identity that has ever existed in the deployment, under one
+// scheme. Since PR 9 it is growable — validators added by on-chain
+// reconfiguration register their keys at apply time — and decoupled from
+// *membership*: holding a key in the registry means "this identity can be
+// authenticated", while the epoch's validator set (internal/membership)
+// decides who may vote. Removed validators keep their registry entry so
+// certificates from earlier epochs keep verifying.
+//
+// Reads are lock-free (copy-on-write behind an atomic pointer), so the
+// hot verification path pays nothing for growability; SetKey serializes
+// writers.
 type Keyring struct {
 	scheme Scheme
-	pubs   [][]byte
+	mu     sync.Mutex // serializes SetKey
+	pubs   atomic.Pointer[[][]byte]
 }
 
 // NewKeyring builds a keyring over the given public keys.
 func NewKeyring(scheme Scheme, pubs [][]byte) *Keyring {
 	cp := make([][]byte, len(pubs))
 	copy(cp, pubs)
-	return &Keyring{scheme: scheme, pubs: cp}
+	k := &Keyring{scheme: scheme}
+	k.pubs.Store(&cp)
+	return k
+}
+
+// SetKey registers (or re-asserts) replica id's public key, growing the
+// registry as needed. Registering the key an identity already holds is an
+// idempotent no-op; registering a *different* key for a known identity is
+// rejected — identities are never re-keyed, which is what lets old
+// certificates verify forever.
+func (k *Keyring) SetKey(id types.ReplicaID, pub []byte) error {
+	if len(pub) == 0 {
+		return fmt.Errorf("crypto: empty public key for replica %d", id)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	cur := *k.pubs.Load()
+	if int(id) < len(cur) && cur[id] != nil {
+		if bytes.Equal(cur[id], pub) {
+			return nil
+		}
+		return fmt.Errorf("crypto: replica %d already registered under a different key", id)
+	}
+	size := len(cur)
+	if int(id) >= size {
+		size = int(id) + 1
+	}
+	next := make([][]byte, size)
+	copy(next, cur)
+	next[id] = append([]byte(nil), pub...)
+	k.pubs.Store(&next)
+	return nil
 }
 
 // GenerateCluster deterministically creates n key pairs from a cluster
@@ -134,18 +180,19 @@ func GenerateCluster(scheme Scheme, n int, seed uint64) (*Keyring, []*Signer) {
 	return NewKeyring(scheme, pubs), signers
 }
 
-// N returns the number of replicas in the keyring.
-func (k *Keyring) N() int { return len(k.pubs) }
+// N returns the number of replica identities the registry spans.
+func (k *Keyring) N() int { return len(*k.pubs.Load()) }
 
 // Scheme returns the signature scheme of the keyring.
 func (k *Keyring) Scheme() Scheme { return k.scheme }
 
-// PublicKey returns replica id's public key, or nil if out of range.
+// PublicKey returns replica id's public key, or nil if unregistered.
 func (k *Keyring) PublicKey(id types.ReplicaID) []byte {
-	if int(id) >= len(k.pubs) {
+	pubs := *k.pubs.Load()
+	if int(id) >= len(pubs) {
 		return nil
 	}
-	return k.pubs[id]
+	return pubs[id]
 }
 
 // Verify checks a signature by replica id over a digest.
@@ -237,6 +284,33 @@ func VerifyCert(k *Keyring, c *types.Certificate, quorum int) error {
 	for i, signer := range c.Signers {
 		if !k.Verify(signer, digest, c.Sigs[i]) {
 			return fmt.Errorf("crypto: bad signature by %d in %v", signer, c)
+		}
+	}
+	return nil
+}
+
+// MemberSet is the membership predicate epoch-pinned verification checks
+// signers against; membership.ValidatorSet satisfies it. Keeping the
+// interface here lets crypto stay below membership in the import graph.
+type MemberSet interface {
+	// Contains reports whether id is a member of the set.
+	Contains(id types.ReplicaID) bool
+	// Size returns the number of members.
+	Size() int
+}
+
+// VerifyCertIn is VerifyCert pinned to an epoch's validator set: every
+// signer must be a member in addition to holding a valid key. This is
+// what defeats a removed validator that keeps signing with its old —
+// still registered, still valid — key: its signatures verify, but a
+// certificate counting it no longer proves a quorum of the epoch.
+func VerifyCertIn(k *Keyring, c *types.Certificate, quorum int, set MemberSet) error {
+	if err := VerifyCert(k, c, quorum); err != nil {
+		return err
+	}
+	for _, signer := range c.Signers {
+		if !set.Contains(signer) {
+			return fmt.Errorf("crypto: signer %d not a member of the certificate's epoch in %v", signer, c)
 		}
 	}
 	return nil

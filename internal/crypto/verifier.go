@@ -241,6 +241,38 @@ func (v *Verifier) VerifyUnlockProof(u *types.UnlockProof, threshold int) error 
 	return nil
 }
 
+// VerifyCertIn is VerifyCert pinned to an epoch's validator set: every
+// signer must additionally be a member. See the package-level VerifyCertIn
+// for why the member check — not the signature check — is what evicts a
+// removed validator's still-valid signatures.
+func (v *Verifier) VerifyCertIn(c *types.Certificate, quorum int, set MemberSet) error {
+	if err := v.VerifyCert(c, quorum); err != nil {
+		return err
+	}
+	for _, signer := range c.Signers {
+		if !set.Contains(signer) {
+			return fmt.Errorf("crypto: signer %d not a member of the certificate's epoch in %v", signer, c)
+		}
+	}
+	return nil
+}
+
+// VerifyUnlockProofIn is VerifyUnlockProof pinned to an epoch's validator
+// set: every fast-vote voter must additionally be a member.
+func (v *Verifier) VerifyUnlockProofIn(u *types.UnlockProof, threshold int, set MemberSet) error {
+	if u == nil {
+		return fmt.Errorf("crypto: nil unlock proof")
+	}
+	for _, e := range u.Entries {
+		for _, voter := range e.Voters {
+			if !set.Contains(voter) {
+				return fmt.Errorf("crypto: fast voter %d not a member of the proof's epoch in %v", voter, u)
+			}
+		}
+	}
+	return v.VerifyUnlockProof(u, threshold)
+}
+
 // PreverifyMessage verifies the signatures a consensus message carries
 // and caches the valid ones, without judging the message itself — quorum
 // thresholds and protocol rules remain the engine's job. It is the verify

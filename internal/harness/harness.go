@@ -30,6 +30,7 @@ import (
 	"banyan/internal/dissem"
 	"banyan/internal/hotstuff"
 	"banyan/internal/icc"
+	"banyan/internal/membership"
 	"banyan/internal/mempool"
 	"banyan/internal/metrics"
 	"banyan/internal/protocol"
@@ -101,6 +102,16 @@ type Config struct {
 	// Join lists replicas held out of the initial start that boot cold at
 	// the given time, having observed nothing — the fresh-join scenario.
 	Join []CrashSpec
+	// MaxN is the number of replica identities provisioned (keys, engines,
+	// topology slots); zero means Params.N. Identities in [N, MaxN) are
+	// not genesis members: they run as non-voting observers (or join late
+	// via Join) until a Reconfig spec admits them. Banyan protocols only.
+	MaxN int
+	// Reconfig schedules validator-set changes: at the given virtual time
+	// the change is handed to every replica's reconfiguration slot, the
+	// next leader proposes it, and it activates the round after its block
+	// finalizes. Banyan protocols only.
+	Reconfig []ReconfigSpec
 	// WALDir, when non-empty, runs every replica behind a write-ahead
 	// log (one subdirectory per replica) with per-record fsync, so
 	// executions stay deterministic and Restart can replay. The WAL is a
@@ -152,6 +163,15 @@ type CrashSpec struct {
 	DiskLoss bool
 }
 
+// ReconfigSpec schedules one validator-set change at a point in virtual
+// time. Op is types.ConfigAdd or types.ConfigRemove; for an add, the
+// replica's provisioned key is attached automatically.
+type ReconfigSpec struct {
+	Replica types.ReplicaID
+	At      time.Duration
+	Op      types.ConfigOp
+}
+
 // Result aggregates one run's measurements.
 type Result struct {
 	Config Config
@@ -196,8 +216,27 @@ type Result struct {
 	// (proposals carry digests, not bodies) — the decoupling the cmd/bench
 	// "dissem" experiment asserts.
 	MaxProposalWire int
+
+	// Epoch is the observer's final validator-set epoch and EpochChanges
+	// the finalized ConfigChanges it applied (zero without Reconfig).
+	Epoch        uint32
+	EpochChanges int64
+	// EpochActivations lists the activation round of each post-genesis
+	// epoch at the observer, ascending.
+	EpochActivations []types.Round
+	// RoundLatencies pairs each Latency sample with the round of the block
+	// it measured, letting experiments localize latency around an epoch
+	// boundary (the cmd/bench "reconfig" blip measurement).
+	RoundLatencies []RoundLatency
 	// Delta echoes the Δ actually used (after auto-derivation).
 	Delta time.Duration
+}
+
+// RoundLatency is one proposal-finalization latency sample tagged with
+// the round of the block it measured.
+type RoundLatency struct {
+	Round   types.Round
+	Latency time.Duration
 }
 
 // AutoDelta derives the Δ bound for a topology and block size: the largest
@@ -239,8 +278,25 @@ func (c *Config) fill() error {
 	if c.Params.N == 0 {
 		return fmt.Errorf("harness: params are required")
 	}
-	if c.Params.N != c.Topology.N() {
-		return fmt.Errorf("harness: params n=%d but topology has %d replicas", c.Params.N, c.Topology.N())
+	if c.MaxN == 0 {
+		c.MaxN = c.Params.N
+	}
+	if c.MaxN < c.Params.N {
+		return fmt.Errorf("harness: MaxN %d below n %d", c.MaxN, c.Params.N)
+	}
+	if c.MaxN != c.Topology.N() {
+		return fmt.Errorf("harness: %d provisioned replicas but topology has %d", c.MaxN, c.Topology.N())
+	}
+	if (c.MaxN > c.Params.N || len(c.Reconfig) > 0) && c.Protocol != Banyan && c.Protocol != BanyanNoFast {
+		return fmt.Errorf("harness: reconfiguration requires a Banyan protocol, got %q", c.Protocol)
+	}
+	for _, r := range c.Reconfig {
+		if !r.Op.Valid() {
+			return fmt.Errorf("harness: invalid reconfig op %d", r.Op)
+		}
+		if int(r.Replica) >= c.MaxN {
+			return fmt.Errorf("harness: reconfig names replica %d but only %d are provisioned", r.Replica, c.MaxN)
+		}
 	}
 	if c.Duration <= 0 {
 		c.Duration = 30 * time.Second
@@ -291,7 +347,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	keyring, signers := crypto.GenerateCluster(scheme, cfg.Params.N, cfg.Seed)
+	keyring, signers := crypto.GenerateCluster(scheme, cfg.MaxN, cfg.Seed)
 	bc, err := beacon.NewRoundRobin(cfg.Params.N)
 	if err != nil {
 		return nil, err
@@ -299,6 +355,14 @@ func Run(cfg Config) (*Result, error) {
 
 	if len(cfg.Restart) > 0 && cfg.WALDir == "" {
 		return nil, fmt.Errorf("harness: Restart requires WALDir")
+	}
+	// One reconfiguration slot per replica, surviving engine rebuilds so a
+	// pending change outlives a crash-restart (Banyan protocols only).
+	reconfigs := make([]*membership.Reconfigurator, cfg.MaxN)
+	if cfg.Protocol == Banyan || cfg.Protocol == BanyanNoFast {
+		for i := range reconfigs {
+			reconfigs[i] = &membership.Reconfigurator{}
+		}
 	}
 	// mkEngine builds (or rebuilds, for restarts) one replica's engine;
 	// with a WALDir it is wrapped in a recorder over that replica's log.
@@ -317,7 +381,7 @@ func Run(cfg Config) (*Result, error) {
 				Source:     src,
 			})
 		}
-		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src, store)
+		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src, store, reconfigs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +396,7 @@ func Run(cfg Config) (*Result, error) {
 			Options: wal.Options{Sync: wal.SyncPolicy{EveryRecord: true}},
 		})
 	}
-	engines := make([]protocol.Engine, cfg.Params.N)
+	engines := make([]protocol.Engine, cfg.MaxN)
 	for i := range engines {
 		e, err := mkEngine(types.ReplicaID(i))
 		if err != nil {
@@ -375,6 +439,7 @@ func Run(cfg Config) (*Result, error) {
 		throughput      = metrics.NewThroughput(cfg.Duration - cfg.Warmup)
 		faultErrors     []error
 		maxProposalWire int
+		roundLatencies  []RoundLatency
 	)
 	hooks := simnet.Hooks{
 		OnBroadcast: func(node types.ReplicaID, at time.Time, msg types.Message) {
@@ -408,7 +473,9 @@ func Run(cfg Config) (*Result, error) {
 			for _, b := range c.Blocks {
 				if b.Proposer == node {
 					if pc, ok := proposedAt[b.ID()]; ok {
-						latency.Add(at.Sub(pc.at))
+						d := at.Sub(pc.at)
+						latency.Add(d)
+						roundLatencies = append(roundLatencies, RoundLatency{Round: b.Round, Latency: d})
 						delete(proposedAt, b.ID())
 					}
 				}
@@ -438,6 +505,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, j := range cfg.Join {
 		net.JoinAt(j.Replica, j.At)
+	}
+	for _, rc := range cfg.Reconfig {
+		change := types.ConfigChange{Op: rc.Op, Replica: rc.Replica}
+		if rc.Op == types.ConfigAdd {
+			change.PubKey = keyring.PublicKey(rc.Replica)
+		}
+		net.At(rc.At, func(time.Time) {
+			// Hand the change to every slot: whichever replica leads first
+			// proposes it, re-application is a deterministic no-op, and all
+			// slots clear when the finalized change is observed.
+			for _, r := range reconfigs {
+				if r != nil {
+					r.Propose(change)
+				}
+			}
+		})
 	}
 	for _, r := range cfg.Restart {
 		id, diskLoss := r.Replica, r.DiskLoss
@@ -487,7 +570,7 @@ func Run(cfg Config) (*Result, error) {
 	// cluster-wide so the result reflects every round, not just the
 	// observer's turns at rank 0.
 	var optProposed, optConfirmed, optWithdrawn int64
-	for i := 0; i < cfg.Params.N; i++ {
+	for i := 0; i < len(engines); i++ {
 		if m := net.Engine(types.ReplicaID(i)).Metrics(); m != nil {
 			optProposed += m["opt_proposed"]
 			optConfirmed += m["opt_confirmed"]
@@ -496,6 +579,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	obsMetrics := net.Engine(observer).Metrics()
+	var epoch uint32
+	var activations []types.Round
+	if h, ok := net.Engine(observer).(interface{ History() *membership.History }); ok {
+		if hist := h.History(); hist != nil {
+			epoch = hist.Current().Epoch()
+			for _, d := range hist.Descs() {
+				if d.Epoch > 0 {
+					activations = append(activations, d.Activation)
+				}
+			}
+		}
+	}
 	res := &Result{
 		Config:              cfg,
 		Latency:             latency.Summarize(),
@@ -514,6 +609,10 @@ func Run(cfg Config) (*Result, error) {
 		Messages:            net.Stats().Messages,
 		MessageBytes:        net.Stats().Bytes,
 		MaxProposalWire:     maxProposalWire,
+		Epoch:               epoch,
+		EpochChanges:        obsMetrics["epoch_changes"],
+		EpochActivations:    activations,
+		RoundLatencies:      roundLatencies,
 		Delta:               cfg.Delta,
 	}
 	if len(faultErrors) > 0 {
@@ -524,13 +623,14 @@ func Run(cfg Config) (*Result, error) {
 
 func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 	signer *crypto.Signer, bc beacon.Beacon, src protocol.PayloadSource,
-	store *dissem.Store) (protocol.Engine, error) {
+	store *dissem.Store, reconfig *membership.Reconfigurator) (protocol.Engine, error) {
 	switch cfg.Protocol {
 	case Banyan, BanyanNoFast:
 		return core.New(core.Config{
 			Params:              cfg.Params,
 			Self:                id,
 			Keyring:             keyring,
+			Reconfig:            reconfig,
 			VerifyOptions:       cfg.Verify,
 			Signer:              signer,
 			Beacon:              bc,

@@ -1,0 +1,47 @@
+package membership
+
+import (
+	"sync"
+
+	"banyan/internal/types"
+)
+
+// Reconfigurator is the hand-off slot between a host and its engine: the
+// host queues a validator-set change (Cluster.ProposeConfigChange, the
+// localnet flags), and the engine attaches the pending change to the next
+// block it proposes. One change is pending at a time; a newer Propose
+// replaces an unproposed older one. The slot clears when the engine
+// observes the change applied — or rejected as a no-op — in a finalized
+// block, so a change that rides a block that never finalizes is retried
+// on the proposer's next turn.
+type Reconfigurator struct {
+	mu      sync.Mutex
+	pending *types.ConfigChange
+}
+
+// Propose queues a change for the engine's next proposal.
+func (r *Reconfigurator) Propose(c types.ConfigChange) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending = &c
+}
+
+// Pending returns the queued change, or nil.
+func (r *Reconfigurator) Pending() *types.ConfigChange {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending
+}
+
+// Observe clears the slot when a finalized block carried an equal change —
+// whichever replica proposed it, and whether or not it applied.
+func (r *Reconfigurator) Observe(c *types.ConfigChange) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending.Equal(c) {
+		r.pending = nil
+	}
+}

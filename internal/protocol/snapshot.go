@@ -41,6 +41,12 @@ type Snapshot struct {
 	// path: the replica's own proposals and votes for rounds above the
 	// chain window's floor, plus the newest finalization certificate.
 	Own []types.Message
+	// Sets is the validator-set history at checkpoint time (ascending
+	// epochs, genesis first). Restore re-verifies the chain structurally
+	// and against the configured genesis set before adopting it, so a
+	// replica that crashed after an epoch change replays under the
+	// post-change set rather than re-deriving epochs from pruned blocks.
+	Sets []*types.ValidatorSetDesc
 }
 
 // Snapshotter is implemented by engines that can summarize themselves

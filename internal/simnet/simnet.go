@@ -85,6 +85,7 @@ const (
 	evCrash
 	evRecover
 	evRestart
+	evCall
 )
 
 type event struct {
@@ -96,6 +97,7 @@ type event struct {
 	msg     types.Message
 	tid     protocol.TimerID
 	rebuild func(now time.Time) protocol.Engine
+	call    func(now time.Time)
 }
 
 type eventHeap []*event
@@ -245,6 +247,14 @@ func (s *Network) JoinAt(id types.ReplicaID, t time.Duration) {
 	s.push(&event{at: Epoch.Add(t), kind: evRestart, node: id})
 }
 
+// At schedules an arbitrary callback at virtual time t. The callback runs
+// on the simulation goroutine between engine steps — hosts use it for
+// scripted control-plane actions (scheduling a reconfiguration proposal,
+// flipping a knob) that are not themselves network traffic.
+func (s *Network) At(t time.Duration, fn func(now time.Time)) {
+	s.push(&event{at: Epoch.Add(t), kind: evCall, call: fn})
+}
+
 // Start boots every engine at the epoch. Must be called once before Run.
 func (s *Network) Start() {
 	if s.started {
@@ -321,6 +331,8 @@ func (s *Network) dispatch(e *event) {
 			return
 		}
 		s.apply(e.node, s.engines[e.node].HandleTimer(e.tid, s.now))
+	case evCall:
+		e.call(s.now)
 	}
 }
 

@@ -186,6 +186,15 @@ func TestAllocRegressionDecodeInPlace(t *testing.T) {
 	proposal := mustEncode(&Proposal{Block: b, ParentNotarization: cert, FastVote: &fv})
 	votes := mustEncode(&VoteMsg{Votes: []Vote{fv, {Kind: VoteNotarize, Round: 9, Block: b.ID(), Voter: 2, Signature: randomBytes(r, 64)}}})
 
+	// A reconfiguration proposal: the ConfigChange decodes into the arena
+	// scratch slot, not a per-message heap object, so it shares the plain
+	// proposal's budget.
+	rb := NewBlock(9, 2, 1, BlockID{4, 5},
+		ConfigChangePayload(ConfigChange{Op: ConfigAdd, Replica: 4, PubKey: randomBytes(r, 32)},
+			BytesPayload(randomBytes(r, 512))))
+	rb.Signature = randomBytes(r, 64)
+	reconfig := mustEncode(&Proposal{Block: rb, ParentNotarization: cert})
+
 	decode := func(data []byte) {
 		if _, err := decodeMessage(data, true); err != nil {
 			t.Fatal(err)
@@ -193,6 +202,9 @@ func TestAllocRegressionDecodeInPlace(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(200, func() { decode(proposal) }); n > 2 {
 		t.Errorf("decode-inplace proposal: %v allocs/op, budget 2", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { decode(reconfig) }); n > 2 {
+		t.Errorf("decode-inplace reconfig proposal: %v allocs/op, budget 2", n)
 	}
 	if n := testing.AllocsPerRun(200, func() { decode(votes) }); n > 1 {
 		t.Errorf("decode-inplace votemsg: %v allocs/op, budget 1", n)

@@ -32,7 +32,14 @@ func (id BlockID) IsZero() bool { return id == ZeroBlockID }
 // It is carried in the block for convenience and must be validated against
 // the beacon by every receiver.
 type Block struct {
-	Round     Round
+	Round Round
+	// Epoch is the membership epoch the block was proposed under: the
+	// epoch of the validator set in effect at Round. It is part of the
+	// hashed header, so a block cannot be replayed under a different
+	// epoch's quorum rules; receivers validate it against their own
+	// membership history for the round. Genesis and the baseline engines
+	// (hotstuff/streamlet/icc) stay at epoch 0 forever.
+	Epoch     uint32
 	Proposer  ReplicaID
 	Rank      Rank
 	Parent    BlockID
@@ -68,8 +75,8 @@ func Genesis() *Block {
 }
 
 // ID returns the block's SHA-256 header digest, computing and caching it on
-// first use. The digest covers round, proposer, rank, parent and the payload
-// digest — not the signature, which signs this digest.
+// first use. The digest covers round, epoch, proposer, rank, parent and the
+// payload digest — not the signature, which signs this digest.
 //
 // Caching contract: blocks are immutable once constructed (NewBlock +
 // SignBlock, or wire decode), and the first ID call must happen-before
@@ -88,15 +95,18 @@ func (b *Block) ID() BlockID {
 }
 
 func (b *Block) computeID() BlockID {
-	var hdr [8 + 2 + 2 + 32 + 32]byte
+	// Layout must stay in lockstep with BlockHeader.ID (cert.go): unlock
+	// proofs carry bare headers that must re-hash to the same IDs.
+	var hdr [8 + 4 + 2 + 2 + 32 + 32]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], uint64(b.Round))
-	binary.LittleEndian.PutUint16(hdr[8:10], uint16(b.Proposer))
-	binary.LittleEndian.PutUint16(hdr[10:12], uint16(b.Rank))
-	copy(hdr[12:44], b.Parent[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], b.Epoch)
+	binary.LittleEndian.PutUint16(hdr[12:14], uint16(b.Proposer))
+	binary.LittleEndian.PutUint16(hdr[14:16], uint16(b.Rank))
+	copy(hdr[16:48], b.Parent[:])
 	ph := b.Payload.Digest()
-	copy(hdr[44:76], ph[:])
+	copy(hdr[48:80], ph[:])
 	h := sha256.New()
-	h.Write([]byte("banyan/block/v1"))
+	h.Write([]byte("banyan/block/v2"))
 	h.Write(hdr[:])
 	var id BlockID
 	h.Sum(id[:0])
@@ -112,8 +122,8 @@ func (b *Block) Equal(other *Block) bool {
 }
 
 func (b *Block) String() string {
-	return fmt.Sprintf("block{r=%d id=%s rank=%d by=%d parent=%s len=%d}",
-		b.Round, b.ID(), b.Rank, b.Proposer, b.Parent, b.Payload.Size())
+	return fmt.Sprintf("block{r=%d e=%d id=%s rank=%d by=%d parent=%s len=%d}",
+		b.Round, b.Epoch, b.ID(), b.Rank, b.Proposer, b.Parent, b.Payload.Size())
 }
 
 // IsGenesis reports whether the block is the canonical genesis block.

@@ -14,22 +14,25 @@ import (
 // resistance.
 type BlockHeader struct {
 	Round         Round
+	Epoch         uint32
 	Proposer      ReplicaID
 	Rank          Rank
 	Parent        BlockID
 	PayloadDigest [32]byte
 }
 
-// ID computes the block ID this header hashes to.
+// ID computes the block ID this header hashes to. Layout must stay in
+// lockstep with Block.computeID (block.go).
 func (h BlockHeader) ID() BlockID {
-	var hdr [8 + 2 + 2 + 32 + 32]byte
+	var hdr [8 + 4 + 2 + 2 + 32 + 32]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], uint64(h.Round))
-	binary.LittleEndian.PutUint16(hdr[8:10], uint16(h.Proposer))
-	binary.LittleEndian.PutUint16(hdr[10:12], uint16(h.Rank))
-	copy(hdr[12:44], h.Parent[:])
-	copy(hdr[44:76], h.PayloadDigest[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], h.Epoch)
+	binary.LittleEndian.PutUint16(hdr[12:14], uint16(h.Proposer))
+	binary.LittleEndian.PutUint16(hdr[14:16], uint16(h.Rank))
+	copy(hdr[16:48], h.Parent[:])
+	copy(hdr[48:80], h.PayloadDigest[:])
 	hash := sha256.New()
-	hash.Write([]byte("banyan/block/v1"))
+	hash.Write([]byte("banyan/block/v2"))
 	hash.Write(hdr[:])
 	var id BlockID
 	hash.Sum(id[:0])
@@ -40,6 +43,7 @@ func (h BlockHeader) ID() BlockID {
 func (b *Block) Header() BlockHeader {
 	return BlockHeader{
 		Round:         b.Round,
+		Epoch:         b.Epoch,
 		Proposer:      b.Proposer,
 		Rank:          b.Rank,
 		Parent:        b.Parent,

@@ -56,6 +56,12 @@ type decoder struct {
 	off   int
 	err   error
 	alias bool
+	// scratch coalesces copy-mode byte fields: every decoded signature and
+	// payload of one message is carved out of a single backing allocation
+	// sized to the input length — a strict upper bound on the sum of all
+	// byte fields, so the buffer never regrows and the carved slices never
+	// split across backing arrays.
+	scratch []byte
 }
 
 func (d *decoder) fail(err error) {
@@ -147,9 +153,12 @@ func (d *decoder) bytes() []byte {
 		// the caller has tied to the message (DecodeMessageInPlace).
 		return b[:n:n]
 	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	if d.scratch == nil {
+		d.scratch = make([]byte, 0, len(d.data)-d.off+int(n))
+	}
+	off := len(d.scratch)
+	d.scratch = append(d.scratch, b...)
+	return d.scratch[off:len(d.scratch):len(d.scratch)]
 }
 
 func (d *decoder) bool() bool { return d.u8() != 0 }
@@ -223,6 +232,10 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 			encodeBlock(&e, b)
 		}
 		encodeOptCert(&e, v.Finalization)
+		e.u32(uint32(len(v.Sets)))
+		for _, s := range v.Sets {
+			encodeValidatorSetDesc(&e, s)
+		}
 	case *BatchAnnounce:
 		e.u16(uint16(v.Origin))
 		e.hash(v.Digest)
@@ -402,6 +415,13 @@ func decodeMessage(data []byte, alias bool) (Message, error) {
 			sr.Chain = append(sr.Chain, decodeBlock(d))
 		}
 		sr.Finalization = decodeOptCert(d)
+		k := d.u32()
+		if d.err == nil && k > MaxSnapshotSets {
+			d.fail(fmt.Errorf("types: snapshot response with %d validator sets exceeds limit", k))
+		}
+		for i := uint32(0); i < k && d.err == nil; i++ {
+			sr.Sets = append(sr.Sets, decodeValidatorSetDesc(d))
+		}
 		m = sr
 	case MsgBatchAnnounce:
 		m = &BatchAnnounce{
@@ -474,6 +494,7 @@ type proposalArena struct {
 	b       Block
 	c       Certificate
 	fv      Vote
+	cc      ConfigChange
 	signers [arenaSigners]ReplicaID
 	sigs    [arenaSigners][]byte
 }
@@ -488,7 +509,7 @@ func decodeProposal(d *decoder) *Proposal {
 	p := &a.p
 	p.Relayed = d.bool()
 	if d.bool() {
-		p.Block = decodeBlockInto(&a.b, d)
+		p.Block = decodeBlockInto(&a.b, d, &a.cc)
 	}
 	p.ParentNotarization = decodeOptCertInto(&a.c, a.signers[:0], a.sigs[:0], d)
 	p.ParentUnlock = decodeOptUnlock(d)
@@ -506,6 +527,7 @@ func encodeBlock(e *encoder, b *Block) {
 	}
 	e.bool(true)
 	e.u64(uint64(b.Round))
+	e.u32(b.Epoch)
 	e.u16(uint16(b.Proposer))
 	e.u16(uint16(b.Rank))
 	e.id(b.Parent)
@@ -517,22 +539,32 @@ func decodeBlock(d *decoder) *Block {
 	if !d.bool() {
 		return nil
 	}
-	return decodeBlockInto(&Block{}, d)
+	return decodeBlockInto(&Block{}, d, nil)
 }
 
 // decodeBlockInto decodes a block body (after its presence tag) into a
-// caller-provided struct — the arena variant of decodeBlock.
-func decodeBlockInto(b *Block, d *decoder) *Block {
+// caller-provided struct — the arena variant of decodeBlock. cc, when
+// non-nil, is arena scratch for a change-bearing payload's ConfigChange.
+func decodeBlockInto(b *Block, d *decoder, cc *ConfigChange) *Block {
 	b.Round = Round(d.u64())
+	b.Epoch = d.u32()
 	b.Proposer = ReplicaID(d.u16())
 	b.Rank = Rank(d.u16())
 	b.Parent = d.id()
-	b.Payload = decodePayload(d)
+	b.Payload = decodePayloadInto(d, cc)
 	b.Signature = d.bytes()
 	return b
 }
 
 func encodePayload(e *encoder, p Payload) {
+	if p.Change != nil {
+		// Reconfig wrapper: tag 3 carries the change, then the content
+		// form encodes as usual behind it.
+		e.u8(3)
+		e.u8(uint8(p.Change.Op))
+		e.u16(uint16(p.Change.Replica))
+		e.bytes(p.Change.PubKey)
+	}
 	if p.HasBatches() {
 		e.u8(2)
 		e.u32(uint32(len(p.Batches)))
@@ -554,7 +586,29 @@ func encodePayload(e *encoder, p Payload) {
 }
 
 func decodePayload(d *decoder) Payload {
-	switch d.u8() {
+	return decodePayloadInto(d, nil)
+}
+
+// decodePayloadInto is decodePayload with optional arena scratch for the
+// reconfig wrapper's ConfigChange (nil allocates one on demand).
+func decodePayloadInto(d *decoder, cc *ConfigChange) Payload {
+	tag := d.u8()
+	if tag == 3 {
+		if cc == nil {
+			cc = &ConfigChange{}
+		}
+		cc.Op = ConfigOp(d.u8())
+		cc.Replica = ReplicaID(d.u16())
+		cc.PubKey = d.bytes()
+		p := decodeBasePayload(d, d.u8())
+		p.Change = cc
+		return p
+	}
+	return decodeBasePayload(d, tag)
+}
+
+func decodeBasePayload(d *decoder, tag uint8) Payload {
+	switch tag {
 	case 1:
 		return Payload{SynthSize: d.u32(), SynthSeed: d.u64()}
 	case 2:
@@ -571,9 +625,71 @@ func decodePayload(d *decoder) Payload {
 			refs = append(refs, BatchRef{Digest: d.hash(), Size: d.u32()})
 		}
 		return Payload{Batches: refs, Data: d.bytes()}
+	case 3:
+		// A nested reconfig wrapper is malformed — one change per payload.
+		d.fail(fmt.Errorf("types: nested payload change wrapper"))
+		return Payload{}
 	default:
 		return Payload{Data: d.bytes()}
 	}
+}
+
+func encodeValidatorSetDesc(e *encoder, s *ValidatorSetDesc) {
+	e.u32(s.Epoch)
+	e.u64(uint64(s.Activation))
+	e.u16(s.F)
+	e.u16(s.P)
+	e.u32(uint32(len(s.Members)))
+	for i, m := range s.Members {
+		e.u16(uint16(m))
+		e.bytes(s.Keys[i])
+	}
+}
+
+func decodeValidatorSetDesc(d *decoder) *ValidatorSetDesc {
+	s := &ValidatorSetDesc{
+		Epoch:      d.u32(),
+		Activation: Round(d.u64()),
+		F:          d.u16(),
+		P:          d.u16(),
+	}
+	n := d.u32()
+	if d.err != nil || n > MaxValidatorSetMembers {
+		d.fail(fmt.Errorf("types: validator set with %d members exceeds limit", n))
+		return nil
+	}
+	if n > 0 {
+		s.Members = make([]ReplicaID, 0, n)
+		s.Keys = make([][]byte, 0, n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		s.Members = append(s.Members, ReplicaID(d.u16()))
+		s.Keys = append(s.Keys, d.bytes())
+	}
+	s.Members = InternReplicaIDs(s.Members)
+	return s
+}
+
+// AppendValidatorSetDesc appends the wire encoding of one validator-set
+// descriptor to buf (the same layout SnapshotResponse uses); the WAL's
+// checkpoint records frame set histories with it. EncodedSize bytes of
+// spare capacity make the call allocation-free.
+func AppendValidatorSetDesc(buf []byte, s *ValidatorSetDesc) []byte {
+	e := encoder{buf: buf}
+	encodeValidatorSetDesc(&e, s)
+	return e.buf
+}
+
+// DecodeValidatorSetDescPrefix decodes one descriptor from the front of
+// data, returning it and the number of bytes consumed. Byte fields are
+// copied out of data. The inverse of AppendValidatorSetDesc.
+func DecodeValidatorSetDescPrefix(data []byte) (*ValidatorSetDesc, int, error) {
+	d := &decoder{data: data}
+	s := decodeValidatorSetDesc(d)
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return s, d.off, nil
 }
 
 func encodeVote(e *encoder, v Vote) {
@@ -678,6 +794,7 @@ func encodeOptUnlock(e *encoder, u *UnlockProof) {
 	e.u32(uint32(len(u.Entries)))
 	for _, en := range u.Entries {
 		e.u64(uint64(en.Header.Round))
+		e.u32(en.Header.Epoch)
 		e.u16(uint16(en.Header.Proposer))
 		e.u16(uint16(en.Header.Rank))
 		e.id(en.Header.Parent)
@@ -710,6 +827,7 @@ func decodeOptUnlock(d *decoder) *UnlockProof {
 	for i := uint32(0); i < n && d.err == nil; i++ {
 		en := UnlockEntry{Header: BlockHeader{
 			Round:    Round(d.u64()),
+			Epoch:    d.u32(),
 			Proposer: ReplicaID(d.u16()),
 			Rank:     Rank(d.u16()),
 			Parent:   d.id(),

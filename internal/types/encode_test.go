@@ -26,6 +26,7 @@ func randomVote(r *rand.Rand) Vote {
 func randomBlock(r *rand.Rand) *Block {
 	b := &Block{
 		Round:    Round(r.Uint64() >> 16),
+		Epoch:    uint32(r.Intn(8)),
 		Proposer: ReplicaID(r.Intn(1 << 15)),
 		Rank:     Rank(r.Intn(1 << 15)),
 	}

@@ -234,8 +234,8 @@ func blockWireSize(b *Block) int {
 	if b == nil {
 		return 1
 	}
-	// round + proposer + rank + parent + payload + signature
-	return 1 + 8 + 2 + 2 + 32 + payloadWireSize(b.Payload) + sliceWireSize(b.Signature)
+	// round + epoch + proposer + rank + parent + payload + signature
+	return 1 + 8 + 4 + 2 + 2 + 32 + payloadWireSize(b.Payload) + sliceWireSize(b.Signature)
 }
 
 // blockEncodedSize is blockWireSize with the payload at its encoded —
@@ -244,7 +244,7 @@ func blockEncodedSize(b *Block) int {
 	if b == nil {
 		return 1
 	}
-	return 1 + 8 + 2 + 2 + 32 + payloadEncodedSize(b.Payload) + sliceWireSize(b.Signature)
+	return 1 + 8 + 4 + 2 + 2 + 32 + payloadEncodedSize(b.Payload) + sliceWireSize(b.Signature)
 }
 
 func payloadWireSize(p Payload) int {
@@ -254,21 +254,32 @@ func payloadWireSize(p Payload) int {
 		// so the vote path stays independent of block size.
 		return payloadEncodedSize(p)
 	}
-	// tag + (length prefix + logical bytes)
-	return 1 + 4 + p.Size()
+	// change wrapper + tag + (length prefix + logical bytes)
+	return changeEncodedSize(p.Change) + 1 + 4 + p.Size()
 }
 
 // payloadEncodedSize is the exact encoding length: synthetic payloads
 // travel as a (size, seed) descriptor, digest-list payloads as
-// (count, refs..., inline tail).
+// (count, refs..., inline tail), and a ConfigChange rides as a wrapper
+// tag ahead of any of the three content forms.
 func payloadEncodedSize(p Payload) int {
+	s := changeEncodedSize(p.Change)
 	if p.HasBatches() {
-		return 1 + 4 + batchRefEncodedSize*len(p.Batches) + 4 + len(p.Data)
+		return s + 1 + 4 + batchRefEncodedSize*len(p.Batches) + 4 + len(p.Data)
 	}
 	if p.IsSynthetic() {
-		return 1 + 4 + 8
+		return s + 1 + 4 + 8
 	}
-	return 1 + 4 + len(p.Data)
+	return s + 1 + 4 + len(p.Data)
+}
+
+// changeEncodedSize is the wire footprint of the reconfig wrapper: outer
+// tag + op + replica + key; zero when the payload carries no change.
+func changeEncodedSize(c *ConfigChange) int {
+	if c == nil {
+		return 0
+	}
+	return 1 + 1 + 2 + sliceWireSize(c.PubKey)
 }
 
 // batchRefEncodedSize is the wire footprint of one BatchRef: 32-byte
@@ -297,7 +308,7 @@ func unlockWireSize(u *UnlockProof) int {
 	}
 	s := 1 + 8 + 32 + 1 + 4
 	for _, e := range u.Entries {
-		s += 8 + 2 + 2 + 32 + 32 + 4 + 2*len(e.Voters)
+		s += 8 + 4 + 2 + 2 + 32 + 32 + 4 + 2*len(e.Voters)
 		for _, sig := range e.Sigs {
 			s += sliceWireSize(sig)
 		}
@@ -374,9 +385,15 @@ func (*SnapshotRequest) EncodedSize() int { return 1 + 8 }
 // finalization certificate at or above the tip. The requester verifies
 // the certificate against the quorum before adopting anything — the
 // certificate, not the sender, is the trust anchor.
+//
+// Sets is the responder's validator-set history (ascending epochs,
+// genesis first): joiners bootstrap membership and state together. The
+// requester checks the history chains structurally from its own trusted
+// prefix before verifying the certificate against the final set.
 type SnapshotResponse struct {
 	Chain        []*Block
 	Finalization *Certificate
+	Sets         []*ValidatorSetDesc
 
 	enc []byte // memoized wire encoding (CachedEncoding)
 }
@@ -390,7 +407,7 @@ func (m *SnapshotResponse) WireSize() int {
 	for _, b := range m.Chain {
 		s += blockWireSize(b)
 	}
-	return s + certWireSize(m.Finalization)
+	return s + certWireSize(m.Finalization) + setsEncodedSize(m.Sets)
 }
 
 // EncodedSize implements Message.
@@ -399,7 +416,15 @@ func (m *SnapshotResponse) EncodedSize() int {
 	for _, b := range m.Chain {
 		s += blockEncodedSize(b)
 	}
-	return s + certWireSize(m.Finalization)
+	return s + certWireSize(m.Finalization) + setsEncodedSize(m.Sets)
+}
+
+func setsEncodedSize(sets []*ValidatorSetDesc) int {
+	s := 4
+	for _, d := range sets {
+		s += d.EncodedSize()
+	}
+	return s
 }
 
 // MaxSnapshotBlocks bounds the window in one SnapshotResponse. Windows

@@ -32,6 +32,10 @@ type Rank uint16
 // optional (e.g. message tracing).
 const NoReplica = ReplicaID(math.MaxUint16)
 
+// NoRank is a sentinel for "no rank": the rank a membership set assigns to
+// a replica that is not a member in the queried round.
+const NoRank = Rank(math.MaxUint16)
+
 // Params carries the fault-model parameters of a deployment.
 //
 // Banyan requires n >= max(3f+2p-1, 3f+1) with p in [1, f]: up to f

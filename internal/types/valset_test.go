@@ -1,0 +1,200 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomDesc(r *rand.Rand) *ValidatorSetDesc {
+	n := r.Intn(6) + 3
+	d := &ValidatorSetDesc{
+		Epoch:      uint32(r.Intn(100)),
+		Activation: Round(r.Uint64() >> 16),
+		F:          1,
+		P:          1,
+	}
+	id := 0
+	for i := 0; i < n; i++ {
+		id += r.Intn(3) + 1 // ascending, possibly sparse
+		d.Members = append(d.Members, ReplicaID(id))
+		k := make([]byte, r.Intn(48)+16)
+		r.Read(k)
+		d.Keys = append(d.Keys, k)
+	}
+	return d
+}
+
+func TestValidatorSetDescRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		d := randomDesc(r)
+		enc := AppendValidatorSetDesc(nil, d)
+		if len(enc) != d.EncodedSize() {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), d.EncodedSize())
+		}
+		// Trailing bytes belong to the next descriptor; the prefix decoder
+		// must consume exactly one.
+		enc = append(enc, 0xAA, 0xBB)
+		got, n, err := DecodeValidatorSetDescPrefix(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != d.EncodedSize() {
+			t.Fatalf("consumed %d bytes, want %d", n, d.EncodedSize())
+		}
+		if !got.Equal(d) {
+			t.Fatalf("round-trip mismatch:\n got %#v\nwant %#v", got, d)
+		}
+	}
+	if _, _, err := DecodeValidatorSetDescPrefix([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated descriptor decoded")
+	}
+}
+
+func TestInternReplicaIDs(t *testing.T) {
+	dense := []ReplicaID{0, 1, 2, 3, 4}
+	in := InternReplicaIDs(dense)
+	if len(in) != len(dense) {
+		t.Fatalf("interned length %d, want %d", len(in), len(dense))
+	}
+	for i, id := range in {
+		if id != dense[i] {
+			t.Fatalf("interned[%d] = %d, want %d", i, id, dense[i])
+		}
+	}
+	if &in[0] == &dense[0] {
+		t.Fatal("dense list not redirected to the shared table")
+	}
+	again := InternReplicaIDs([]ReplicaID{0, 1, 2, 3, 4})
+	if &in[0] != &again[0] {
+		t.Fatal("two dense lists interned to different backings")
+	}
+	// The shared backing must be capacity-clipped: appending to an interned
+	// slice may not scribble over the next table entry.
+	grown := append(in, 99)
+	if InternReplicaIDs([]ReplicaID{0, 1, 2, 3, 4, 5})[5] != 5 {
+		t.Fatal("append through an interned slice corrupted the shared table")
+	}
+	_ = grown
+
+	sparse := []ReplicaID{0, 2, 3}
+	if out := InternReplicaIDs(sparse); &out[0] != &sparse[0] {
+		t.Fatal("sparse list was interned")
+	}
+	if out := InternReplicaIDs(nil); out != nil && len(out) != 0 {
+		t.Fatal("nil intern broken")
+	}
+	huge := make([]ReplicaID, internedDenseIDs+1)
+	for i := range huge {
+		huge[i] = ReplicaID(i)
+	}
+	if out := InternReplicaIDs(huge); &out[0] != &huge[0] {
+		t.Fatal("over-bound dense list was interned")
+	}
+}
+
+func TestValidatorSetDescValidate(t *testing.T) {
+	good := &ValidatorSetDesc{
+		Members: []ReplicaID{0, 1, 2, 3},
+		Keys:    [][]byte{{1}, {2}, {3}, {4}},
+		F:       1, P: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name   string
+		mangle func(*ValidatorSetDesc)
+	}{
+		{"key count mismatch", func(d *ValidatorSetDesc) { d.Keys = d.Keys[:3] }},
+		{"unsorted members", func(d *ValidatorSetDesc) { d.Members[0], d.Members[1] = d.Members[1], d.Members[0] }},
+		{"duplicate member", func(d *ValidatorSetDesc) { d.Members[1] = d.Members[0] }},
+		{"below Banyan bound", func(d *ValidatorSetDesc) { d.Members = d.Members[:2]; d.Keys = d.Keys[:2] }},
+	}
+	for _, tc := range bad {
+		d := &ValidatorSetDesc{
+			Members: append([]ReplicaID(nil), good.Members...),
+			Keys:    append([][]byte(nil), good.Keys...),
+			F:       1, P: 1,
+		}
+		tc.mangle(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", tc.name)
+		}
+	}
+}
+
+// TestConfigChangePayloadIdentity: a change is part of payload (and so
+// block) identity — the same bytes with and without a change, or with
+// different changes, must digest differently; the same change must digest
+// identically.
+func TestConfigChangePayloadIdentity(t *testing.T) {
+	inner := BytesPayload([]byte("transactions"))
+	add := ConfigChange{Op: ConfigAdd, Replica: 4, PubKey: []byte("pk4")}
+	withAdd := ConfigChangePayload(add, inner)
+	again := ConfigChangePayload(add, BytesPayload([]byte("transactions")))
+
+	if withAdd.Digest() == inner.Digest() {
+		t.Fatal("change did not alter the payload digest")
+	}
+	if withAdd.Digest() != again.Digest() {
+		t.Fatal("identical change-bearing payloads digest differently")
+	}
+	rm := ConfigChangePayload(ConfigChange{Op: ConfigRemove, Replica: 4}, inner)
+	if rm.Digest() == withAdd.Digest() {
+		t.Fatal("different changes digest identically")
+	}
+	otherKey := ConfigChangePayload(ConfigChange{Op: ConfigAdd, Replica: 4, PubKey: []byte("evil")}, inner)
+	if otherKey.Digest() == withAdd.Digest() {
+		t.Fatal("changing the joiner's key did not alter the digest")
+	}
+}
+
+// TestConfigChangeProposalRoundTrip: epoch and change survive the wire —
+// and block identity (which hashes both) is preserved.
+func TestConfigChangeProposalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		b := randomBlock(r)
+		change := ConfigChange{Op: ConfigAdd, Replica: ReplicaID(r.Intn(64)), PubKey: []byte("joinkey")}
+		if r.Intn(2) == 0 {
+			change = ConfigChange{Op: ConfigRemove, Replica: ReplicaID(r.Intn(64))}
+		}
+		b.Payload = ConfigChangePayload(change, b.Payload)
+		got := roundTrip(t, &Proposal{Block: b}).(*Proposal)
+		if got.Block.ID() != b.ID() {
+			t.Fatal("block identity changed across the wire")
+		}
+		if got.Block.Epoch != b.Epoch {
+			t.Fatalf("epoch %d decoded as %d", b.Epoch, got.Block.Epoch)
+		}
+		c := got.Block.Payload.Change
+		if c == nil || !c.Equal(&change) {
+			t.Fatalf("change %v decoded as %v", &change, c)
+		}
+	}
+}
+
+func TestConfigChangeEqual(t *testing.T) {
+	a := &ConfigChange{Op: ConfigAdd, Replica: 4, PubKey: []byte("k")}
+	if !a.Equal(a) || a.Equal(nil) || (*ConfigChange)(nil).Equal(a) {
+		t.Fatal("Equal nil handling broken")
+	}
+	b := &ConfigChange{Op: ConfigAdd, Replica: 4, PubKey: []byte("k")}
+	if !a.Equal(b) {
+		t.Fatal("identical changes not equal")
+	}
+	for _, o := range []*ConfigChange{
+		{Op: ConfigRemove, Replica: 4, PubKey: []byte("k")},
+		{Op: ConfigAdd, Replica: 5, PubKey: []byte("k")},
+		{Op: ConfigAdd, Replica: 4, PubKey: []byte("x")},
+	} {
+		if a.Equal(o) {
+			t.Fatalf("distinct changes %v and %v compare equal", a, o)
+		}
+	}
+	if !bytes.Equal(a.PubKey, []byte("k")) {
+		t.Fatal("Equal mutated its operand")
+	}
+}

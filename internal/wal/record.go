@@ -80,12 +80,15 @@ func (r Record) payloadSize() int {
 		if r.Snapshot == nil {
 			return 1 // appendPayload reports the real error
 		}
-		s := 1 + 8 + 8 + 4 + 4
+		s := 1 + 8 + 8 + 4 + 4 + 4
 		for _, b := range r.Snapshot.Chain {
 			s += types.BlockEncodedSize(b)
 		}
 		for _, m := range r.Snapshot.Own {
 			s += 4 + m.EncodedSize()
+		}
+		for _, d := range r.Snapshot.Sets {
+			s += d.EncodedSize()
 		}
 		return s
 	default:
@@ -132,6 +135,10 @@ func (r Record) appendPayload(buf []byte) ([]byte, error) {
 			if buf, err = types.AppendMessage(buf, m); err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Sets)))
+		for _, d := range s.Sets {
+			buf = types.AppendValidatorSetDesc(buf, d)
 		}
 		return buf, nil
 	default:
@@ -249,6 +256,22 @@ func decodeCheckpoint(payload []byte) (Record, error) {
 			return Record{}, fmt.Errorf("wal: checkpoint message %d: %w", i, err)
 		}
 		s.Own = append(s.Own, m)
+		off += n
+	}
+	if len(payload) < off+4 {
+		return fail("set count")
+	}
+	nSets := binary.LittleEndian.Uint32(payload[off : off+4])
+	off += 4
+	if nSets > types.MaxSnapshotSets {
+		return fail("set count")
+	}
+	for i := uint32(0); i < nSets; i++ {
+		d, n, err := types.DecodeValidatorSetDescPrefix(payload[off:])
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: checkpoint validator set %d: %w", i, err)
+		}
+		s.Sets = append(s.Sets, d)
 		off += n
 	}
 	if off != len(payload) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"banyan/internal/membership"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
@@ -138,6 +139,16 @@ func (r *Recorder) Recovered() Recovery { return *r.rec }
 
 // Log exposes the underlying log (for Sync in tests and benchmarks).
 func (r *Recorder) Log() *Log { return r.log }
+
+// History forwards to the hosted engine's validator-set history when it
+// has one (the Banyan core engine), nil otherwise — so hosts that probe
+// engines for epoch state see through the recorder wrapper.
+func (r *Recorder) History() *membership.History {
+	if h, ok := r.eng.(interface{ History() *membership.History }); ok {
+		return h.History()
+	}
+	return nil
+}
 
 // ID implements protocol.Engine.
 func (r *Recorder) ID() types.ReplicaID { return r.eng.ID() }

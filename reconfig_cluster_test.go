@@ -1,0 +1,149 @@
+package banyan
+
+import (
+	"testing"
+	"time"
+)
+
+// waitForEpoch drains the commit stream until the observer reports the
+// given epoch, returning the round of the first commit seen at it.
+func waitForEpoch(t *testing.T, cluster *Cluster, epoch uint32, deadline time.Duration) uint64 {
+	t.Helper()
+	timeout := time.After(deadline)
+	for {
+		select {
+		case c, ok := <-cluster.Commits():
+			if !ok {
+				t.Fatal("commit stream closed early")
+			}
+			if c.Epoch >= epoch {
+				return c.Round
+			}
+		case <-timeout:
+			t.Fatalf("timed out waiting for epoch %d (observer at %d)", epoch, cluster.Epoch(0))
+		}
+	}
+}
+
+func memberSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// TestClusterReconfigureAddRemove is the PR's acceptance scenario over
+// the real in-process transport: a 4-replica cluster finalizes a
+// ConfigChange adding a 5th replica — which bootstrapped through the
+// snapshot path and votes in the next epoch — then one removing it
+// again. Commits are tagged with the epoch that certified them, the
+// membership view shifts 4 → 5 → 4, and nothing forks.
+func TestClusterReconfigureAddRemove(t *testing.T) {
+	const joiner = 4
+	cluster, err := NewCluster(ClusterConfig{
+		N:      4,
+		MaxN:   5,
+		Delta:  5 * time.Millisecond,
+		Scheme: "hmac",
+		// Deep-pruned windows force the joiner through snapshot state sync
+		// (the PR 6 path) before its first vote.
+		DeepPrune:     true,
+		PruneKeep:     8,
+		PruneInterval: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	if err := cluster.AddValidator(9); err == nil {
+		t.Fatal("adding an unprovisioned identity must be rejected")
+	}
+	if got := memberSet(cluster.MemberIDs(0)); len(got) != 4 || got[joiner] {
+		t.Fatalf("genesis members %v, want 0-3", cluster.MemberIDs(0))
+	}
+
+	// The joiner boots cold well behind the window, then is voted in.
+	waitForRound(t, cluster, 30, 30*time.Second)
+	if err := cluster.JoinReplica(joiner); err != nil {
+		t.Fatal(err)
+	}
+	waitForRound(t, cluster, 45, 30*time.Second)
+	if err := cluster.AddValidator(joiner); err != nil {
+		t.Fatal(err)
+	}
+	epoch1At := waitForEpoch(t, cluster, 1, 30*time.Second)
+	if got := memberSet(cluster.MemberIDs(0)); len(got) != 5 || !got[joiner] {
+		t.Fatalf("epoch-1 members %v, want 0-4", cluster.MemberIDs(0))
+	}
+
+	// Let the joiner vote for a stretch of its epoch, then vote it out.
+	waitForRound(t, cluster, epoch1At+40, 30*time.Second)
+	if err := cluster.RemoveValidator(joiner); err != nil {
+		t.Fatal(err)
+	}
+	epoch2At := waitForEpoch(t, cluster, 2, 30*time.Second)
+	if got := memberSet(cluster.MemberIDs(0)); len(got) != 4 || got[joiner] {
+		t.Fatalf("epoch-2 members %v, want the joiner evicted", cluster.MemberIDs(0))
+	}
+
+	// The evicted replica keeps following the chain as an observer.
+	waitForRound(t, cluster, epoch2At+40, 30*time.Second)
+	cluster.Stop()
+
+	if faults := cluster.Faults(); len(faults) > 0 {
+		t.Fatalf("safety faults: %v", faults)
+	}
+	if got := cluster.Epoch(0); got != 2 {
+		t.Fatalf("observer epoch %d, want 2", got)
+	}
+	for id := 0; id <= joiner; id++ {
+		if got := cluster.Epoch(id); got != 2 {
+			t.Errorf("replica %d ended at epoch %d, want 2", id, got)
+		}
+	}
+	m := cluster.Metrics(joiner)
+	// The joiner was a member only during epoch 1, so any votes at all
+	// prove it participated in its epoch.
+	if m["votes_sent"] == 0 {
+		t.Error("joiner never voted during its epoch")
+	}
+	if m["statesync_fetches"] == 0 {
+		t.Error("joiner entered without a snapshot fetch — the PR 6 path was not exercised")
+	}
+	// The joiner may learn epoch 1 either by applying the finalized add
+	// or wholesale from its adopted snapshot, so epoch_changes is 1 or 2;
+	// the epoch gauge must land at 2 regardless.
+	if m["epoch"] != 2 {
+		t.Errorf("joiner ended at epoch %d, want 2", m["epoch"])
+	}
+
+	// The joiner's windowed chain must be a byte-identical suffix of the
+	// observer's.
+	ref := cluster.FinalizedChain(0)
+	got := cluster.FinalizedChain(joiner)
+	if len(ref) == 0 || len(got) == 0 {
+		t.Fatal("empty finalized chains")
+	}
+	start := -1
+	for i, rid := range ref {
+		if rid == got[0] {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("joiner window start %s not on observer chain", got[0])
+	}
+	for i := 0; i < len(got) && start+i < len(ref); i++ {
+		if ref[start+i] != got[i] {
+			t.Fatalf("joiner diverges at window offset %d", i)
+		}
+	}
+	t.Logf("epoch 1 at round %d, epoch 2 at round %d; joiner votes %d, fetches %d",
+		epoch1At, epoch2At, m["votes_sent"], m["statesync_fetches"])
+}

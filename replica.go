@@ -8,6 +8,7 @@ import (
 	"banyan/internal/beacon"
 	"banyan/internal/crypto"
 	"banyan/internal/dissem"
+	"banyan/internal/membership"
 	"banyan/internal/mempool"
 	"banyan/internal/metrics"
 	"banyan/internal/node"
@@ -20,10 +21,17 @@ import (
 // ReplicaConfig configures a single TCP-connected replica for
 // multi-process deployments (see cmd/banyan and cmd/localnet).
 type ReplicaConfig struct {
-	// ID is this replica's index in [0, N).
+	// ID is this replica's index in [0, MaxN).
 	ID int
-	// N, F, P are the cluster fault parameters (see Params).
+	// N, F, P are the cluster fault parameters (see Params). N is the
+	// genesis validator-set size.
 	N, F, P int
+	// MaxN is the number of replica identities the deployment provisions
+	// keys for; zero means N. Identities in [N, MaxN) start as non-voting
+	// observers (they catch up via state sync) and become voters when a
+	// finalized ConfigChange admits them — see ProposeAddValidator.
+	// Banyan protocols only.
+	MaxN int
 	// Protocol selects the engine; empty picks ProtocolBanyan.
 	Protocol Protocol
 	// ListenAddr is the local listen address; Peers maps every replica ID
@@ -133,6 +141,9 @@ type Replica struct {
 	engine   protocol.Engine
 	rec      *wal.Recorder // nil without WALDir
 	counters *metrics.Registry
+	maxN     int
+	keyring  *crypto.Keyring
+	reconfig *membership.Reconfigurator // nil for baseline protocols
 
 	commits   chan Commit
 	rawCommit chan node.CommitEvent
@@ -161,8 +172,18 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.ID < 0 || cfg.ID >= params.N {
-		return nil, fmt.Errorf("banyan: replica id %d out of range (n=%d)", cfg.ID, params.N)
+	maxN := cfg.MaxN
+	if maxN == 0 {
+		maxN = params.N
+	}
+	if maxN < params.N {
+		return nil, fmt.Errorf("banyan: MaxN %d below N %d", maxN, params.N)
+	}
+	if maxN > params.N && cfg.Protocol != ProtocolBanyan && cfg.Protocol != ProtocolBanyanNoFast {
+		return nil, fmt.Errorf("banyan: MaxN requires a Banyan protocol, got %q", cfg.Protocol)
+	}
+	if cfg.ID < 0 || cfg.ID >= maxN {
+		return nil, fmt.Errorf("banyan: replica id %d out of range (maxN=%d)", cfg.ID, maxN)
 	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 50 * time.Millisecond
@@ -189,7 +210,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	keyring, signers := crypto.GenerateCluster(scheme, params.N, cfg.ClusterSeed)
+	keyring, signers := crypto.GenerateCluster(scheme, maxN, cfg.ClusterSeed)
 	bc, err := beacon.NewRoundRobin(params.N)
 	if err != nil {
 		return nil, err
@@ -223,6 +244,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	r := &Replica{
 		cfg:       cfg,
 		params:    params,
+		maxN:      maxN,
+		keyring:   keyring,
 		tr:        tr,
 		pool:      pool,
 		counters:  counters,
@@ -245,6 +268,10 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	verifier := newVerifierFor(cfg.Protocol, keyring, crypto.VerifyConfig{
 		Workers: cfg.VerifyWorkers, CacheSize: cfg.VerifyCacheSize,
 	})
+	switch cfg.Protocol {
+	case ProtocolBanyan, ProtocolBanyanNoFast:
+		r.reconfig = &membership.Reconfigurator{}
+	}
 	eng, err := buildEngine(cfg.Protocol, params, types.ReplicaID(cfg.ID),
 		keyring, verifier, signers[cfg.ID], bc, r.pool, engineTuning{
 			delta:         cfg.Delta,
@@ -253,6 +280,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 			pruneInterval: types.Round(cfg.PruneInterval),
 			optimistic:    cfg.OptimisticProposals,
 			dissem:        r.store,
+			reconfig:      r.reconfig,
 		})
 	if err != nil {
 		tr.Close()
@@ -313,6 +341,7 @@ func (r *Replica) pump() {
 			for _, b := range ev.Blocks {
 				commit := Commit{
 					Round:        uint64(b.Round),
+					Epoch:        b.Epoch,
 					BlockID:      b.ID().String(),
 					Proposer:     int(b.Proposer),
 					Transactions: decodeTransactions(r.store, b.Payload),
@@ -347,6 +376,72 @@ func (r *Replica) SubmitFrom(submitter uint64, tx []byte) error {
 
 // Commits streams blocks finalized by this replica.
 func (r *Replica) Commits() <-chan Commit { return r.commits }
+
+// ProposeAddValidator queues a ConfigChange admitting a provisioned
+// identity (see MaxN): the next time this replica leads a round it
+// attaches the change to its proposal; once a block carrying it
+// finalizes at round R the grown set takes effect at R+1. For the change
+// to land promptly, call this on every running replica — whichever leads
+// first proposes it, and every replica's slot clears when the change
+// finalizes. Banyan protocols only.
+func (r *Replica) ProposeAddValidator(id int) error {
+	if id < 0 || id >= r.maxN {
+		return fmt.Errorf("banyan: no provisioned identity %d (maxN=%d)", id, r.maxN)
+	}
+	key := r.keyring.PublicKey(types.ReplicaID(id))
+	if key == nil {
+		return fmt.Errorf("banyan: no key provisioned for replica %d", id)
+	}
+	return r.proposeChange(types.ConfigChange{
+		Op: types.ConfigAdd, Replica: types.ReplicaID(id), PubKey: key,
+	})
+}
+
+// ProposeRemoveValidator queues a ConfigChange evicting a validator; see
+// ProposeAddValidator for how changes land. From the activation round on
+// the evicted replica's votes carry no weight; it keeps running as a
+// non-voting observer.
+func (r *Replica) ProposeRemoveValidator(id int) error {
+	if id < 0 || id >= r.maxN {
+		return fmt.Errorf("banyan: no replica %d", id)
+	}
+	return r.proposeChange(types.ConfigChange{
+		Op: types.ConfigRemove, Replica: types.ReplicaID(id),
+	})
+}
+
+func (r *Replica) proposeChange(change types.ConfigChange) error {
+	if r.reconfig == nil {
+		return fmt.Errorf("banyan: reconfiguration requires a Banyan protocol, got %q", r.cfg.Protocol)
+	}
+	r.reconfig.Propose(change)
+	return nil
+}
+
+// Epoch returns the validator-set epoch this replica currently operates
+// in (0 for the single-epoch baselines). Safe to poll while running.
+func (r *Replica) Epoch() uint32 {
+	h, ok := r.engine.(interface{ History() *membership.History })
+	if !ok {
+		return 0
+	}
+	return h.History().Current().Epoch()
+}
+
+// MemberIDs returns the validator IDs of this replica's current epoch,
+// in set order (nil for baselines).
+func (r *Replica) MemberIDs() []int {
+	h, ok := r.engine.(interface{ History() *membership.History })
+	if !ok {
+		return nil
+	}
+	members := h.History().Current().Members()
+	out := make([]int, len(members))
+	for i, m := range members {
+		out[i] = int(m)
+	}
+	return out
+}
 
 // Faults returns safety faults (must stay empty).
 func (r *Replica) Faults() []error {
