@@ -17,6 +17,7 @@ import (
 	"banyan/internal/membership"
 	"banyan/internal/mempool"
 	"banyan/internal/node"
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/streamlet"
 	"banyan/internal/transport/channel"
@@ -134,6 +135,16 @@ type ClusterConfig struct {
 	// later via JoinReplica, cold, having observed nothing — the
 	// fresh-join scenario.
 	HoldStart []int
+	// Obs enables the observability layer: every replica gets an
+	// obs.Observer (lifecycle tracer, stage-latency histograms, gauges)
+	// wired through its engine, node, and WAL. Off (nil observers) the
+	// instrumented hot paths pay a single branch and no clock reads.
+	// Observers survive crash-restarts, so histograms span a replica's
+	// lives. Read them back via Observer.
+	Obs bool
+	// ObsTraceEvents overrides the tracer ring capacity
+	// (0 = obs.DefaultTraceEvents). Only meaningful with Obs.
+	ObsTraceEvents int
 }
 
 // defaultWALCheckpointRounds matches the engine's default PruneKeep, so
@@ -196,6 +207,9 @@ type Cluster struct {
 	// changes (Banyan protocols; nil entries otherwise). They outlive
 	// engine rebuilds, so a pending change survives a crash-restart.
 	reconfigs []*membership.Reconfigurator
+	// observers are the per-replica observability bundles (nil entries
+	// without Obs). Like reconfigs they outlive engine rebuilds.
+	observers []*obs.Observer
 
 	// Rebuild materials for RestartReplica: the shared demo PKI and
 	// beacon every engine was constructed from.
@@ -302,6 +316,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		pools:     make([]*mempool.Pool, maxN),
 		stores:    make([]*dissem.Store, maxN),
 		reconfigs: make([]*membership.Reconfigurator, maxN),
+		observers: make([]*obs.Observer, maxN),
 		keyring:   keyring,
 		signers:   signers,
 		beacon:    bc,
@@ -338,11 +353,45 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		} else {
 			c.pools[i] = mempool.NewPool(0, cfg.MaxBlockBytes)
 		}
+		if cfg.Obs {
+			o := obs.New(obs.Options{TraceEvents: cfg.ObsTraceEvents})
+			c.observers[i] = o
+			// Pull-style gauges refresh at scrape time: the pool is stable
+			// across restarts, the store slot is read under c.mu because
+			// buildReplica swaps it on restart.
+			idx := i
+			o.OnCollect(func(o *obs.Observer) {
+				o.MempoolDepth.Set(int64(c.pools[idx].Len()))
+				if s := c.storeOf(idx); s != nil {
+					o.DissemStoreBytes.Set(s.HeldBytes())
+				}
+			})
+		}
 		if err := c.buildReplica(i); err != nil {
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// storeOf returns a replica's dissemination store slot under the lock
+// (RestartReplica swaps it).
+func (c *Cluster) storeOf(i int) *dissem.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stores[i]
+}
+
+// Observer returns a replica's observability bundle (nil without
+// ClusterConfig.Obs or for an invalid replica). The bundle is fixed at
+// construction and internally synchronized: histograms and the tracer
+// are safe to read while the cluster runs, and it survives
+// crash-restarts of its replica.
+func (c *Cluster) Observer(replica int) *obs.Observer {
+	if replica < 0 || replica >= len(c.observers) {
+		return nil
+	}
+	return c.observers[replica]
 }
 
 // buildReplica assembles (or reassembles, after a crash) replica i's
@@ -379,6 +428,7 @@ func (c *Cluster) buildReplica(i int) error {
 			optimistic:    c.cfg.OptimisticProposals,
 			dissem:        c.stores[i],
 			reconfig:      c.reconfigs[i],
+			obs:           c.observers[i],
 		})
 	if err != nil {
 		return err
@@ -386,10 +436,14 @@ func (c *Cluster) buildReplica(i int) error {
 	c.engines[i] = eng
 	hosted := eng
 	if c.cfg.WALDir != "" {
+		walOpts := c.cfg.walOptions()
+		if o := c.observers[i]; o != nil {
+			walOpts.FlushHist = o.WALFlush
+		}
 		rec, err := wal.NewRecorder(wal.RecorderConfig{
 			Dir:             filepath.Join(c.cfg.WALDir, fmt.Sprintf("replica-%d", i)),
 			Engine:          eng,
-			Options:         c.cfg.walOptions(),
+			Options:         walOpts,
 			ContinueOnError: c.cfg.WALContinueOnError,
 			CheckpointEvery: checkpointEveryFor(c.cfg.Protocol, c.cfg.WALCheckpointRounds),
 		})
@@ -410,6 +464,7 @@ func (c *Cluster) buildReplica(i int) error {
 		OnFault:       func(err error) { c.recordFault(err) },
 		Preverifier:   preverifierFor(verifier),
 		VerifyWorkers: c.cfg.VerifyWorkers,
+		Obs:           c.observers[i],
 	})
 	if err != nil {
 		return err
@@ -449,6 +504,7 @@ type engineTuning struct {
 	optimistic    bool
 	dissem        *dissem.Store
 	reconfig      *membership.Reconfigurator
+	obs           *obs.Observer
 }
 
 func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
@@ -476,6 +532,7 @@ func buildEngine(proto Protocol, params types.Params, id types.ReplicaID,
 			PruneKeep:           tune.pruneKeep,
 			PruneInterval:       tune.pruneInterval,
 			Dissem:              tune.dissem,
+			Obs:                 tune.obs,
 		})
 	case ProtocolICC:
 		return icc.New(icc.Config{

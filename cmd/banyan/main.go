@@ -52,6 +52,7 @@ func run(args []string) error {
 		walSync  = fs.Duration("wal-sync", 0, "WAL group-commit window (0 = 2ms default)")
 		walEvery = fs.Bool("wal-sync-every-record", false, "fsync the WAL per record instead of group-committing")
 		quiet    = fs.Bool("quiet", false, "suppress per-block output, print one summary line per 100 blocks")
+		obsAddr  = fs.String("obs-addr", "", "serve the observability endpoint on this address: /metrics (Prometheus text), /debug/pprof/*, /trace (Chrome trace JSON), /trace/summary, /slow")
 		verbose  = fs.Bool("v", false, "log transport diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +88,7 @@ func run(args []string) error {
 		WALDir:             *walDir,
 		WALSyncInterval:    *walSync,
 		WALSyncEveryRecord: *walEvery,
+		ObsAddr:            *obsAddr,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...any) {
@@ -102,6 +104,9 @@ func run(args []string) error {
 	}
 	defer replica.Stop()
 	fmt.Printf("replica %d/%d (%s) listening on %s\n", *id, n, *proto, replica.Addr())
+	if addr := replica.ObsAddr(); addr != "" {
+		fmt.Printf("observability endpoint at http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

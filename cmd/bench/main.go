@@ -41,7 +41,7 @@ type options struct {
 	quick    bool
 	verify   crypto.VerifyConfig
 	// jsonOut, when set, makes experiments that record snapshot results
-	// (dissem) merge them into this BENCH_PR<n>.json file.
+	// (dissem, obs) merge them into this BENCH_PR<n>.json file.
 	jsonOut string
 }
 
@@ -55,7 +55,7 @@ func (o options) run(cfg harness.Config) (*harness.Result, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify,persist,pipeline,dissem,reconfig or 'all'")
+		exp      = fs.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig6a,fig6b,fig6c,fig6d,fig6e,traffic,ablation-p,ablation-fastpath,ablation-forwarding,ablation-geography,verify,persist,pipeline,dissem,reconfig,obs or 'all'")
 		duration = fs.Duration("duration", 120*time.Second, "virtual duration per run (paper: 120s)")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		quick    = fs.Bool("quick", false, "short runs and fewer sweep points")
@@ -130,6 +130,7 @@ var allExperiments = []experiment{
 	{"pipeline", "Optimistic proposal pipelining (Moonshot mode) vs baseline commit latency", runPipeline},
 	{"dissem", "Decoupled batch dissemination: digest-only proposals vs inline payloads", runDissem},
 	{"reconfig", "Reconfiguration: add/remove a validator mid-run, latency blip at epoch boundaries", runReconfig},
+	{"obs", "Observability: instrumentation overhead and per-stage latency breakdown", runObs},
 }
 
 const header = "%-22s %10s %10s %10s %10s %12s %8s %8s\n"

@@ -80,6 +80,7 @@ func run(args []string) error {
 		reconfig   = fs.Bool("reconfig", false, "script a live membership change: boot an extra replica mid-run, admit it via a finalized ConfigChange (it enters through snapshot state sync), then remove it again (banyan protocols only; runs deep-pruned)")
 		addAt      = fs.Duration("add-at", 0, "when to boot and admit the extra replica (0 = duration/4)")
 		removeAt   = fs.Duration("remove-at", 0, "when to remove it again (0 = duration/2)")
+		obsAddr    = fs.String("obs-addr", "", "serve replica 0's observability endpoint on this address: /metrics (Prometheus text), /debug/pprof/*, /trace (Chrome trace JSON), /trace/summary, /slow")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,6 +168,11 @@ func run(args []string) error {
 		if *walDir != "" {
 			cfg.WALDir = filepath.Join(*walDir, fmt.Sprintf("replica-%d", i))
 		}
+		if i == 0 && *obsAddr != "" {
+			// The endpoint serves the observer replica; 0 is never crashed,
+			// so the address binds exactly once per run.
+			cfg.ObsAddr = *obsAddr
+		}
 		return banyan.NewReplica(cfg)
 	}
 
@@ -202,6 +208,9 @@ func run(args []string) error {
 	}()
 	fmt.Printf("localnet: %d %s replicas on 127.0.0.1:%d..%d, %v\n",
 		*n, *proto, base, base+*n-1, *duration)
+	if addr := replicas[0].ObsAddr(); addr != "" {
+		fmt.Printf("localnet: observability endpoint at http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
 
 	// Load generator: round-robin submission across replicas.
 	stopLoad := make(chan struct{})

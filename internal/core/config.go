@@ -26,6 +26,7 @@ import (
 	"banyan/internal/crypto"
 	"banyan/internal/dissem"
 	"banyan/internal/membership"
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
@@ -128,6 +129,12 @@ type Config struct {
 	// BatchFetchTimeout is the per-peer silence budget of a batch-body
 	// fetch before the fetcher rotates to the next peer. Zero selects 4Δ.
 	BatchFetchTimeout time.Duration
+	// Obs, when set, is the replica's observability bundle: the engine
+	// records commit-latency/delivery-wait/verify histograms, lifecycle
+	// trace events, round/epoch gauges, and feeds the slow-round
+	// detector. Nil (the default) keeps every hot path free of
+	// observability work behind a single branch.
+	Obs *obs.Observer
 }
 
 const (

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
@@ -37,6 +38,7 @@ func (e *Engine) onBatchAnnounce(from types.ReplicaID, m *types.BatchAnnounce) [
 		return nil
 	}
 	e.cfg.Dissem.Put(m.Digest, m.Body)
+	e.recordFetchDone(m.Digest)
 	e.batchFetch.Done(m.Digest)
 	return []protocol.Action{protocol.Send{
 		To:  from,
@@ -76,7 +78,23 @@ func (e *Engine) onBatchResponse(m *types.BatchResponse) {
 		return
 	}
 	e.cfg.Dissem.Put(m.Digest, m.Body)
+	e.recordFetchDone(m.Digest)
 	e.batchFetch.Done(m.Digest)
+}
+
+// recordFetchDone records the duration of a completing batch fetch —
+// Begin to body arrival, across peer rotations — when the arriving
+// digest is the one in flight. Called before Fetcher.Done clears the
+// in-flight state.
+func (e *Engine) recordFetchDone(digest [32]byte) {
+	o := e.cfg.Obs
+	if o == nil || e.replaying || !e.batchFetch.Fetching() || e.batchFetch.Digest() != digest {
+		return
+	}
+	start := e.batchFetch.Started()
+	d := e.now.Sub(start)
+	o.DissemFetch.Record(d)
+	o.Tracer.Span(0, types.BlockID(digest), obs.SpanDissemFetch, start, d)
 }
 
 // tryDisseminate drains freshly cut batches into broadcasts. Running at
@@ -102,13 +120,17 @@ func (e *Engine) tryDisseminate(acts []protocol.Action) []protocol.Action {
 func (e *Engine) deliver(chain []*types.Block, mode protocol.FinalizationMode,
 	acts []protocol.Action) []protocol.Action {
 	if e.cfg.Dissem == nil {
+		o := e.cfg.Obs
 		for _, b := range chain {
 			e.met.blocksCommit++
 			e.met.bytesCommit += int64(b.Payload.Size())
+			if o != nil && !e.replaying {
+				o.Tracer.Mark(b.Round, b.ID(), obs.StageDelivered, e.now)
+			}
 		}
 		return append(acts, protocol.Commit{Blocks: chain, Explicit: mode})
 	}
-	e.delivQueue = append(e.delivQueue, deliveryItem{blocks: chain, mode: mode})
+	e.delivQueue = append(e.delivQueue, deliveryItem{blocks: chain, mode: mode, enq: e.now})
 	return e.flushDelivery(acts)
 }
 
@@ -134,10 +156,17 @@ func (e *Engine) flushDelivery(acts []protocol.Action) []protocol.Action {
 		}
 		if n > 0 {
 			blocks := it.blocks[:n:n]
+			o := e.cfg.Obs
 			for _, b := range blocks {
 				e.met.blocksCommit++
 				e.met.bytesCommit += int64(b.Payload.Size())
 				e.cfg.Dissem.MarkDelivered(b.Payload, b.Round)
+				if o != nil && !e.replaying {
+					id := b.ID()
+					o.Tracer.Mark(b.Round, id, obs.StageBodiesResolved, e.now)
+					o.Tracer.Mark(b.Round, id, obs.StageDelivered, e.now)
+					o.DeliveryWait.Record(e.now.Sub(it.enq))
+				}
 			}
 			mode := it.mode
 			if n < len(it.blocks) {

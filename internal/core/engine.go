@@ -8,6 +8,7 @@ import (
 	"banyan/internal/blocktree"
 	"banyan/internal/dissem"
 	"banyan/internal/membership"
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/statesync"
 	"banyan/internal/types"
@@ -74,6 +75,13 @@ type Engine struct {
 	stopped bool
 	fault   error
 
+	// now caches the host-supplied clock of the entry point currently
+	// being processed (Start/HandleMessage/HandleTimer), so internal
+	// paths that do not thread a timestamp (onProposal, tryNotarize,
+	// flushDelivery) can stamp observability events in the engine's
+	// clock domain — virtual time under simulation, wall time live.
+	now time.Time
+
 	// replaying marks WAL recovery (see replay.go): every clause that
 	// would create a new signature is suppressed, so replayed state can
 	// only come from the journal itself.
@@ -122,6 +130,9 @@ type Engine struct {
 type deliveryItem struct {
 	blocks []*types.Block
 	mode   protocol.FinalizationMode
+	// enq is when the chain entered the delivery queue (engine clock),
+	// the start point of the delivery-wait histogram.
+	enq time.Time
 }
 
 // optimisticProposal is a proposal signed and broadcast before its
@@ -195,6 +206,7 @@ func (e *Engine) Member() bool {
 
 // Start implements protocol.Engine: the replica enters round 1.
 func (e *Engine) Start(now time.Time) []protocol.Action {
+	e.now = now
 	var acts []protocol.Action
 	acts = e.enterRound(1, now, acts)
 	return e.progress(now, acts)
@@ -209,6 +221,7 @@ func (e *Engine) HandleMessage(from types.ReplicaID, msg types.Message, now time
 	if e.stopped || int(from) >= e.cfg.Keyring.N() {
 		return nil
 	}
+	e.now = now
 	switch m := msg.(type) {
 	case *types.Proposal:
 		e.onProposal(m)
@@ -249,6 +262,7 @@ func (e *Engine) HandleTimer(id protocol.TimerID, now time.Time) []protocol.Acti
 	if e.stopped {
 		return nil
 	}
+	e.now = now
 	var acts []protocol.Action
 	if id.Kind == protocol.TimerResend && id.Round == e.round {
 		acts = e.resendRound(now, acts)
@@ -403,9 +417,20 @@ func (e *Engine) onProposal(m *types.Proposal) {
 	id := b.ID()
 	_, known := rs.blocks[id]
 	if !known {
+		o := e.cfg.Obs
+		var verifyStart time.Time
+		if o != nil {
+			verifyStart = time.Now() // real time: verification is CPU-bound
+		}
 		if err := e.cfg.Verifier.VerifyBlock(b); err != nil {
 			e.met.rejected++
 			return
+		}
+		if o != nil && !e.replaying {
+			d := time.Since(verifyStart)
+			o.VerifyTime.Record(d)
+			o.Tracer.Mark(b.Round, id, obs.StageProposalReceived, e.now)
+			o.Tracer.Span(b.Round, id, obs.SpanVerify, e.now, d)
 		}
 		rs.blocks[id] = b
 		e.tree.Add(b)
@@ -1092,6 +1117,9 @@ func (e *Engine) enterRound(r types.Round, now time.Time, acts []protocol.Action
 	rs.started = true
 	rs.t0 = now
 	e.met.roundsStarted++
+	if o := e.cfg.Obs; o != nil {
+		o.Round.Set(int64(r))
+	}
 	rank := e.setFor(r).RankOf(r, e.cfg.Self)
 	if rank > 0 && rank != types.NoRank {
 		// Δ_prop(r_u) = 2Δ·r_u (Algorithm 1 line 23). The leader's delay is
@@ -1429,6 +1457,9 @@ func (e *Engine) tryVote(now time.Time, acts []protocol.Action) (bool, []protoco
 			addVote(rs.fastVotes, id, e.cfg.Self, fv.Signature)
 		}
 		e.met.votesSent++
+		if o := e.cfg.Obs; o != nil {
+			o.Tracer.Mark(e.round, id, obs.StageVoteSent, now)
+		}
 		acts = append(acts, protocol.Broadcast{Msg: &types.VoteMsg{Votes: votes}})
 	}
 	return changed, acts
@@ -1489,6 +1520,9 @@ func (e *Engine) tryNotarize(acts []protocol.Action) (bool, []protocol.Action) {
 			}
 			rs.notarizations[id] = cert
 			e.tree.MarkNotarized(id)
+			if o := e.cfg.Obs; o != nil && !e.replaying {
+				o.Tracer.Mark(r, id, obs.StageNotarized, e.now)
+			}
 			changed = true
 		}
 	}
@@ -1575,6 +1609,18 @@ func (e *Engine) finalizeExplicit(rs *roundState, cert *types.Certificate,
 	rs.finalized = true
 	rs.finalizedBlock = cert.Block
 	e.noteFinalCert(cert)
+	if o := e.cfg.Obs; o != nil && !e.replaying {
+		if mode == protocol.FinalizeFast {
+			o.Tracer.Mark(cert.Round, cert.Block, obs.StageFastCertified, e.now)
+		}
+		// Commit latency is measured from round entry (rs.t0) to the
+		// finalization becoming known here, in the engine's clock domain.
+		// Rounds this replica never entered (catch-up, replayed history)
+		// carry no t0 and are skipped.
+		if rs.started && !rs.t0.IsZero() {
+			o.ObserveCommit(cert.Round, cert.Block, e.now.Sub(rs.t0), e.now)
+		}
+	}
 	switch mode {
 	case protocol.FinalizeFast:
 		e.met.fastFinal++
@@ -1642,6 +1688,9 @@ func (e *Engine) applyChanges(chain []*types.Block) {
 			}
 			e.scrubNonMembers(next)
 			e.met.epochChanges++
+			if o := e.cfg.Obs; o != nil {
+				o.Epoch.Set(int64(next.Epoch()))
+			}
 		}
 		if e.cfg.Reconfig != nil {
 			e.cfg.Reconfig.Observe(c)

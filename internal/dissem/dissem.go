@@ -303,6 +303,19 @@ func (s *Store) Compact(floor types.Round) {
 	}
 }
 
+// HeldBytes returns the total size of batch bodies currently held —
+// the live footprint of the dissemination plane. Scrape-cadence only
+// (it walks the body map under the lock); the hot paths never call it.
+func (s *Store) HeldBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, b := range s.bodies {
+		n += int64(b.Size())
+	}
+	return n
+}
+
 // Metrics reports the store's counters into m under dissem-prefixed keys.
 func (s *Store) Metrics(m map[string]int64) {
 	s.mu.Lock()

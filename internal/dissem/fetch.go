@@ -29,6 +29,7 @@ type Fetcher struct {
 	cur      target
 	peer     types.ReplicaID
 	deadline time.Time
+	started  time.Time // when the in-flight fetch began (observability)
 
 	// suspect is the negative cache: peers that let a request expire lose
 	// the origin-first preference until the entry lapses, so a withholding
@@ -92,6 +93,10 @@ func (f *Fetcher) Peer() types.ReplicaID { return f.peer }
 // while Fetching.
 func (f *Fetcher) Deadline() time.Time { return f.deadline }
 
+// Started returns when the in-flight fetch began (its Begin time, not
+// the latest retry); only valid while Fetching.
+func (f *Fetcher) Started() time.Time { return f.started }
+
 // Begin pops the oldest queued digest and starts a fetch. Returns false
 // when nothing is queued or a fetch is already in flight.
 func (f *Fetcher) Begin(now time.Time) bool {
@@ -113,6 +118,7 @@ func (f *Fetcher) Begin(now time.Time) bool {
 	}
 	f.cur.first = false
 	f.deadline = now.Add(f.timeout)
+	f.started = now
 	f.fetches++
 	return true
 }

@@ -33,6 +33,7 @@ import (
 	"banyan/internal/membership"
 	"banyan/internal/mempool"
 	"banyan/internal/metrics"
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/simnet"
 	"banyan/internal/streamlet"
@@ -153,6 +154,13 @@ type Config struct {
 	// simulator's virtual clock is independent of real compute, so these
 	// knobs change wall-clock speed of a run, never its measured results.
 	Verify crypto.VerifyConfig
+	// Obs wires an obs.Observer into every Banyan engine, and reports the
+	// merged stage-latency breakdown in Result.Stages. Virtual-time stages
+	// (commit latency, dissem fetch, delivery wait) are exact; real-time
+	// stages (verify, WAL flush) reflect the host the simulation ran on.
+	// Observers survive mid-run crash-restarts, so histograms span a
+	// replica's lives.
+	Obs bool
 }
 
 // CrashSpec crashes a replica at a point in virtual time. In a Restart
@@ -230,6 +238,20 @@ type Result struct {
 	RoundLatencies []RoundLatency
 	// Delta echoes the Δ actually used (after auto-derivation).
 	Delta time.Duration
+
+	// Stages holds the per-stage latency breakdown, merged across every
+	// replica's histograms, keyed by the obs.Hist* names (empty without
+	// Config.Obs; stages with no samples are omitted).
+	Stages map[string]StageStats
+	// SlowRounds counts rounds the observer's slow-round detector flagged
+	// (commit latency above k×EWMA; zero without Config.Obs).
+	SlowRounds int
+}
+
+// StageStats summarizes one stage histogram.
+type StageStats struct {
+	Count          int64
+	Mean, P50, P99 time.Duration
 }
 
 // RoundLatency is one proposal-finalization latency sample tagged with
@@ -364,6 +386,15 @@ func Run(cfg Config) (*Result, error) {
 			reconfigs[i] = &membership.Reconfigurator{}
 		}
 	}
+	// One observer per replica, surviving engine rebuilds like the
+	// reconfiguration slots, so stage histograms accumulate across a
+	// crash-restart.
+	observers := make([]*obs.Observer, cfg.MaxN)
+	if cfg.Obs {
+		for i := range observers {
+			observers[i] = obs.New(obs.Options{})
+		}
+	}
 	// mkEngine builds (or rebuilds, for restarts) one replica's engine;
 	// with a WALDir it is wrapped in a recorder over that replica's log.
 	mkEngine := func(i types.ReplicaID) (protocol.Engine, error) {
@@ -381,19 +412,25 @@ func Run(cfg Config) (*Result, error) {
 				Source:     src,
 			})
 		}
-		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src, store, reconfigs[i])
+		e, err := buildEngine(cfg, i, keyring, signers[i], bc, src, store, reconfigs[i], observers[i])
 		if err != nil {
 			return nil, err
 		}
 		if cfg.WALDir == "" {
 			return e, nil
 		}
-		return wal.NewRecorder(wal.RecorderConfig{
-			Dir:    filepath.Join(cfg.WALDir, fmt.Sprintf("replica-%d", i)),
-			Engine: e,
+		walOpts := wal.Options{
 			// Per-record fsync keeps the durable prefix — and therefore the
 			// replayed execution — independent of wall-clock flush timing.
-			Options: wal.Options{Sync: wal.SyncPolicy{EveryRecord: true}},
+			Sync: wal.SyncPolicy{EveryRecord: true},
+		}
+		if o := observers[i]; o != nil {
+			walOpts.FlushHist = o.WALFlush
+		}
+		return wal.NewRecorder(wal.RecorderConfig{
+			Dir:     filepath.Join(cfg.WALDir, fmt.Sprintf("replica-%d", i)),
+			Engine:  e,
+			Options: walOpts,
 		})
 	}
 	engines := make([]protocol.Engine, cfg.MaxN)
@@ -615,15 +652,51 @@ func Run(cfg Config) (*Result, error) {
 		RoundLatencies:      roundLatencies,
 		Delta:               cfg.Delta,
 	}
+	if cfg.Obs {
+		res.Stages = mergeStages(observers)
+		if d := observers[observer].Detector; d != nil {
+			res.SlowRounds = len(d.Slow())
+		}
+	}
 	if len(faultErrors) > 0 {
 		return res, fmt.Errorf("harness: safety faults: %v", faultErrors)
 	}
 	return res, nil
 }
 
+// mergeStages folds every replica's stage histograms into one summary
+// per stage name, skipping stages nothing recorded into.
+func mergeStages(observers []*obs.Observer) map[string]StageStats {
+	merged := map[string]metrics.HistSnapshot{}
+	for _, o := range observers {
+		if o == nil {
+			continue
+		}
+		for name, h := range o.Registry.Histograms() {
+			s := merged[name]
+			s.Merge(h)
+			merged[name] = s
+		}
+	}
+	out := make(map[string]StageStats, len(merged))
+	for name, s := range merged {
+		if s.Count == 0 {
+			continue
+		}
+		out[name] = StageStats{
+			Count: s.Count,
+			Mean:  s.Mean(),
+			P50:   s.Quantile(0.50),
+			P99:   s.Quantile(0.99),
+		}
+	}
+	return out
+}
+
 func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 	signer *crypto.Signer, bc beacon.Beacon, src protocol.PayloadSource,
-	store *dissem.Store, reconfig *membership.Reconfigurator) (protocol.Engine, error) {
+	store *dissem.Store, reconfig *membership.Reconfigurator,
+	observer *obs.Observer) (protocol.Engine, error) {
 	switch cfg.Protocol {
 	case Banyan, BanyanNoFast:
 		return core.New(core.Config{
@@ -631,6 +704,7 @@ func buildEngine(cfg Config, id types.ReplicaID, keyring *crypto.Keyring,
 			Self:                id,
 			Keyring:             keyring,
 			Reconfig:            reconfig,
+			Obs:                 observer,
 			VerifyOptions:       cfg.Verify,
 			Signer:              signer,
 			Beacon:              bc,

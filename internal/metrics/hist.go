@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of log2 latency buckets a Histogram carries.
+// Bucket i counts observations whose nanosecond value has bit-length i,
+// i.e. durations in [2^(i-1), 2^i) ns; bucket 0 counts non-positive
+// observations. 64 buckets cover every representable duration.
+const HistBuckets = 64
+
+// Histogram is a lock-free log2-bucketed latency histogram. Record is a
+// fixed number of atomic adds — no locks, no allocations — so it is safe
+// on the same hot paths the PR 3 zero-allocation discipline protects
+// (gated by TestAllocRegressionHistogramRecord). The zero value is ready
+// to use, and all methods are nil-receiver safe so optional wiring needs
+// no call-site guards.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64 // total nanoseconds observed
+	count   atomic.Int64
+}
+
+// Record observes one duration. Non-positive durations land in bucket 0.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	idx := 0
+	if ns > 0 {
+		idx = bits.Len64(uint64(ns))
+	}
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot copies the current bucket counts into a point-in-time view.
+// Buckets are read individually (not under a lock), so a snapshot taken
+// concurrently with Record may be off by in-flight observations — fine
+// for scraping, which is the only consumer.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, mergeable across
+// replicas by bucket addition (the harness aggregates per-replica
+// histograms this way).
+type HistSnapshot struct {
+	Buckets [HistBuckets]int64
+	Sum     int64 // nanoseconds
+	Count   int64
+}
+
+// Merge adds another snapshot's buckets into this one.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i in
+// nanoseconds: 2^i (bucket 0 holds only non-positive values, bound 1).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return int64(1) << 62 // clamp: effectively +Inf for durations
+	}
+	return int64(1) << uint(i)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1) by
+// linear interpolation inside the target log2 bucket. Returns 0 when the
+// histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := float64(BucketUpper(i)) / 2
+			if i == 0 {
+				lo = 0
+			}
+			hi := float64(BucketUpper(i))
+			frac := (rank - cum) / float64(c)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return time.Duration(BucketUpper(HistBuckets - 1))
+}
+
+// Mean returns the exact mean of all observations (the sum is tracked
+// outside the buckets).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Gauge is an instantaneous value (current round, mempool depth). The
+// zero value is ready; methods are nil-receiver safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/types"
 )
@@ -86,6 +87,11 @@ type Config struct {
 	// Clock returns the current time; nil selects time.Now. Tests inject
 	// fake clocks here.
 	Clock func() time.Time
+	// Obs, when non-nil, instruments the preverify stage: per-message
+	// queue-wait and verify-time histograms (real time — this pipeline
+	// is CPU- and scheduling-bound). The engine's own instruments are
+	// wired separately through its config.
+	Obs *obs.Observer
 }
 
 // Node runs one replica.
@@ -251,6 +257,7 @@ func (n *Node) run() {
 func (n *Node) preverify(inbound <-chan Inbound, workers int) <-chan Inbound {
 	type pending struct {
 		in   Inbound
+		enq  time.Time // when the dispatcher queued it (zero when obs is off)
 		done chan struct{}
 	}
 	depth := 4 * workers
@@ -258,10 +265,18 @@ func (n *Node) preverify(inbound <-chan Inbound, workers int) <-chan Inbound {
 	work := make(chan *pending, depth)
 	out := make(chan Inbound, depth)
 
+	o := n.cfg.Obs
 	for i := 0; i < workers; i++ {
 		go func() {
 			for p := range work {
-				n.cfg.Preverifier.PreverifyMessage(p.in.Msg)
+				if o != nil {
+					pick := time.Now()
+					o.PreverifyWait.Record(pick.Sub(p.enq))
+					n.cfg.Preverifier.PreverifyMessage(p.in.Msg)
+					o.VerifyTime.Record(time.Since(pick))
+				} else {
+					n.cfg.Preverifier.PreverifyMessage(p.in.Msg)
+				}
 				close(p.done)
 			}
 		}()
@@ -283,6 +298,9 @@ func (n *Node) preverify(inbound <-chan Inbound, workers int) <-chan Inbound {
 					return
 				}
 				p = &pending{in: in, done: make(chan struct{})}
+				if o != nil {
+					p.enq = time.Now()
+				}
 			case <-n.stop:
 				return
 			}

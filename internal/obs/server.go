@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"banyan/internal/metrics"
+	"banyan/internal/types"
+)
+
+// Handler returns the observability HTTP surface for one replica:
+//
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                log2-bucketed histograms as banyan_*_seconds)
+//	/trace          Chrome-trace JSON dump of the lifecycle ring
+//	/trace/summary  per-round span summaries (JSON)
+//	/slow           flagged slow rounds with their spans (JSON)
+//	/debug/pprof/*  the stdlib profiler endpoints
+func (o *Observer) Handler(replica types.ReplicaID) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		o.Collect()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, o.Registry)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		o.Tracer.WriteChromeTrace(w, replica)
+	})
+	mux.HandleFunc("/trace/summary", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.Tracer.Summaries())
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			EWMANs int64       `json:"ewma_ns"`
+			Slow   []SlowRound `json:"slow"`
+		}{int64(o.Detector.EWMA()), o.Detector.Slow()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live observability endpoint bound to one listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:9464"
+// or ":0" for an ephemeral port) and serves until Close.
+func Serve(addr string, o *Observer, replica types.ReplicaID) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler(replica), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// writePrometheus renders every instrument of the registry in Prometheus
+// text exposition format. Counters and gauges become banyan_<name>;
+// histograms become banyan_<name>_seconds cumulative bucket series with
+// log2 nanosecond boundaries converted to seconds.
+func writePrometheus(w http.ResponseWriter, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	counters := reg.Snapshot()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "banyan_" + sanitize(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+	}
+
+	gauges := reg.Gauges()
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "banyan_" + sanitize(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, gauges[name])
+	}
+
+	hists := reg.Histograms()
+	names = names[:0]
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap := hists[name]
+		m := "banyan_" + sanitize(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+		var cum int64
+		for i, c := range snap.Buckets {
+			cum += c
+			if c == 0 && i != metrics.HistBuckets-1 {
+				continue // sparse output: emit only occupied buckets (+Inf always)
+			}
+			if i == metrics.HistBuckets-1 {
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", m, float64(metrics.BucketUpper(i))/1e9, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", m, float64(snap.Sum)/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", m, snap.Count)
+	}
+}
+
+// sanitize maps registry names onto the Prometheus metric charset.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

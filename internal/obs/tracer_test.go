@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"banyan/internal/types"
+)
+
+func ts(ns int64) time.Time { return time.Unix(0, ns) }
+
+// TestTracerRingWrap checks the fixed-capacity ring: before wrap Events
+// returns exactly what was appended oldest-first; after wrap it returns
+// the newest capacity events, still oldest-first.
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr.Mark(types.Round(i), types.BlockID{byte(i)}, StageProposalReceived, ts(int64(i+1)))
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("pre-wrap: %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Round != types.Round(i) || e.TS != int64(i+1) {
+			t.Fatalf("pre-wrap event %d = %+v, want round %d ts %d", i, e, i, i+1)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		tr.Mark(types.Round(i), types.BlockID{byte(i)}, StageProposalReceived, ts(int64(i+1)))
+	}
+	ev = tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("post-wrap: %d events, want capacity 4", len(ev))
+	}
+	for i, e := range ev {
+		want := types.Round(6 + i) // rounds 6..9 survive
+		if e.Round != want {
+			t.Fatalf("post-wrap event %d round = %d, want %d", i, e.Round, want)
+		}
+	}
+}
+
+// TestTracerSpanClampsNegative checks a negative duration records as 0
+// (a span, even mis-measured, must not corrupt summaries).
+func TestTracerSpanClampsNegative(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Span(1, types.BlockID{1}, SpanVerify, ts(100), -5*time.Second)
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Dur != 0 {
+		t.Fatalf("negative span recorded as %+v, want Dur 0", ev)
+	}
+}
+
+// TestTracerEventsForRound checks per-round filtering.
+func TestTracerEventsForRound(t *testing.T) {
+	tr := NewTracer(16)
+	for r := 0; r < 4; r++ {
+		tr.Mark(types.Round(r), types.BlockID{byte(r)}, StageProposalReceived, ts(int64(10*r+1)))
+		tr.Span(types.Round(r), types.BlockID{byte(r)}, SpanVerify, ts(int64(10*r+2)), 3)
+	}
+	ev := tr.EventsForRound(2)
+	if len(ev) != 2 {
+		t.Fatalf("round 2: %d events, want 2", len(ev))
+	}
+	for _, e := range ev {
+		if e.Round != 2 {
+			t.Fatalf("stray round %d in filter", e.Round)
+		}
+	}
+}
+
+// TestTracerSummaries checks the per-round digest: CommitNs is
+// finalized−proposal_received, span time is totalled per stage, and
+// rounds come out ascending.
+func TestTracerSummaries(t *testing.T) {
+	tr := NewTracer(64)
+	blk := types.BlockID{7}
+	// Round 5 out of order, complete lifecycle.
+	tr.Mark(5, blk, StageProposalReceived, ts(1000))
+	tr.Span(5, blk, SpanVerify, ts(1100), 50)
+	tr.Span(5, blk, SpanVerify, ts(1200), 70)
+	tr.Span(5, blk, SpanWALFlush, ts(1300), 30)
+	tr.Mark(5, blk, StageFinalized, ts(4000))
+	// Round 3: no finalization, no CommitNs.
+	tr.Mark(3, types.BlockID{3}, StageProposalReceived, ts(500))
+
+	sums := tr.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries, want 2", len(sums))
+	}
+	if sums[0].Round != 3 || sums[1].Round != 5 {
+		t.Fatalf("rounds not ascending: %d, %d", sums[0].Round, sums[1].Round)
+	}
+	if sums[0].CommitNs != 0 {
+		t.Errorf("unfinalized round has CommitNs %d", sums[0].CommitNs)
+	}
+	s5 := sums[1]
+	if s5.CommitNs != 3000 {
+		t.Errorf("CommitNs = %d, want 3000 (finalized 4000 − received 1000)", s5.CommitNs)
+	}
+	if s5.Events != 5 {
+		t.Errorf("events = %d, want 5", s5.Events)
+	}
+	if got := s5.SpanTotals["verify"]; got != 120 {
+		t.Errorf("verify span total = %d, want 120", got)
+	}
+	if got := s5.SpanTotals["wal_flush"]; got != 30 {
+		t.Errorf("wal_flush span total = %d, want 30", got)
+	}
+	if s5.Block == "" {
+		t.Error("finalized round lost its block ID")
+	}
+}
+
+// TestWriteChromeTrace checks the dump is valid JSON in the Chrome
+// traceEvents shape: spans as "X" with a dur, instants as "i", one pid
+// per replica, round and block in args.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	blk := types.BlockID{0xab, 0xcd}
+	tr.Mark(1, blk, StageProposalReceived, ts(2_000_000))
+	tr.Span(1, blk, SpanVerify, ts(2_500_000), 1_000_000)
+	tr.Mark(1, blk, StageFinalized, ts(9_000_000))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Args struct {
+				Round int    `json:"round"`
+				Block string `json:"block"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d trace events, want 3", len(doc.TraceEvents))
+	}
+	var spans, instants int
+	for _, e := range doc.TraceEvents {
+		if e.Pid != 3 {
+			t.Errorf("event pid = %d, want replica 3", e.Pid)
+		}
+		if e.Args.Round != 1 || e.Args.Block == "" {
+			t.Errorf("event args missing round/block: %+v", e)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name != "verify" || e.Dur != 1000 { // µs
+				t.Errorf("span = %+v, want verify dur 1000µs", e)
+			}
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 1 || instants != 2 {
+		t.Errorf("spans = %d instants = %d, want 1 and 2", spans, instants)
+	}
+
+	// Empty tracer still emits a valid document.
+	buf.Reset()
+	if err := NewTracer(4).WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var empty map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}
+
+// TestAllocRegressionTracerSpan gates the hot-path budget: Mark and
+// Span write into the preallocated ring without allocating, including
+// across ring wraps and on a nil tracer.
+func TestAllocRegressionTracerSpan(t *testing.T) {
+	tr := NewTracer(64)
+	blk := types.BlockID{1}
+	start := ts(1000)
+	if n := testing.AllocsPerRun(500, func() {
+		tr.Mark(9, blk, StageProposalReceived, start)
+		tr.Span(9, blk, SpanVerify, start, time.Millisecond)
+	}); n > 0 {
+		t.Errorf("Tracer Mark+Span: %v allocs/op, budget 0", n)
+	}
+	var nilT *Tracer
+	if n := testing.AllocsPerRun(500, func() {
+		nilT.Mark(9, blk, StageProposalReceived, start)
+		nilT.Span(9, blk, SpanVerify, start, time.Millisecond)
+	}); n > 0 {
+		t.Errorf("nil Tracer Mark+Span: %v allocs/op, budget 0", n)
+	}
+}
+
+// TestTracerNilSafe checks the disabled-observability state.
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Mark(1, types.BlockID{}, StageFinalized, ts(1))
+	tr.Span(1, types.BlockID{}, SpanVerify, ts(1), 1)
+	if tr.Events() != nil {
+		t.Fatal("nil tracer events != nil")
+	}
+	if tr.EventsForRound(1) != nil {
+		t.Fatal("nil tracer round events != nil")
+	}
+}
+
+// TestStageNames checks every stage has a distinct snake_case name (the
+// Chrome-trace rows and summary keys depend on them).
+func TestStageNames(t *testing.T) {
+	seen := map[string]Stage{}
+	for s := Stage(0); s < numStages; s++ {
+		name := s.String()
+		if name == "" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("stages %d and %d share name %q", prev, s, name)
+		}
+		seen[name] = s
+	}
+	if got := Stage(200).String(); got != "stage(200)" {
+		t.Fatalf("out-of-range stage name = %q", got)
+	}
+}

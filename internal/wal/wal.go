@@ -52,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"banyan/internal/metrics"
 	"banyan/internal/types"
 )
 
@@ -111,6 +112,11 @@ type Options struct {
 	// SegmentBytes rotates to a fresh segment file once the current one
 	// reaches this size. Zero selects 64 MiB.
 	SegmentBytes int
+	// FlushHist, when set, records the duration of every group-commit
+	// flush (buffer flush + fsync). Recording is a few atomic adds, so
+	// it rides inside the lock without extending the group window; nil
+	// (the default) records nothing.
+	FlushHist *metrics.Histogram
 }
 
 func (o Options) normalize() Options {
@@ -622,11 +628,18 @@ func (l *Log) syncLocked() error {
 	if l.pending == 0 {
 		return nil
 	}
+	var start time.Time
+	if l.opts.FlushHist != nil {
+		start = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return l.fail(err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return l.fail(err)
+	}
+	if l.opts.FlushHist != nil {
+		l.opts.FlushHist.Record(time.Since(start))
 	}
 	l.pending = 0
 	l.syncs++

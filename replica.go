@@ -12,6 +12,7 @@ import (
 	"banyan/internal/mempool"
 	"banyan/internal/metrics"
 	"banyan/internal/node"
+	"banyan/internal/obs"
 	"banyan/internal/protocol"
 	"banyan/internal/transport/tcp"
 	"banyan/internal/types"
@@ -113,6 +114,21 @@ type ReplicaConfig struct {
 	// DissemInlineMax bounds the inline tail a proposal may carry
 	// alongside its batch refs. Zero means everything rides in batches.
 	DissemInlineMax int
+	// Obs enables the observability layer: block-lifecycle tracing,
+	// stage-latency histograms (commit latency, preverify wait, verify
+	// time, WAL flush, dissem fetch, delivery wait), and gauges, all
+	// registered in the replica's metrics registry. Implied by ObsAddr.
+	Obs bool
+	// ObsAddr, when non-empty, serves the observability endpoint on this
+	// address: /metrics (Prometheus text), /debug/pprof/*, /trace
+	// (Chrome trace JSON), /trace/summary, /slow. Implies Obs.
+	ObsAddr string
+	// ObsTraceEvents overrides the tracer ring capacity
+	// (0 = obs.DefaultTraceEvents).
+	ObsTraceEvents int
+	// ObsSlowK overrides the slow-round detector's k×EWMA multiplier
+	// (0 = obs.DefaultSlowK).
+	ObsSlowK float64
 	// Logf, when non-nil, receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -141,6 +157,8 @@ type Replica struct {
 	engine   protocol.Engine
 	rec      *wal.Recorder // nil without WALDir
 	counters *metrics.Registry
+	obs      *obs.Observer // nil without Obs/ObsAddr
+	obsSrv   *obs.Server   // nil without ObsAddr
 	maxN     int
 	keyring  *crypto.Keyring
 	reconfig *membership.Reconfigurator // nil for baseline protocols
@@ -226,6 +244,16 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		listenAddr = cfg.Peers[cfg.ID]
 	}
 	counters := metrics.NewRegistry()
+	var observer *obs.Observer
+	if cfg.Obs || cfg.ObsAddr != "" {
+		// Share the replica's registry so transport/engine counters and
+		// the observability instruments export through one /metrics page.
+		observer = obs.New(obs.Options{
+			Registry:    counters,
+			TraceEvents: cfg.ObsTraceEvents,
+			SlowK:       cfg.ObsSlowK,
+		})
+	}
 	tr, err := tcp.New(tcp.Config{
 		Self:       types.ReplicaID(cfg.ID),
 		ListenAddr: listenAddr,
@@ -249,6 +277,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		tr:        tr,
 		pool:      pool,
 		counters:  counters,
+		obs:       observer,
 		commits:   make(chan Commit, cfg.CommitBuffer),
 		rawCommit: make(chan node.CommitEvent, cfg.CommitBuffer),
 		done:      make(chan struct{}),
@@ -272,6 +301,16 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	case ProtocolBanyan, ProtocolBanyanNoFast:
 		r.reconfig = &membership.Reconfigurator{}
 	}
+	if observer != nil {
+		pool := r.pool
+		store := r.store
+		observer.OnCollect(func(o *obs.Observer) {
+			o.MempoolDepth.Set(int64(pool.Len()))
+			if store != nil {
+				o.DissemStoreBytes.Set(store.HeldBytes())
+			}
+		})
+	}
 	eng, err := buildEngine(cfg.Protocol, params, types.ReplicaID(cfg.ID),
 		keyring, verifier, signers[cfg.ID], bc, r.pool, engineTuning{
 			delta:         cfg.Delta,
@@ -281,6 +320,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 			optimistic:    cfg.OptimisticProposals,
 			dissem:        r.store,
 			reconfig:      r.reconfig,
+			obs:           observer,
 		})
 	if err != nil {
 		tr.Close()
@@ -289,10 +329,14 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	r.engine = eng
 	hosted := eng
 	if cfg.WALDir != "" {
+		walOpts := cfg.walOptions()
+		if observer != nil {
+			walOpts.FlushHist = observer.WALFlush
+		}
 		rec, err := wal.NewRecorder(wal.RecorderConfig{
 			Dir:             cfg.WALDir,
 			Engine:          eng,
-			Options:         cfg.walOptions(),
+			Options:         walOpts,
 			ContinueOnError: cfg.WALContinueOnError,
 			CheckpointEvery: checkpointEveryFor(cfg.Protocol, cfg.WALCheckpointRounds),
 		})
@@ -310,6 +354,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		OnFault:       func(err error) { r.recordFault(err) },
 		Preverifier:   preverifierFor(verifier),
 		VerifyWorkers: cfg.VerifyWorkers,
+		Obs:           observer,
 	})
 	if err != nil {
 		tr.Close()
@@ -327,8 +372,29 @@ func (r *Replica) Addr() string { return r.tr.Addr() }
 
 // Start runs the replica.
 func (r *Replica) Start() error {
+	if r.cfg.ObsAddr != "" && r.obsSrv == nil {
+		srv, err := obs.Serve(r.cfg.ObsAddr, r.obs, types.ReplicaID(r.cfg.ID))
+		if err != nil {
+			return fmt.Errorf("banyan: obs endpoint: %w", err)
+		}
+		r.obsSrv = srv
+	}
 	go r.pump()
 	return r.node.Start()
+}
+
+// Observer returns the replica's observability bundle (nil unless Obs or
+// ObsAddr is set). Histograms and the tracer are internally synchronized
+// and safe to read while the replica runs.
+func (r *Replica) Observer() *obs.Observer { return r.obs }
+
+// ObsAddr returns the bound observability endpoint address ("" when
+// ObsAddr was not configured or the replica has not started).
+func (r *Replica) ObsAddr() string {
+	if r.obsSrv == nil {
+		return ""
+	}
+	return r.obsSrv.Addr()
 }
 
 func (r *Replica) pump() {
@@ -488,6 +554,9 @@ func (r *Replica) shutdown(flush bool) {
 	}
 	r.stopped = true
 	r.mu.Unlock()
+	if r.obsSrv != nil {
+		r.obsSrv.Close()
+	}
 	r.node.Stop()
 	if r.rec != nil {
 		// A log that died mid-run means the replica has been running

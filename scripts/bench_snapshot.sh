@@ -4,21 +4,22 @@
 #
 # Usage: scripts/bench_snapshot.sh [output.json] [benchtime]
 #
-#   output.json  where to write the snapshot (default BENCH_PR9.json);
+#   output.json  where to write the snapshot (default BENCH_PR10.json);
 #                a BENCH_PR<n>.json name sets the snapshot's "pr" field
 #   benchtime    passed to -benchtime (default 20000x; use e.g. 2000x in CI)
 #
 # The snapshot holds one entry per benchmark with ns/op, B/op and
-# allocs/op. "baseline", "restart_replay", "pipeline", "dissem", and
-# "reconfig" objects already present in the output file are preserved, so
-# before/after comparisons and experiment results survive regeneration.
+# allocs/op. "baseline", "restart_replay", "pipeline", "dissem",
+# "reconfig", and "obs" objects already present in the output file are
+# preserved, so before/after comparisons and experiment results survive
+# regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${2:-20000x}"
-PKGS="./internal/types ./internal/wal ./internal/transport/tcp"
-PATTERN='BenchmarkEncodeDecode|BenchmarkWALAppend|BenchmarkEncodeFrame|BenchmarkBroadcast$'
+PKGS="./internal/types ./internal/wal ./internal/transport/tcp ./internal/metrics"
+PATTERN='BenchmarkEncodeDecode|BenchmarkWALAppend|BenchmarkEncodeFrame|BenchmarkBroadcast$|BenchmarkCounterHoisted|BenchmarkCounterRegistryLookup|BenchmarkHistogramRecord'
 
 # Derive the PR number from the output filename (BENCH_PR<n>.json).
 PR="$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')"
@@ -34,12 +35,14 @@ RESTART="null"
 PIPELINE="null"
 DISSEM="null"
 RECONFIG="null"
+OBS="null"
 if [ -f "$OUT" ]; then
     BASELINE="$(go run ./scripts/benchjson -extract-baseline "$OUT" 2>/dev/null || echo null)"
     RESTART="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key restart_replay 2>/dev/null || echo null)"
     PIPELINE="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key pipeline 2>/dev/null || echo null)"
     DISSEM="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key dissem 2>/dev/null || echo null)"
     RECONFIG="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key reconfig 2>/dev/null || echo null)"
+    OBS="$(go run ./scripts/benchjson -extract-baseline "$OUT" -key obs 2>/dev/null || echo null)"
 fi
 
 {
@@ -64,6 +67,7 @@ fi
         END { print out }
     ' "$RAW"
     printf '  },\n'
+    printf '  "obs": %s,\n' "$OBS"
     printf '  "reconfig": %s,\n' "$RECONFIG"
     printf '  "dissem": %s,\n' "$DISSEM"
     printf '  "pipeline": %s,\n' "$PIPELINE"
